@@ -1,0 +1,103 @@
+// Ablation: where do the paper's optimizations pay off as the network
+// changes? Sweeps the simulated WAN's bandwidth and latency for the
+// combined query and reports the optimized/unoptimized response ratio.
+// The paper's setting (Sect. 1.2) is the slow-WAN regime — "communication
+// is assumed to be very cheap" explicitly does NOT hold — where the
+// reductions matter most; on a fast parallel-machine-like network the gap
+// narrows toward the pure computation saving.
+//
+//   ./bench_ablation_network
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::WarehouseSpec;
+
+WarehouseSpec DefaultSpec() {
+  WarehouseSpec spec;
+  spec.sites = 8;
+  spec.rows_per_site = 10000;
+  spec.groups_per_site = 800;
+  return spec;
+}
+
+struct NetPoint {
+  const char* name;
+  double bandwidth;
+  double latency;
+};
+
+const NetPoint kNetPoints[] = {
+    {"parallel-machine (1 GB/s, 10us)", 1e9, 1e-5},
+    {"datacenter (100 MB/s, 0.2ms)", 1e8, 2e-4},
+    {"fast-wan (10 MB/s, 2ms)", 1e7, 2e-3},
+    {"paper-wan (4 MB/s, 5ms)", 4.0 * 1024 * 1024, 5e-3},
+    {"slow-wan (512 KB/s, 20ms)", 512.0 * 1024, 2e-2},
+    {"dialup-ish (64 KB/s, 80ms)", 64.0 * 1024, 8e-2},
+};
+
+void BM_NetworkAblation(benchmark::State& state) {
+  const NetPoint& point = kNetPoints[state.range(0)];
+  const bool optimized = state.range(1) != 0;
+  Warehouse& warehouse = GetWarehouse(DefaultSpec());
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = point.bandwidth;
+  net.latency_sec = point.latency;
+  warehouse.set_network_config(net);
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  const OptimizerOptions options =
+      optimized ? OptimizerOptions::All() : OptimizerOptions::None();
+  for (auto _ : state) {
+    auto result = warehouse.Execute(query, options);
+    if (!result.ok()) std::abort();
+    state.SetIterationTime(result->metrics.ResponseSeconds());
+    state.counters["comm_s"] = result->metrics.CommSeconds();
+    state.counters["site_s"] = result->metrics.SiteCpuSeconds();
+  }
+  state.SetLabel(std::string(point.name) +
+                 (optimized ? "/optimized" : "/naive"));
+}
+BENCHMARK(BM_NetworkAblation)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintTable() {
+  Warehouse& warehouse = GetWarehouse(DefaultSpec());
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  std::printf("\n=== Optimization win vs network regime (combined query, "
+              "8 sites) ===\n");
+  std::printf("%-36s %12s %12s %9s\n", "network", "naive[s]",
+              "optimized[s]", "speedup");
+  for (const NetPoint& point : kNetPoints) {
+    NetworkConfig net;
+    net.bandwidth_bytes_per_sec = point.bandwidth;
+    net.latency_sec = point.latency;
+    warehouse.set_network_config(net);
+    auto naive = warehouse.Execute(query, OptimizerOptions::None());
+    auto optimized = warehouse.Execute(query, OptimizerOptions::All());
+    if (!naive.ok() || !optimized.ok()) std::abort();
+    std::printf("%-36s %12.3f %12.3f %8.2fx\n", point.name,
+                naive->metrics.ResponseSeconds(),
+                optimized->metrics.ResponseSeconds(),
+                naive->metrics.ResponseSeconds() /
+                    optimized->metrics.ResponseSeconds());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTable();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: heterogeneous sites. Each synchronized round waits for its
+// slowest site, so one slow local warehouse gates the whole query. Sweeps
+// the straggler's relative speed and shows the effect on the combined
+// query, with and without the optimizations (fewer rounds → fewer times
+// the straggler is waited for), and with streaming synchronization.
+//
+//   ./bench_ablation_straggler
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skalla;
+using bench::MustExecute;
+
+std::unique_ptr<Warehouse> MakeWarehouse(double straggler_scale) {
+  TpcConfig config;
+  config.num_rows = 60000;
+  config.num_customers = 4000;
+  config.num_nations = 24;
+  Table tpcr = GenerateTpcr(config);
+  auto warehouse = std::make_unique<Warehouse>(8);
+  Status status = warehouse->LoadByRange("TPCR", tpcr, "NationKey", 0, 23,
+                                         {"CustKey"});
+  if (!status.ok()) std::abort();
+  warehouse->site(3).set_compute_scale(straggler_scale);
+  return warehouse;
+}
+
+void BM_Straggler(benchmark::State& state) {
+  const double scale = 1.0 / static_cast<double>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  auto warehouse = MakeWarehouse(scale);
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  const OptimizerOptions options =
+      optimized ? OptimizerOptions::All() : OptimizerOptions::None();
+  for (auto _ : state) {
+    QueryResult result = MustExecute(*warehouse, query, options);
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+    state.counters["site_max_s"] = result.metrics.SiteCpuSeconds();
+  }
+  state.SetLabel(std::string("slowdown-x") +
+                 std::to_string(state.range(0)) +
+                 (optimized ? "/optimized" : "/naive"));
+}
+BENCHMARK(BM_Straggler)
+    ->ArgsProduct({{1, 4, 16, 64}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintTable() {
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  std::printf("\n=== Straggler ablation: one of 8 sites slowed, combined "
+              "query, response [s] ===\n");
+  std::printf("%-12s %10s %12s %14s\n", "slowdown", "naive",
+              "all-reductions", "+streaming");
+  for (int slowdown : {1, 4, 16, 64}) {
+    auto warehouse = MakeWarehouse(1.0 / slowdown);
+    QueryResult naive =
+        MustExecute(*warehouse, query, OptimizerOptions::None());
+    QueryResult optimized =
+        MustExecute(*warehouse, query, OptimizerOptions::All());
+    NetworkConfig streaming_net = warehouse->network_config();
+    streaming_net.streaming_sync = true;
+    warehouse->set_network_config(streaming_net);
+    QueryResult streaming =
+        MustExecute(*warehouse, query, OptimizerOptions::All());
+    std::printf("%-12s %10.3f %12.3f %14.3f\n",
+                ("x" + std::to_string(slowdown)).c_str(),
+                naive.metrics.ResponseSeconds(),
+                optimized.metrics.ResponseSeconds(),
+                streaming.metrics.ResponseSeconds());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTable();
+  return 0;
+}

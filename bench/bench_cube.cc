@@ -1,0 +1,104 @@
+// Ablation: distributed data-cube strategies (cube/cube.h).
+//
+// kPerGroupingSet pays one distributed query per subset of the dimensions;
+// kRollupFromFinest ships decomposed sub-aggregates once and rolls the
+// lattice up at the coordinator. The gap widens exponentially with the
+// number of dimensions.
+//
+//   ./bench_cube
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cube/cube.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::WarehouseSpec;
+
+const std::vector<std::string>& AllDims() {
+  static const std::vector<std::string> dims = {
+      "RegionKey", "MktSegment", "OrderPriority", "ShipMode"};
+  return dims;
+}
+
+CubeSpec SpecForDims(int num_dims) {
+  CubeSpec spec;
+  spec.table = "TPCR";
+  spec.dims.assign(AllDims().begin(), AllDims().begin() + num_dims);
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("Quantity", "qty"),
+               AggSpec::Avg("ExtendedPrice", "avg_price")};
+  return spec;
+}
+
+Warehouse& CubeWarehouse() {
+  WarehouseSpec spec;
+  spec.sites = 8;
+  spec.rows_per_site = 8000;
+  spec.groups_per_site = 400;
+  return GetWarehouse(spec);
+}
+
+void BM_Cube(benchmark::State& state) {
+  const int num_dims = static_cast<int>(state.range(0));
+  const CubeStrategy strategy = state.range(1) != 0
+                                    ? CubeStrategy::kRollupFromFinest
+                                    : CubeStrategy::kPerGroupingSet;
+  Warehouse& warehouse = CubeWarehouse();
+  const CubeSpec spec = SpecForDims(num_dims);
+  for (auto _ : state) {
+    auto result =
+        CubeDistributed(warehouse, spec, strategy, OptimizerOptions::All());
+    if (!result.ok()) std::abort();
+    state.SetIterationTime(result->response_seconds);
+    state.counters["bytes"] = static_cast<double>(result->total_bytes);
+    state.counters["queries"] = result->distributed_queries;
+    state.counters["cube_rows"] =
+        static_cast<double>(result->table.num_rows());
+  }
+  state.SetLabel(strategy == CubeStrategy::kRollupFromFinest
+                     ? "rollup-from-finest"
+                     : "per-grouping-set");
+}
+BENCHMARK(BM_Cube)
+    ->ArgsProduct({{1, 2, 3, 4}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintTable() {
+  Warehouse& warehouse = CubeWarehouse();
+  std::printf("\n=== Distributed cube: per-grouping-set vs rollup ===\n");
+  std::printf("%-6s %-12s | %10s %12s | %10s %12s | %8s\n", "dims",
+              "cube rows", "queries", "bytes(set)", "queries",
+              "bytes(rollup)", "traffic");
+  for (int d = 1; d <= 4; ++d) {
+    const CubeSpec spec = SpecForDims(d);
+    auto per_set = CubeDistributed(warehouse, spec,
+                                   CubeStrategy::kPerGroupingSet,
+                                   OptimizerOptions::All());
+    auto rollup = CubeDistributed(warehouse, spec,
+                                  CubeStrategy::kRollupFromFinest,
+                                  OptimizerOptions::All());
+    if (!per_set.ok() || !rollup.ok()) std::abort();
+    std::printf("%-6d %-12lld | %10d %12zu | %10d %12zu | %7.2fx\n", d,
+                static_cast<long long>(rollup->table.num_rows()),
+                per_set->distributed_queries, per_set->total_bytes,
+                rollup->distributed_queries, rollup->total_bytes,
+                static_cast<double>(per_set->total_bytes) /
+                    static_cast<double>(rollup->total_bytes));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTable();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 4 of the paper: the *synchronization reduction query* speed-up
+// experiment.
+//
+// Two *correlated* GMDJ operators (the second θ references the first's
+// AVG), so coalescing cannot fire; but every θ entails equality on the
+// grouping attribute, which is a partition attribute (CustKey under the
+// NationKey partitioning). Synchronization reduction (Prop. 2 + Cor. 1)
+// evaluates the whole chain locally in a single round.
+//
+// Left panel: high-cardinality grouping — unoptimized evaluation time grows
+// quadratically with the number of sites, sync-reduced grows linearly.
+// Right panel: low-cardinality grouping — a smaller but present win.
+//
+//   ./bench_fig4_sync_reduction
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::MustExecute;
+using bench::WarehouseSpec;
+
+// High cardinality: many customers per site. Low cardinality: the paper's
+// 2000–4000 unique values — realized as a *data* property (few customers),
+// with the same partition-correlated grouping attribute.
+WarehouseSpec SpecForSites(int sites, bool high_card) {
+  WarehouseSpec spec;
+  spec.sites = sites;
+  spec.rows_per_site = 20000;
+  spec.groups_per_site = high_card ? 1200 : 3000 / sites;
+  spec.seed = high_card ? 42 : 43;
+  return spec;
+}
+
+OptimizerOptions SyncReduced() {
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  return options;
+}
+
+void BM_SyncReduction(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const bool high_card = state.range(1) != 0;
+  const bool reduced = state.range(2) != 0;
+  Warehouse& warehouse = GetWarehouse(SpecForSites(sites, high_card));
+  const GmdjExpr query = queries::SyncReductionQuery("CustKey");
+  const OptimizerOptions options =
+      reduced ? SyncReduced() : OptimizerOptions::None();
+  for (auto _ : state) {
+    QueryResult result = MustExecute(warehouse, query, options);
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+    state.counters["bytes"] =
+        static_cast<double>(result.metrics.TotalBytes());
+    state.counters["rounds"] = result.metrics.NumRounds();
+  }
+  state.SetLabel(std::string(high_card ? "high-card" : "low-card") +
+                 (reduced ? "/sync-reduced" : "/unoptimized"));
+}
+BENCHMARK(BM_SyncReduction)
+    ->ArgsProduct({{1, 2, 3, 4, 6, 8}, {0, 1}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintPaperFigure() {
+  const std::vector<int> site_counts = {1, 2, 3, 4, 6, 8};
+  const GmdjExpr query = queries::SyncReductionQuery("CustKey");
+  for (const bool high_card : {true, false}) {
+    std::printf("\n=== Figure 4 (%s): %s-cardinality sync reduction query, "
+                "evaluation time [s] ===\n",
+                high_card ? "left" : "right", high_card ? "high" : "low");
+    std::printf("%-6s %14s %14s %10s %8s\n", "sites", "unoptimized",
+                "sync-reduced", "speedup", "rounds");
+    for (int sites : site_counts) {
+      Warehouse& warehouse = GetWarehouse(SpecForSites(sites, high_card));
+      QueryResult plain =
+          MustExecute(warehouse, query, OptimizerOptions::None());
+      QueryResult reduced = MustExecute(warehouse, query, SyncReduced());
+      std::printf("%-6d %14.3f %14.3f %9.2fx %4d->%d\n", sites,
+                  plain.metrics.ResponseSeconds(),
+                  reduced.metrics.ResponseSeconds(),
+                  plain.metrics.ResponseSeconds() /
+                      reduced.metrics.ResponseSeconds(),
+                  plain.metrics.NumRounds(), reduced.metrics.NumRounds());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintPaperFigure();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Figure 5 of the paper: the *combined reductions query* scale-up
+// experiment.
+//
+// The number of sites is fixed at four and the per-site data set grows
+// ×1..×4. The combined query exercises every optimization (coalescing,
+// both group reductions, synchronization reduction); it is run with all of
+// them enabled and with none. The paper reports:
+//  - both curves grow linearly with data size (left panel),
+//  - the optimizations cut evaluation time roughly in half,
+//  - the optimized run's breakdown into site computation, coordinator
+//    computation, and communication grows linearly in each component
+//    (right panel).
+// A second series holds the number of groups constant while the data
+// grows, which the paper reports behaves comparably.
+//
+//   ./bench_fig5_combined
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::MustExecute;
+using bench::WarehouseSpec;
+
+constexpr int kSites = 4;
+constexpr int64_t kBaseRowsPerSite = 15000;
+constexpr int64_t kBaseGroupsPerSite = 1000;
+
+WarehouseSpec SpecForScale(int scale, bool growing_groups) {
+  WarehouseSpec spec;
+  spec.sites = kSites;
+  spec.rows_per_site = kBaseRowsPerSite * scale;
+  spec.groups_per_site =
+      growing_groups ? kBaseGroupsPerSite * scale : kBaseGroupsPerSite;
+  spec.seed = growing_groups ? 42 : 44;
+  return spec;
+}
+
+void BM_CombinedScaleUp(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const bool growing_groups = state.range(1) != 0;
+  const bool optimized = state.range(2) != 0;
+  Warehouse& warehouse = GetWarehouse(SpecForScale(scale, growing_groups));
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  const OptimizerOptions options =
+      optimized ? OptimizerOptions::All() : OptimizerOptions::None();
+  for (auto _ : state) {
+    QueryResult result = MustExecute(warehouse, query, options);
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+    state.counters["bytes"] =
+        static_cast<double>(result.metrics.TotalBytes());
+    state.counters["site_s"] = result.metrics.SiteCpuSeconds();
+    state.counters["coord_s"] = result.metrics.CoordCpuSeconds();
+    state.counters["comm_s"] = result.metrics.CommSeconds();
+  }
+  state.SetLabel(std::string(growing_groups ? "groups-grow" : "groups-const") +
+                 (optimized ? "/all-reductions" : "/none"));
+}
+BENCHMARK(BM_CombinedScaleUp)
+    ->ArgsProduct({{1, 2, 3, 4}, {0, 1}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintPaperFigure() {
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  for (const bool growing_groups : {true, false}) {
+    std::printf("\n=== Figure 5 (left): combined reductions query, 4 sites, "
+                "data x1..x4 (%s) ===\n",
+                growing_groups ? "groups grow with data"
+                               : "constant group count");
+    std::printf("%-6s %14s %14s %10s\n", "scale", "unoptimized",
+                "all-reductions", "speedup");
+    std::vector<QueryResult> optimized_runs;
+    for (int scale = 1; scale <= 4; ++scale) {
+      Warehouse& warehouse =
+          GetWarehouse(SpecForScale(scale, growing_groups));
+      QueryResult plain =
+          MustExecute(warehouse, query, OptimizerOptions::None());
+      QueryResult optimized =
+          MustExecute(warehouse, query, OptimizerOptions::All());
+      std::printf("%-6d %14.3f %14.3f %9.2fx\n", scale,
+                  plain.metrics.ResponseSeconds(),
+                  optimized.metrics.ResponseSeconds(),
+                  plain.metrics.ResponseSeconds() /
+                      optimized.metrics.ResponseSeconds());
+      optimized_runs.push_back(std::move(optimized));
+    }
+    std::printf("\n=== Figure 5 (right): optimized-run cost breakdown [s] "
+                "===\n");
+    std::printf("%-6s %12s %12s %12s %12s\n", "scale", "site-cpu",
+                "coord-cpu", "comm", "total");
+    for (int scale = 1; scale <= 4; ++scale) {
+      const ExecutionMetrics& m =
+          optimized_runs[static_cast<size_t>(scale - 1)].metrics;
+      std::printf("%-6d %12.3f %12.3f %12.3f %12.3f\n", scale,
+                  m.SiteCpuSeconds(), m.CoordCpuSeconds(), m.CommSeconds(),
+                  m.ResponseSeconds());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintPaperFigure();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Theorem 2 of the paper: the data transferred by Alg. GMDJDistribEval is
+// bounded by Σ_i (2·s_i·|Q|) + s_0·|Q| groups — *independent of the size
+// of the detail relation*. This harness verifies the bound across the
+// canonical queries and shows the detail-size independence by growing the
+// fact relation while the group count (and hence traffic) stays flat.
+//
+//   ./bench_traffic_bound
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/coordinator.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::MustExecute;
+using bench::WarehouseSpec;
+
+void BM_TrafficVsDetailSize(benchmark::State& state) {
+  const int64_t rows_per_site = state.range(0);
+  WarehouseSpec spec;
+  spec.sites = 4;
+  spec.rows_per_site = rows_per_site;
+  spec.groups_per_site = 500;  // constant groups: traffic must stay flat
+  Warehouse& warehouse = GetWarehouse(spec);
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  for (auto _ : state) {
+    QueryResult result =
+        MustExecute(warehouse, query, OptimizerOptions::None());
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+    state.counters["bytes"] =
+        static_cast<double>(result.metrics.TotalBytes());
+    state.counters["groups"] = static_cast<double>(
+        result.metrics.GroupsToSites() + result.metrics.GroupsToCoord());
+  }
+}
+BENCHMARK(BM_TrafficVsDetailSize)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Arg(40000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintBoundTable() {
+  std::printf("\n=== Theorem 2: group-transfer bound "
+              "(sum 2*s_i*|Q| + s_0*|Q|) ===\n");
+  std::printf("%-28s %10s %12s %12s %8s\n", "query", "|Q|", "transferred",
+              "bound", "ok");
+  WarehouseSpec spec;
+  spec.sites = 8;
+  spec.rows_per_site = 10000;
+  spec.groups_per_site = 400;
+  Warehouse& warehouse = GetWarehouse(spec);
+
+  struct NamedQuery {
+    const char* name;
+    GmdjExpr expr;
+  } named[] = {
+      {"group_reduction(CustKey)", queries::GroupReductionQuery("CustKey")},
+      {"group_reduction(CustName)",
+       queries::GroupReductionQuery("CustName")},
+      {"coalescing(ClerkKey)", queries::CoalescingQuery("ClerkKey")},
+      {"sync_reduction(CustKey)", queries::SyncReductionQuery("CustKey")},
+      {"combined(CustKey)", queries::CombinedQuery("CustKey")},
+      {"combined(NationKey)", queries::CombinedQuery("NationKey")},
+  };
+  for (const NamedQuery& q : named) {
+    QueryResult result =
+        MustExecute(warehouse, q.expr, OptimizerOptions::None());
+    const int64_t transferred =
+        result.metrics.GroupsToSites() + result.metrics.GroupsToCoord();
+    const int64_t bound = TheoremTwoGroupBound(result.plan, 8,
+                                               result.table.num_rows());
+    std::printf("%-28s %10lld %12lld %12lld %8s\n", q.name,
+                static_cast<long long>(result.table.num_rows()),
+                static_cast<long long>(transferred),
+                static_cast<long long>(bound),
+                transferred <= bound ? "yes" : "VIOLATED");
+  }
+
+  std::printf("\n=== Detail-size independence (constant groups, growing "
+              "fact relation) ===\n");
+  std::printf("%-14s %12s %12s\n", "rows/site", "groups-xfer", "bytes");
+  for (int64_t rows : {5000, 10000, 20000, 40000}) {
+    WarehouseSpec grow_spec;
+    grow_spec.sites = 4;
+    grow_spec.rows_per_site = rows;
+    grow_spec.groups_per_site = 500;
+    Warehouse& wh = GetWarehouse(grow_spec);
+    QueryResult result = MustExecute(
+        wh, queries::GroupReductionQuery("CustKey"), OptimizerOptions::None());
+    std::printf("%-14lld %12lld %12zu\n", static_cast<long long>(rows),
+                static_cast<long long>(result.metrics.GroupsToSites() +
+                                       result.metrics.GroupsToCoord()),
+                result.metrics.TotalBytes());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintBoundTable();
+  return 0;
+}

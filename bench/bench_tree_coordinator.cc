@@ -1,0 +1,93 @@
+// Future-work exploration (paper Sect. 6): multi-tier coordinator
+// architectures. Compares the flat coordinator against k-ary aggregation
+// trees for the group-reduction workload, across site counts and fan-ins,
+// under a bandwidth-constrained network where the flat root link is the
+// bottleneck.
+//
+//   ./bench_tree_coordinator
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::WarehouseSpec;
+
+WarehouseSpec SpecForSites(int sites) {
+  WarehouseSpec spec;
+  spec.sites = sites;
+  spec.rows_per_site = 8000;
+  spec.groups_per_site = 800;
+  return spec;
+}
+
+NetworkConfig ConstrainedNetwork() {
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 512.0 * 1024;
+  net.latency_sec = 0.002;
+  return net;
+}
+
+/// fan_in = 0 encodes the flat coordinator.
+void BM_TreeVsFlat(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const int fan_in = static_cast<int>(state.range(1));
+  Warehouse& warehouse = GetWarehouse(SpecForSites(sites));
+  warehouse.set_network_config(ConstrainedNetwork());
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  auto plan = warehouse.Plan(query, OptimizerOptions::None());
+  if (!plan.ok()) std::abort();
+  for (auto _ : state) {
+    auto result = fan_in == 0 ? warehouse.ExecutePlan(*plan)
+                              : warehouse.ExecutePlanTree(*plan, fan_in);
+    if (!result.ok()) std::abort();
+    state.SetIterationTime(result->metrics.ResponseSeconds());
+    state.counters["comm_s"] = result->metrics.CommSeconds();
+    state.counters["bytes"] =
+        static_cast<double>(result->metrics.TotalBytes());
+  }
+  state.SetLabel(fan_in == 0 ? "flat" : "tree-fanin-" + std::to_string(fan_in));
+}
+BENCHMARK(BM_TreeVsFlat)
+    ->ArgsProduct({{4, 8, 16}, {0, 2, 4}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintTable() {
+  std::printf("\n=== Flat vs tree coordinator, group reduction query, "
+              "modelled comm time [s] ===\n");
+  std::printf("%-6s %10s %10s %10s %10s\n", "sites", "flat", "fanin-2",
+              "fanin-4", "best");
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  for (int sites : {4, 8, 16}) {
+    Warehouse& warehouse = GetWarehouse(SpecForSites(sites));
+    warehouse.set_network_config(ConstrainedNetwork());
+    auto plan = warehouse.Plan(query, OptimizerOptions::None());
+    if (!plan.ok()) std::abort();
+    auto flat = warehouse.ExecutePlan(*plan);
+    auto tree2 = warehouse.ExecutePlanTree(*plan, 2);
+    auto tree4 = warehouse.ExecutePlanTree(*plan, 4);
+    if (!flat.ok() || !tree2.ok() || !tree4.ok()) std::abort();
+    const double f = flat->metrics.CommSeconds();
+    const double t2 = tree2->metrics.CommSeconds();
+    const double t4 = tree4->metrics.CommSeconds();
+    const char* best = f <= t2 && f <= t4 ? "flat"
+                       : (t2 <= t4 ? "fanin-2" : "fanin-4");
+    std::printf("%-6d %10.3f %10.3f %10.3f %10s\n", sites, f, t2, t4, best);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTable();
+  return 0;
+}

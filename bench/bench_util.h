@@ -1,0 +1,90 @@
+#ifndef SKALLA_BENCH_BENCH_UTIL_H_
+#define SKALLA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace bench {
+
+/// Parameters of a benchmark warehouse. The paper's speed-up experiments
+/// hold per-site data constant and vary the number of sites (every added
+/// site brings its own partition, so total data and total groups grow
+/// linearly with n); the scale-up experiments hold sites constant and grow
+/// the per-site data.
+struct WarehouseSpec {
+  int sites = 8;
+  int64_t rows_per_site = 25000;
+  int64_t groups_per_site = 1500;  ///< customers per site (high cardinality)
+  int64_t clerks = 3000;           ///< low-cardinality attribute uniques
+  uint64_t seed = 42;
+
+  bool operator<(const WarehouseSpec& other) const {
+    return std::tie(sites, rows_per_site, groups_per_site, clerks, seed) <
+           std::tie(other.sites, other.rows_per_site, other.groups_per_site,
+                    other.clerks, other.seed);
+  }
+};
+
+/// Builds (and caches across benchmark repetitions) a TPCR warehouse with
+/// `spec.sites` sites partitioned on NationKey, with CustKey/ClerkKey
+/// profiled so that CustKey is a provable partition attribute.
+inline Warehouse& GetWarehouse(const WarehouseSpec& spec) {
+  static std::map<WarehouseSpec, std::unique_ptr<Warehouse>>& cache =
+      *new std::map<WarehouseSpec, std::unique_ptr<Warehouse>>();
+  auto it = cache.find(spec);
+  if (it != cache.end()) return *it->second;
+
+  TpcConfig config;
+  config.num_rows = spec.rows_per_site * spec.sites;
+  config.num_customers = spec.groups_per_site * spec.sites;
+  config.num_clerks = spec.clerks;
+  // 24 nations divide evenly for most site counts; customers are
+  // block-mapped onto nations, so a NationKey range partitioning puts each
+  // site's customers wholly on that site.
+  config.num_nations = 24;
+  config.seed = spec.seed;
+  Table tpcr = GenerateTpcr(config);
+
+  auto warehouse = std::make_unique<Warehouse>(spec.sites);
+  Status status =
+      warehouse->LoadByRange("TPCR", tpcr, "NationKey", 0,
+                             config.num_nations - 1, {"CustKey", "ClerkKey"});
+  if (!status.ok()) {
+    std::fprintf(stderr, "warehouse load failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  auto [inserted, ok] = cache.emplace(spec, std::move(warehouse));
+  (void)ok;
+  return *inserted->second;
+}
+
+/// Executes and returns the result, aborting on error (benchmark context).
+inline QueryResult MustExecute(Warehouse& warehouse, const GmdjExpr& query,
+                               const OptimizerOptions& options) {
+  auto result = warehouse.Execute(query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueUnsafe();
+}
+
+/// Prints one row of a paper-style series table.
+inline void PrintSeriesHeader(const char* title, const char* cols) {
+  std::printf("\n%s\n%s\n", title, cols);
+}
+
+}  // namespace bench
+}  // namespace skalla
+
+#endif  // SKALLA_BENCH_BENCH_UTIL_H_

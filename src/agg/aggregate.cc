@@ -1,0 +1,292 @@
+#include "agg/aggregate.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+/// Null-aware numeric addition with int64 → double promotion.
+Value AddValues(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.is_int64() && b.is_int64()) return Value(a.AsInt64() + b.AsInt64());
+  return Value(a.ToDouble() + b.ToDouble());
+}
+
+Value MinValue(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return a.Compare(b) <= 0 ? a : b;
+}
+
+Value MaxValue(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return a.Compare(b) >= 0 ? a : b;
+}
+
+}  // namespace
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kVar:
+      return "var";
+    case AggFunc::kStdDev:
+      return "stddev";
+  }
+  return "?";
+}
+
+Result<AggFunc> AggFuncFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "count" || lower == "cnt") return AggFunc::kCount;
+  if (lower == "sum") return AggFunc::kSum;
+  if (lower == "min") return AggFunc::kMin;
+  if (lower == "max") return AggFunc::kMax;
+  if (lower == "avg" || lower == "average") return AggFunc::kAvg;
+  if (lower == "var" || lower == "variance") return AggFunc::kVar;
+  if (lower == "stddev" || lower == "std") return AggFunc::kStdDev;
+  return Status::InvalidArgument("unknown aggregate function '" + name + "'");
+}
+
+std::string AggSpec::ToString() const {
+  return StrFormat("%s(%s) -> %s", AggFuncToString(func), input.c_str(),
+                   output.c_str());
+}
+
+int SubArity(AggFunc func) {
+  switch (func) {
+    case AggFunc::kAvg:
+      return 2;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+Result<ValueType> InputType(const AggSpec& spec, const Schema& detail) {
+  if (spec.is_count_star()) return ValueType::kInt64;
+  SKALLA_ASSIGN_OR_RETURN(int idx, detail.MustIndexOf(spec.input));
+  return detail.field(idx).type;
+}
+
+}  // namespace
+
+Result<Field> FinalFieldFor(const AggSpec& spec, const Schema& detail) {
+  SKALLA_ASSIGN_OR_RETURN(ValueType input_type, InputType(spec, detail));
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return Field{spec.output, ValueType::kInt64};
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      if (input_type == ValueType::kString) {
+        return Status::TypeError(StrFormat("%s over string column '%s'",
+                                           AggFuncToString(spec.func),
+                                           spec.input.c_str()));
+      }
+      return Field{spec.output, spec.func == AggFunc::kSum
+                                    ? input_type
+                                    : ValueType::kDouble};
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return Field{spec.output, input_type};
+  }
+  return Status::Internal("unreachable agg func");
+}
+
+Result<std::vector<Field>> SubFieldsFor(const AggSpec& spec,
+                                        const Schema& detail) {
+  if (spec.func == AggFunc::kAvg || spec.func == AggFunc::kVar ||
+      spec.func == AggFunc::kStdDev) {
+    SKALLA_ASSIGN_OR_RETURN(ValueType input_type, InputType(spec, detail));
+    if (input_type == ValueType::kString) {
+      return Status::TypeError(StrFormat("%s over string column '%s'",
+                                         AggFuncToString(spec.func),
+                                         spec.input.c_str()));
+    }
+    std::vector<Field> fields{Field{spec.output + "__sum", input_type}};
+    if (spec.func != AggFunc::kAvg) {
+      fields.push_back(Field{spec.output + "__sumsq", input_type});
+    }
+    fields.push_back(Field{spec.output + "__cnt", ValueType::kInt64});
+    return fields;
+  }
+  SKALLA_ASSIGN_OR_RETURN(Field f, FinalFieldFor(spec, detail));
+  return std::vector<Field>{std::move(f)};
+}
+
+void InitSubValues(AggFunc func, Value* out) {
+  switch (func) {
+    case AggFunc::kCount:
+      out[0] = Value(int64_t{0});
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out[0] = Value::Null();
+      return;
+    case AggFunc::kAvg:
+      out[0] = Value::Null();
+      out[1] = Value(int64_t{0});
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      out[0] = Value::Null();
+      out[1] = Value::Null();
+      out[2] = Value(int64_t{0});
+      return;
+  }
+}
+
+void MergeSubValues(AggFunc func, const Value* sub, Value* acc) {
+  switch (func) {
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+      acc[0] = AddValues(acc[0], sub[0]);
+      return;
+    case AggFunc::kMin:
+      acc[0] = MinValue(acc[0], sub[0]);
+      return;
+    case AggFunc::kMax:
+      acc[0] = MaxValue(acc[0], sub[0]);
+      return;
+    case AggFunc::kAvg:
+      acc[0] = AddValues(acc[0], sub[0]);
+      acc[1] = AddValues(acc[1], sub[1]);
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      acc[0] = AddValues(acc[0], sub[0]);
+      acc[1] = AddValues(acc[1], sub[1]);
+      acc[2] = AddValues(acc[2], sub[2]);
+      return;
+  }
+}
+
+Value FinalizeSubValues(AggFunc func, const Value* acc) {
+  switch (func) {
+    case AggFunc::kCount:
+      return acc[0].is_null() ? Value(int64_t{0}) : acc[0];
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return acc[0];
+    case AggFunc::kAvg: {
+      const int64_t cnt = acc[1].is_null() ? 0 : acc[1].AsInt64();
+      if (cnt == 0 || acc[0].is_null()) return Value::Null();
+      return Value(acc[0].ToDouble() / static_cast<double>(cnt));
+    }
+    case AggFunc::kVar:
+    case AggFunc::kStdDev: {
+      const int64_t cnt = acc[2].is_null() ? 0 : acc[2].AsInt64();
+      if (cnt == 0 || acc[0].is_null() || acc[1].is_null()) {
+        return Value::Null();
+      }
+      const double n = static_cast<double>(cnt);
+      const double mean = acc[0].ToDouble() / n;
+      double variance = acc[1].ToDouble() / n - mean * mean;
+      if (variance < 0) variance = 0;  // numeric noise guard
+      return Value(func == AggFunc::kVar ? variance
+                                         : std::sqrt(variance));
+    }
+  }
+  return Value::Null();
+}
+
+void AggState::Update(const Value& v) {
+  if (v.is_null()) return;
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      acc_ = AddValues(acc_, v);
+      ++count_;
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev: {
+      acc_ = AddValues(acc_, v);
+      const Value square = v.is_int64()
+                               ? Value(v.AsInt64() * v.AsInt64())
+                               : Value(v.ToDouble() * v.ToDouble());
+      acc_sq_ = AddValues(acc_sq_, square);
+      ++count_;
+      return;
+    }
+    case AggFunc::kMin:
+      acc_ = MinValue(acc_, v);
+      ++count_;
+      return;
+    case AggFunc::kMax:
+      acc_ = MaxValue(acc_, v);
+      ++count_;
+      return;
+  }
+}
+
+void AggState::EmitSub(std::vector<Value>* out) const {
+  switch (func_) {
+    case AggFunc::kCount:
+      out->push_back(Value(count_));
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out->push_back(acc_);
+      return;
+    case AggFunc::kAvg:
+      out->push_back(acc_);
+      out->push_back(Value(count_));
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      out->push_back(acc_);
+      out->push_back(acc_sq_);
+      out->push_back(Value(count_));
+      return;
+  }
+}
+
+Value AggState::Final() const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return Value(count_);
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return acc_;
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value(acc_.ToDouble() / static_cast<double>(count_));
+    case AggFunc::kVar:
+    case AggFunc::kStdDev: {
+      if (count_ == 0) return Value::Null();
+      Value sub[3] = {acc_, acc_sq_, Value(count_)};
+      return FinalizeSubValues(func_, sub);
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace skalla

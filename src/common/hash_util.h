@@ -1,0 +1,33 @@
+#ifndef SKALLA_COMMON_HASH_UTIL_H_
+#define SKALLA_COMMON_HASH_UTIL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace skalla {
+
+/// 64-bit hash combiner (boost-style with a 64-bit golden-ratio constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Mixes the bits of a 64-bit integer (finalizer from splitmix64).
+inline uint64_t HashInt64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_HASH_UTIL_H_

@@ -1,0 +1,59 @@
+#ifndef SKALLA_COMMON_LOGGING_H_
+#define SKALLA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace skalla {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+///
+/// Defaults to kWarning so that library code is quiet in tests and
+/// benchmarks. Examples raise it to kInfo for narration.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// One log statement; streams into an internal buffer and emits on
+/// destruction. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace skalla
+
+#define SKALLA_LOG(level)                                             \
+  ::skalla::internal::LogMessage(::skalla::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)
+
+/// Checks an invariant in all build modes; aborts with a message on failure.
+#define SKALLA_CHECK(cond)                                            \
+  if (!(cond))                                                        \
+  SKALLA_LOG(Fatal) << "check failed: " #cond << " "
+
+#define SKALLA_DCHECK(cond) SKALLA_CHECK(cond)
+
+#endif  // SKALLA_COMMON_LOGGING_H_

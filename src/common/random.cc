@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace skalla {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  SKALLA_CHECK(lo <= hi) << "Uniform(" << lo << ", " << hi << ")";
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(Next64());
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw = Next64();
+  while (draw >= limit) draw = Next64();
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Chance(double p) { return UniformDouble() < p; }
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  SKALLA_CHECK(n > 0);
+  if (s <= 0.0) return Uniform(0, n - 1);
+  // Approximate inversion of the Zipf CDF via the continuous analogue
+  // (bounded Pareto); adequate for workload skew generation.
+  const double u = UniformDouble();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    const double x = std::exp(u * hn) - 1.0;
+    int64_t rank = static_cast<int64_t>(x);
+    if (rank >= n) rank = n - 1;
+    return rank;
+  }
+  const double one_minus_s = 1.0 - s;
+  const double top = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+  const double x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s) - 1.0;
+  int64_t rank = static_cast<int64_t>(x);
+  if (rank >= n) rank = n - 1;
+  if (rank < 0) rank = 0;
+  return rank;
+}
+
+std::string Rng::AlphaString(int length) {
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace skalla

@@ -1,0 +1,56 @@
+#ifndef SKALLA_COMMON_RANDOM_H_
+#define SKALLA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skalla {
+
+/// \brief Deterministic pseudo-random generator (splitmix64/xoshiro mix).
+///
+/// All data generators and property tests in Skalla draw from this class so
+/// that every experiment is reproducible from a seed. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5ca11aULL) { Reseed(seed); }
+
+  /// Resets the stream to the given seed.
+  void Reseed(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter s (s=0 uniform).
+  /// Uses rejection-free inverse-CDF over a precomputed table for small n,
+  /// falling back to approximate inversion for large n.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Random lower-case ASCII string of the given length.
+  std::string AlphaString(int length);
+
+  /// Picks one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_RANDOM_H_

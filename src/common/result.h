@@ -1,0 +1,91 @@
+#ifndef SKALLA_COMMON_RESULT_H_
+#define SKALLA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace skalla {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Result<T> is the return type of every fallible operation that produces a
+/// value (no exceptions are used anywhere in Skalla). Typical call sites use
+/// the SKALLA_ASSIGN_OR_RETURN macro from status.h:
+///
+/// \code
+///   SKALLA_ASSIGN_OR_RETURN(Table t, catalog.GetTable("flow"));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: enables `return my_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error Status: enables `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+
+  /// The error (or OK when a value is present).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// The value; must only be called when ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The value, aborting the process with the error message when !ok().
+  /// Intended for examples, benchmarks and tests.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return *value_;
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_RESULT_H_

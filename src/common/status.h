@@ -1,0 +1,106 @@
+#ifndef SKALLA_COMMON_STATUS_H_
+#define SKALLA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace skalla {
+
+/// \brief Machine-readable category of a Status.
+///
+/// Skalla does not use C++ exceptions; every fallible operation returns a
+/// Status (or a Result<T>, see result.h). The codes mirror the small set of
+/// failure classes that occur in the system.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied malformed input (bad query, schema).
+  kNotFound,          ///< Named table, column, or site does not exist.
+  kAlreadyExists,     ///< Attempt to register a duplicate name.
+  kOutOfRange,        ///< Index or value outside the permitted domain.
+  kTypeError,         ///< Expression or aggregate applied to a wrong type.
+  kIoError,           ///< File or (simulated) network transfer failed.
+  kInternal,          ///< Invariant violation inside Skalla itself.
+  kNotImplemented,    ///< Feature intentionally unsupported.
+};
+
+/// \brief Returns the canonical lower-case name of a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation that produces no value.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// human-readable message otherwise. Use the factory helpers
+/// (Status::InvalidArgument(...) etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace skalla
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define SKALLA_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::skalla::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, and binds the
+/// unwrapped value to `lhs` on success.
+#define SKALLA_ASSIGN_OR_RETURN(lhs, expr)           \
+  SKALLA_ASSIGN_OR_RETURN_IMPL_(                     \
+      SKALLA_CONCAT_(_skalla_result_, __LINE__), lhs, expr)
+
+#define SKALLA_CONCAT_INNER_(x, y) x##y
+#define SKALLA_CONCAT_(x, y) SKALLA_CONCAT_INNER_(x, y)
+
+#define SKALLA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // SKALLA_COMMON_STATUS_H_

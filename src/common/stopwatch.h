@@ -1,0 +1,32 @@
+#ifndef SKALLA_COMMON_STOPWATCH_H_
+#define SKALLA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace skalla {
+
+/// \brief Wall-clock stopwatch used to attribute CPU time to plan phases.
+///
+/// Skalla simulates a multi-site warehouse in one process; per-site compute
+/// time is measured with this class and combined with the simulated network
+/// cost model (see net/cost_model.h) into a modelled response time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef SKALLA_COMMON_STRING_UTIL_H_
+#define SKALLA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skalla {
+
+/// Joins the elements of `parts` with `sep` between each pair.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on the (single-character) separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// Formats a byte count as a human-readable string ("1.5 MB").
+std::string HumanBytes(double bytes);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_STRING_UTIL_H_

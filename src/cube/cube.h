@@ -1,0 +1,86 @@
+#ifndef SKALLA_CUBE_CUBE_H_
+#define SKALLA_CUBE_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/result.h"
+#include "skalla/warehouse.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief A CUBE BY query (Gray et al., one of the OLAP query classes the
+/// paper targets): aggregates over every subset of the dimension columns.
+///
+/// The result relation has one column per dimension (NULL marking a
+/// rolled-up "ALL" position, as in SQL) followed by the aggregate outputs;
+/// it contains the union of all 2^d group-bys.
+struct CubeSpec {
+  std::string table;
+  std::vector<std::string> dims;
+  std::vector<AggSpec> aggs;
+};
+
+/// How the distributed warehouse evaluates a cube.
+enum class CubeStrategy {
+  /// One distributed GMDJ query per grouping set (2^d − 1 queries; the
+  /// grand total is rolled up at the coordinator). Simple, but each
+  /// grouping set pays its own rounds of traffic.
+  kPerGroupingSet,
+  /// A single distributed aggregation at the finest granularity ships
+  /// decomposed sub-aggregates once; the coordinator computes every
+  /// coarser grouping set locally by rolling up the lattice. Exploits the
+  /// same sub-/super-aggregate decomposition as Theorem 1, so traffic is
+  /// one round regardless of d.
+  kRollupFromFinest,
+};
+
+/// Cost accounting of a distributed cube evaluation.
+struct CubeExecution {
+  Table table;
+  int distributed_queries = 0;
+  int rounds = 0;
+  size_t total_bytes = 0;
+  double response_seconds = 0;
+};
+
+/// Centralized reference evaluation (2^d hash group-bys over the full
+/// relation).
+Result<Table> CubeCentralized(const CubeSpec& spec, const Table& source);
+
+/// Distributed evaluation over a loaded warehouse.
+Result<CubeExecution> CubeDistributed(Warehouse& warehouse,
+                                      const CubeSpec& spec,
+                                      CubeStrategy strategy,
+                                      const OptimizerOptions& options);
+
+/// \brief GROUPING SETS: the generalization underlying CUBE and ROLLUP.
+///
+/// Each mask selects a subset of spec.dims (bit i keeps dimension i); the
+/// result is the union of the corresponding group-bys, NULL-padded to the
+/// full dimension width. CUBE = all 2^d masks; ROLLUP = the d+1 prefixes.
+/// Masks must be distinct.
+Result<Table> GroupingSetsCentralized(const CubeSpec& spec,
+                                      const Table& source,
+                                      const std::vector<uint32_t>& masks);
+
+/// Distributed GROUPING SETS. With kRollupFromFinest every requested set
+/// is rolled up from one finest-granularity distributed aggregation
+/// (single round); with kPerGroupingSet each non-empty set is its own
+/// distributed query.
+Result<CubeExecution> GroupingSetsDistributed(
+    Warehouse& warehouse, const CubeSpec& spec,
+    const std::vector<uint32_t>& masks, CubeStrategy strategy,
+    const OptimizerOptions& options);
+
+/// The d+1 ROLLUP masks for `num_dims` dimensions: (), (d0), (d0,d1), ...
+std::vector<uint32_t> RollupMasks(size_t num_dims);
+
+/// All 2^d CUBE masks.
+std::vector<uint32_t> CubeMasks(size_t num_dims);
+
+}  // namespace skalla
+
+#endif  // SKALLA_CUBE_CUBE_H_

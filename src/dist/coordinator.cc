@@ -1,0 +1,366 @@
+#include "dist/coordinator.h"
+
+#include <future>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "engine/operators.h"
+#include "expr/evaluator.h"
+#include "storage/hash_index.h"
+#include "storage/serializer.h"
+
+namespace skalla {
+
+namespace {
+
+/// Sub-aggregate layout of one round's H relation: after the K key columns,
+/// each aggregate occupies `arity` consecutive columns starting at `offset`.
+struct SubSlot {
+  AggFunc func;
+  int offset;  // within the sub-column region
+  int arity;
+  Field final_field;
+};
+
+std::vector<int> AllSiteIds(const std::vector<Site*>& sites) {
+  std::vector<int> ids(sites.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+Result<SchemaPtr> Coordinator::FindSchema(const std::string& table_name) const {
+  for (const Site* site : sites_) {
+    if (site->catalog().HasTable(table_name)) {
+      SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t,
+                              site->catalog().GetTable(table_name));
+      return t->schema_ptr();
+    }
+  }
+  return Status::NotFound("no site holds a partition of '" + table_name + "'");
+}
+
+Result<SchemaMap> Coordinator::CollectSchemas(
+    const DistributedPlan& plan) const {
+  SchemaMap schemas;
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr base_schema,
+                          FindSchema(plan.base.source_table));
+  schemas[plan.base.source_table] = base_schema;
+  for (const PlanRound& round : plan.rounds) {
+    for (const GmdjOp& op : round.ops) {
+      if (schemas.count(op.detail_table)) continue;
+      SKALLA_ASSIGN_OR_RETURN(SchemaPtr s, FindSchema(op.detail_table));
+      schemas[op.detail_table] = s;
+    }
+  }
+  return schemas;
+}
+
+Result<Table> Coordinator::Execute(const DistributedPlan& plan,
+                                   ExecutionMetrics* metrics) {
+  if (sites_.empty()) {
+    return Status::InvalidArgument("coordinator has no sites");
+  }
+  network_.Reset();
+  ExecutionMetrics local_metrics;
+
+  SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas, CollectSchemas(plan));
+  const GmdjExpr expr = plan.ToExpr();
+  SKALLA_RETURN_NOT_OK(ValidateGmdjExpr(expr, schemas));
+
+  const int num_key = static_cast<int>(plan.key_attrs.size());
+  std::vector<int> key_cols(static_cast<size_t>(num_key));
+  std::iota(key_cols.begin(), key_cols.end(), 0);
+
+  // The base-result structure X (visible/finalized form) plus its key index.
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr x_schema,
+                          BaseResultSchema(expr, schemas, 0));
+  Table x(x_schema);
+  HashIndex x_index;
+  x_index.Build(x, key_cols);
+
+  // ---- Round 0: base-values query (unless fused per Prop. 2). ----
+  if (!plan.fuse_base) {
+    network_.BeginRound("base");
+    RoundMetrics rm;
+    rm.label = "base query";
+    rm.streaming = network_.config().streaming_sync;
+    const std::vector<int> base_sites =
+        plan.base_sites.empty() ? AllSiteIds(sites_) : plan.base_sites;
+    rm.sites = static_cast<int>(base_sites.size());
+    double coord_cpu = 0;
+    for (int sid : base_sites) {
+      Site* site = sites_[static_cast<size_t>(sid)];
+      rm.comm_sec += network_.Transfer(kCoordinatorId, sid, kQueryPlanBytes,
+                                       0, "base query plan");
+      rm.bytes_to_sites += kQueryPlanBytes;
+      double cpu = 0;
+      SKALLA_ASSIGN_OR_RETURN(Table b_i, site->EvalBase(plan.base, &cpu));
+      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpu);
+      rm.site_cpu_sum_sec += cpu;
+      const std::string payload = Serializer::SerializeTable(b_i);
+      rm.comm_sec += network_.Transfer(sid, kCoordinatorId, payload.size(),
+                                       b_i.num_rows(), "B_i");
+      rm.bytes_to_coord += payload.size();
+      rm.groups_to_coord += b_i.num_rows();
+      Stopwatch sw;
+      SKALLA_ASSIGN_OR_RETURN(Table received,
+                              Serializer::DeserializeTable(payload));
+      // Incremental distinct union into X.
+      for (const Row& row : received.rows()) {
+        if (x_index.Lookup(row, key_cols) == nullptr) {
+          x.AddRow(row);
+          x_index.Insert(x, x.num_rows() - 1);
+        }
+      }
+      coord_cpu += sw.ElapsedSeconds();
+    }
+    rm.coord_cpu_sec = coord_cpu;
+    local_metrics.rounds.push_back(std::move(rm));
+  }
+
+  // ---- GMDJ rounds. ----
+  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+    const PlanRound& round = plan.rounds[r];
+    network_.BeginRound("gmdj round " + std::to_string(r + 1));
+    RoundMetrics rm;
+    rm.streaming = network_.config().streaming_sync;
+    rm.label = round.ops.size() == 1
+                   ? "gmdj round " + std::to_string(r + 1)
+                   : "gmdj round " + std::to_string(r + 1) + " (chain of " +
+                         std::to_string(round.ops.size()) + ")";
+    const std::vector<int> participants = round.participating_sites.empty()
+                                              ? AllSiteIds(sites_)
+                                              : round.participating_sites;
+    rm.sites = static_cast<int>(participants.size());
+    const bool fused_base_round = plan.fuse_base && r == 0;
+
+    // Sub-aggregate layout of this round's H relations.
+    std::vector<SubSlot> slots;
+    int sub_width = 0;
+    for (const GmdjOp& op : round.ops) {
+      const SchemaPtr& detail = schemas.at(op.detail_table);
+      for (const AggSpec& spec : op.AllAggs()) {
+        SKALLA_ASSIGN_OR_RETURN(Field final_field,
+                                FinalFieldFor(spec, *detail));
+        slots.push_back(
+            SubSlot{spec.func, sub_width, SubArity(spec.func), final_field});
+        sub_width += SubArity(spec.func);
+      }
+    }
+
+    // Per-X-row sub-aggregate accumulators, initialized to the identities.
+    std::vector<std::vector<Value>> acc(static_cast<size_t>(x.num_rows()));
+    auto init_acc_row = [&slots, sub_width]() {
+      std::vector<Value> row(static_cast<size_t>(sub_width));
+      for (const SubSlot& slot : slots) {
+        InitSubValues(slot.func, &row[static_cast<size_t>(slot.offset)]);
+      }
+      return row;
+    };
+    for (auto& row : acc) row = init_acc_row();
+
+    // Compile per-site ship predicates when aware group reduction is on.
+    std::vector<std::optional<CompiledExpr>> ship(sites_.size());
+    if (round.flags.aware_group_reduction && r < plan.ship_predicates.size()) {
+      for (size_t s = 0;
+           s < plan.ship_predicates[r].size() && s < sites_.size(); ++s) {
+        const ExprPtr& pred = plan.ship_predicates[r][s];
+        if (pred == nullptr) continue;
+        SKALLA_ASSIGN_OR_RETURN(
+            CompiledExpr compiled,
+            CompiledExpr::Compile(pred, &x.schema(), nullptr));
+        ship[s] = std::move(compiled);
+      }
+    }
+
+    double coord_cpu = 0;
+
+    // ---- Phase A (coordinator): reduce, prune, serialize, and "ship"
+    //      each site's view of X. ----
+    std::vector<Table> site_views(participants.size());
+    for (size_t p = 0; p < participants.size(); ++p) {
+      const int sid = participants[p];
+      if (fused_base_round) {
+        rm.comm_sec += network_.Transfer(kCoordinatorId, sid, kQueryPlanBytes,
+                                         0, "fused plan");
+        rm.bytes_to_sites += kQueryPlanBytes;
+        continue;
+      }
+      // Coordinator-side group reduction (row filtering per Theorem 4)
+      // and column pruning.
+      Stopwatch filter_sw;
+      const Table* to_ship = &x;
+      Table reduced;
+      if (ship[static_cast<size_t>(sid)].has_value()) {
+        const CompiledExpr& pred = *ship[static_cast<size_t>(sid)];
+        reduced = Table(x.schema_ptr());
+        for (const Row& row : x.rows()) {
+          if (pred.EvalBool(&row, nullptr)) reduced.AddRow(row);
+        }
+        to_ship = &reduced;
+      }
+      Table pruned;
+      if (!round.ship_cols.empty() &&
+          static_cast<int>(round.ship_cols.size()) < x.schema().num_fields()) {
+        SKALLA_ASSIGN_OR_RETURN(pruned, Project(*to_ship, round.ship_cols));
+        to_ship = &pruned;
+      }
+      const int64_t shipped_rows = to_ship->num_rows();
+      const std::string payload = Serializer::SerializeTable(*to_ship);
+      coord_cpu += filter_sw.ElapsedSeconds();
+      rm.comm_sec += network_.Transfer(kCoordinatorId, sid, payload.size(),
+                                       shipped_rows, "X fragment");
+      rm.bytes_to_sites += payload.size();
+      rm.groups_to_sites += shipped_rows;
+      SKALLA_ASSIGN_OR_RETURN(site_views[p],
+                              Serializer::DeserializeTable(payload));
+    }
+
+    // ---- Phase B (sites, in parallel when enabled): local evaluation. ----
+    struct SiteOutcome {
+      Result<Table> h = Status::Internal("not evaluated");
+      double cpu = 0;
+    };
+    std::vector<SiteOutcome> outcomes(participants.size());
+    auto eval_one = [&](size_t p) {
+      const int sid = participants[p];
+      SiteRoundInput input;
+      input.x = fused_base_round ? nullptr : &site_views[p];
+      input.base = fused_base_round ? &plan.base : nullptr;
+      input.ops = &round.ops;
+      input.key_attrs = &plan.key_attrs;
+      input.touched_only = round.flags.independent_group_reduction;
+      outcomes[p].h = sites_[static_cast<size_t>(sid)]->EvalRound(
+          input, &outcomes[p].cpu);
+    };
+    if (parallel_sites_ && participants.size() > 1) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(participants.size());
+      for (size_t p = 0; p < participants.size(); ++p) {
+        futures.push_back(
+            std::async(std::launch::async, eval_one, p));
+      }
+      for (std::future<void>& f : futures) f.get();
+    } else {
+      for (size_t p = 0; p < participants.size(); ++p) eval_one(p);
+    }
+
+    // ---- Phase C (coordinator): receive and synchronize (Theorem 1),
+    //      in deterministic site order. ----
+    for (size_t p = 0; p < participants.size(); ++p) {
+      const int sid = participants[p];
+      SKALLA_ASSIGN_OR_RETURN(Table h_i, std::move(outcomes[p].h));
+      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, outcomes[p].cpu);
+      rm.site_cpu_sum_sec += outcomes[p].cpu;
+
+      const std::string payload = Serializer::SerializeTable(h_i);
+      rm.comm_sec += network_.Transfer(sid, kCoordinatorId, payload.size(),
+                                       h_i.num_rows(), "H_i");
+      rm.bytes_to_coord += payload.size();
+      rm.groups_to_coord += h_i.num_rows();
+
+      Stopwatch merge_sw;
+      SKALLA_ASSIGN_OR_RETURN(Table h, Serializer::DeserializeTable(payload));
+      for (const Row& h_row : h.rows()) {
+        const std::vector<int64_t>* match = x_index.Lookup(h_row, key_cols);
+        int64_t row_id;
+        if (match == nullptr) {
+          if (!fused_base_round) {
+            return Status::Internal(
+                "site " + std::to_string(sid) +
+                " returned a group missing from the base-result structure");
+          }
+          Row key_row(h_row.begin(), h_row.begin() + num_key);
+          x.AddRow(std::move(key_row));
+          row_id = x.num_rows() - 1;
+          x_index.Insert(x, row_id);
+          acc.push_back(init_acc_row());
+        } else {
+          row_id = match->front();
+        }
+        std::vector<Value>& acc_row = acc[static_cast<size_t>(row_id)];
+        for (const SubSlot& slot : slots) {
+          MergeSubValues(
+              slot.func,
+              &h_row[static_cast<size_t>(num_key + slot.offset)],
+              &acc_row[static_cast<size_t>(slot.offset)]);
+        }
+      }
+      coord_cpu += merge_sw.ElapsedSeconds();
+    }
+
+    // ---- Finalize this round's aggregates into new X columns. ----
+    Stopwatch finalize_sw;
+    std::vector<Field> new_fields = x.schema().fields();
+    for (const SubSlot& slot : slots) new_fields.push_back(slot.final_field);
+    Table new_x(MakeSchema(std::move(new_fields)));
+    new_x.Reserve(x.num_rows());
+    for (int64_t i = 0; i < x.num_rows(); ++i) {
+      Row row = x.row(i);
+      const std::vector<Value>& acc_row = acc[static_cast<size_t>(i)];
+      for (const SubSlot& slot : slots) {
+        row.push_back(FinalizeSubValues(
+            slot.func, &acc_row[static_cast<size_t>(slot.offset)]));
+      }
+      new_x.AddRow(std::move(row));
+    }
+    x = std::move(new_x);
+    x_index.Build(x, key_cols);
+    coord_cpu += finalize_sw.ElapsedSeconds();
+
+    rm.coord_cpu_sec = coord_cpu;
+    local_metrics.rounds.push_back(std::move(rm));
+  }
+
+
+  // ---- HAVING: final coordinator-side filter over the finished X. ----
+  if (plan.having != nullptr) {
+    Stopwatch having_sw;
+    SKALLA_ASSIGN_OR_RETURN(
+        CompiledExpr having,
+        CompiledExpr::Compile(plan.having, &x.schema(), nullptr));
+    Table filtered(x.schema_ptr());
+    for (const Row& row : x.rows()) {
+      if (having.EvalBool(&row, nullptr)) filtered.AddRow(row);
+    }
+    x = std::move(filtered);
+    if (!local_metrics.rounds.empty()) {
+      local_metrics.rounds.back().coord_cpu_sec += having_sw.ElapsedSeconds();
+    }
+  }
+
+  // ---- Presentation: ORDER BY / LIMIT on the finished relation. ----
+  if (!plan.order_by.empty()) {
+    SKALLA_ASSIGN_OR_RETURN(x, SortedByKeys(x, plan.order_by));
+  }
+  if (plan.limit >= 0) {
+    x = Limit(x, plan.limit);
+  }
+
+  if (metrics != nullptr) *metrics = std::move(local_metrics);
+  return x;
+}
+
+int64_t TheoremTwoGroupBound(const DistributedPlan& plan, int num_sites,
+                             int64_t q_rows) {
+  const int64_t s0 = plan.base_sites.empty()
+                         ? num_sites
+                         : static_cast<int64_t>(plan.base_sites.size());
+  int64_t bound = plan.fuse_base ? 0 : s0 * q_rows;
+  for (const PlanRound& round : plan.rounds) {
+    const int64_t si = round.participating_sites.empty()
+                           ? num_sites
+                           : static_cast<int64_t>(
+                                 round.participating_sites.size());
+    // Each operator in the round costs at most one X shipment out and one
+    // H shipment back per site; a k-op chain still ships once, so charging
+    // per round keeps the bound valid (and tight for 1-op rounds).
+    bound += 2 * si * q_rows;
+  }
+  return bound;
+}
+
+}  // namespace skalla

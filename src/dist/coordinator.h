@@ -1,0 +1,69 @@
+#ifndef SKALLA_DIST_COORDINATOR_H_
+#define SKALLA_DIST_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/metrics.h"
+#include "dist/plan.h"
+#include "dist/site.h"
+#include "net/sim_network.h"
+
+namespace skalla {
+
+/// Nominal wire size of a shipped query plan (control message).
+inline constexpr size_t kQueryPlanBytes = 512;
+
+/// \brief The Skalla coordinator: drives Alg. GMDJDistribEval.
+///
+/// The coordinator owns the simulated network and the base-result structure
+/// X. For each round it ships X (possibly per-site reduced) to the
+/// participating sites, receives their sub-aggregate relations H_i, and
+/// synchronizes them into X via the super-aggregates (Theorem 1). The merge
+/// is O(|H|) thanks to a hash index on the key attributes K.
+///
+/// Sites are borrowed, not owned; they must outlive the coordinator.
+class Coordinator {
+ public:
+  Coordinator(std::vector<Site*> sites, NetworkConfig config = NetworkConfig())
+      : sites_(std::move(sites)), network_(config) {}
+
+  /// Executes a distributed plan and returns the finalized base-result
+  /// structure (= the query answer). Fills `metrics` when non-null.
+  Result<Table> Execute(const DistributedPlan& plan,
+                        ExecutionMetrics* metrics);
+
+  SimNetwork& network() { return network_; }
+  const std::vector<Site*>& sites() const { return sites_; }
+
+  /// Evaluates the sites of each round on real threads (one per site)
+  /// instead of sequentially. Results are identical — synchronization
+  /// happens in deterministic site order either way — only the wall-clock
+  /// time of the simulation changes (the *modelled* response time already
+  /// treats sites as parallel).
+  void set_parallel_sites(bool parallel) { parallel_sites_ = parallel; }
+  bool parallel_sites() const { return parallel_sites_; }
+
+  /// Looks up a relation schema from the first site that holds a partition
+  /// of it (all sites share global relation schemas).
+  Result<SchemaPtr> FindSchema(const std::string& table_name) const;
+
+  /// Builds the schema map for a plan's relations (base source + details).
+  Result<SchemaMap> CollectSchemas(const DistributedPlan& plan) const;
+
+ private:
+  std::vector<Site*> sites_;
+  SimNetwork network_;
+  bool parallel_sites_ = false;
+};
+
+/// Theorem 2's bound on groups transferred by Alg. GMDJDistribEval:
+/// Σ_rounds (2 · s_i · |Q|) + s_0 · |Q|, with |Q| = `q_rows` result rows.
+/// Any execution's GroupsToSites()+GroupsToCoord() must not exceed it.
+int64_t TheoremTwoGroupBound(const DistributedPlan& plan, int num_sites,
+                             int64_t q_rows);
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_COORDINATOR_H_

@@ -1,0 +1,84 @@
+#include "dist/metrics.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+size_t ExecutionMetrics::TotalBytes() const {
+  return BytesToSites() + BytesToCoord();
+}
+
+size_t ExecutionMetrics::BytesToSites() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_to_sites;
+  return total;
+}
+
+size_t ExecutionMetrics::BytesToCoord() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_to_coord;
+  return total;
+}
+
+int64_t ExecutionMetrics::GroupsToSites() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_to_sites;
+  return total;
+}
+
+int64_t ExecutionMetrics::GroupsToCoord() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_to_coord;
+  return total;
+}
+
+double ExecutionMetrics::SiteCpuSeconds() const {
+  double total = 0;
+  for (const RoundMetrics& r : rounds) total += r.site_cpu_max_sec;
+  return total;
+}
+
+double ExecutionMetrics::CoordCpuSeconds() const {
+  double total = 0;
+  for (const RoundMetrics& r : rounds) total += r.coord_cpu_sec;
+  return total;
+}
+
+double ExecutionMetrics::CommSeconds() const {
+  double total = 0;
+  for (const RoundMetrics& r : rounds) total += r.comm_sec;
+  return total;
+}
+
+double ExecutionMetrics::ResponseSeconds() const {
+  double total = 0;
+  for (const RoundMetrics& r : rounds) total += r.ResponseSeconds();
+  return total;
+}
+
+std::string ExecutionMetrics::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("%d round(s), response %.4fs (site %.4fs, coord %.4fs, "
+                  "comm %.4fs), traffic %s out / %s in, groups %lld out / "
+                  "%lld in\n",
+                  NumRounds(), ResponseSeconds(), SiteCpuSeconds(),
+                  CoordCpuSeconds(), CommSeconds(),
+                  HumanBytes(static_cast<double>(BytesToSites())).c_str(),
+                  HumanBytes(static_cast<double>(BytesToCoord())).c_str(),
+                  static_cast<long long>(GroupsToSites()),
+                  static_cast<long long>(GroupsToCoord()));
+  for (const RoundMetrics& r : rounds) {
+    os << StrFormat(
+        "  %-28s sites=%d  out=%s in=%s  site_cpu(max)=%.4fs "
+        "coord_cpu=%.4fs comm=%.4fs\n",
+        r.label.c_str(), r.sites,
+        HumanBytes(static_cast<double>(r.bytes_to_sites)).c_str(),
+        HumanBytes(static_cast<double>(r.bytes_to_coord)).c_str(),
+        r.site_cpu_max_sec, r.coord_cpu_sec, r.comm_sec);
+  }
+  return os.str();
+}
+
+}  // namespace skalla

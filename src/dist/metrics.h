@@ -1,0 +1,60 @@
+#ifndef SKALLA_DIST_METRICS_H_
+#define SKALLA_DIST_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skalla {
+
+/// Cost breakdown of one synchronization round.
+struct RoundMetrics {
+  std::string label;
+  size_t bytes_to_sites = 0;
+  size_t bytes_to_coord = 0;
+  int64_t groups_to_sites = 0;   ///< base-structure rows shipped out
+  int64_t groups_to_coord = 0;   ///< sub-result rows shipped back
+  double site_cpu_max_sec = 0;   ///< slowest site (sites run in parallel)
+  double site_cpu_sum_sec = 0;   ///< aggregate site work
+  double coord_cpu_sec = 0;      ///< synchronization + reduction filtering
+  double comm_sec = 0;           ///< serialized time on the coordinator link
+  int sites = 0;
+  /// Streaming synchronization (NetworkConfig::streaming_sync): merging
+  /// overlaps receiving, so the round pays max(coord, comm), not the sum.
+  bool streaming = false;
+
+  double ResponseSeconds() const {
+    return site_cpu_max_sec + (streaming
+                                   ? std::max(coord_cpu_sec, comm_sec)
+                                   : coord_cpu_sec + comm_sec);
+  }
+};
+
+/// \brief End-to-end cost accounting of one distributed query evaluation.
+///
+/// The modelled response time combines measured per-site CPU (sites run in
+/// parallel, so each round charges the max), measured coordinator CPU, and
+/// simulated communication time (the coordinator link is shared, so
+/// transfers serialize — see net/cost_model.h). This is the quantity the
+/// paper's figures plot as "query evaluation time".
+struct ExecutionMetrics {
+  std::vector<RoundMetrics> rounds;
+
+  int NumRounds() const { return static_cast<int>(rounds.size()); }
+  size_t TotalBytes() const;
+  size_t BytesToSites() const;
+  size_t BytesToCoord() const;
+  int64_t GroupsToSites() const;
+  int64_t GroupsToCoord() const;
+  double SiteCpuSeconds() const;       ///< Σ per-round max (parallel model)
+  double CoordCpuSeconds() const;
+  double CommSeconds() const;
+  double ResponseSeconds() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_METRICS_H_

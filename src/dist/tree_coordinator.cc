@@ -1,0 +1,373 @@
+#include "dist/tree_coordinator.h"
+
+#include <algorithm>
+#include <functional>
+#include <future>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dist/coordinator.h"
+#include "dist/sync.h"
+#include "engine/operators.h"
+#include "expr/evaluator.h"
+#include "storage/hash_index.h"
+#include "storage/serializer.h"
+
+namespace skalla {
+
+TreeTopology TreeTopology::Build(int num_sites, int fan_in) {
+  SKALLA_CHECK(num_sites >= 1);
+  SKALLA_CHECK(fan_in >= 2);
+  TreeTopology tree;
+  std::vector<int> current_level;
+  for (int s = 0; s < num_sites; ++s) {
+    Node leaf;
+    leaf.id = static_cast<int>(tree.nodes.size());
+    leaf.site_index = s;
+    leaf.level = 0;
+    current_level.push_back(leaf.id);
+    tree.nodes.push_back(std::move(leaf));
+  }
+  int level = 0;
+  while (current_level.size() > 1) {
+    ++level;
+    std::vector<int> next_level;
+    for (size_t i = 0; i < current_level.size();
+         i += static_cast<size_t>(fan_in)) {
+      Node parent;
+      parent.id = static_cast<int>(tree.nodes.size());
+      parent.level = level;
+      const size_t end =
+          std::min(current_level.size(), i + static_cast<size_t>(fan_in));
+      for (size_t c = i; c < end; ++c) {
+        parent.children.push_back(current_level[c]);
+        tree.nodes[static_cast<size_t>(current_level[c])].parent = parent.id;
+      }
+      next_level.push_back(parent.id);
+      tree.nodes.push_back(std::move(parent));
+    }
+    current_level = std::move(next_level);
+  }
+  tree.root = current_level[0];
+  tree.num_levels = level + 1;
+  return tree;
+}
+
+std::vector<int> TreeTopology::NodesAtLevel(int level) const {
+  std::vector<int> out;
+  for (const Node& node : nodes) {
+    if (node.level == level) out.push_back(node.id);
+  }
+  return out;
+}
+
+std::string TreeTopology::ToString() const {
+  std::ostringstream os;
+  os << "tree with " << num_levels << " level(s), root " << root << "\n";
+  for (const Node& node : nodes) {
+    if (node.children.empty()) continue;
+    os << "  node " << node.id << " (level " << node.level << ") <- [";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i) os << ", ";
+      os << node.children[i];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+TreeCoordinator::TreeCoordinator(std::vector<Site*> sites, int fan_in,
+                                 NetworkConfig config)
+    : sites_(std::move(sites)),
+      topology_(TreeTopology::Build(
+          std::max<int>(1, static_cast<int>(sites_.size())), fan_in)),
+      config_(config) {}
+
+namespace {
+
+/// Result of propagating relations up one subtree level: per-node table.
+struct LevelState {
+  std::vector<Table> tables;  // indexed by node id (sparse; empty elsewhere)
+};
+
+}  // namespace
+
+Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
+                                       ExecutionMetrics* metrics) {
+  if (sites_.empty()) {
+    return Status::InvalidArgument("tree coordinator has no sites");
+  }
+  if (!plan.base_sites.empty()) {
+    return Status::NotImplemented(
+        "tree coordinator requires full site participation");
+  }
+  for (const PlanRound& round : plan.rounds) {
+    if (!round.participating_sites.empty()) {
+      return Status::NotImplemented(
+          "tree coordinator requires full site participation");
+    }
+  }
+  ExecutionMetrics local_metrics;
+
+  // Schema map via a throwaway flat coordinator helper.
+  Coordinator schema_helper(sites_, config_);
+  SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas,
+                          schema_helper.CollectSchemas(plan));
+  const GmdjExpr expr = plan.ToExpr();
+  SKALLA_RETURN_NOT_OK(ValidateGmdjExpr(expr, schemas));
+
+  const int num_key = static_cast<int>(plan.key_attrs.size());
+  std::vector<int> key_cols(static_cast<size_t>(num_key));
+  std::iota(key_cols.begin(), key_cols.end(), 0);
+
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr x_schema,
+                          BaseResultSchema(expr, schemas, 0));
+  Table x(x_schema);
+
+  // Propagates per-leaf tables up the tree, combining at each internal
+  // node, and returns the root's table. Charges hop transfer times (per
+  // level: max over parents of the serialized inbound volume) and merge
+  // CPU into the round metrics.
+  auto propagate_up =
+      [&](std::vector<Table> leaf_tables, RoundMetrics* rm,
+          const std::function<Result<Table>(
+              const std::vector<const Table*>&)>& combine) -> Result<Table> {
+    std::vector<Table> by_node(topology_.nodes.size());
+    for (const TreeTopology::Node& node : topology_.nodes) {
+      if (node.site_index >= 0) {
+        by_node[static_cast<size_t>(node.id)] =
+            std::move(leaf_tables[static_cast<size_t>(node.site_index)]);
+      }
+    }
+    for (int level = 1; level < topology_.num_levels; ++level) {
+      double level_comm = 0;
+      double level_merge_cpu = 0;
+      for (int node_id : topology_.NodesAtLevel(level)) {
+        const TreeTopology::Node& node =
+            topology_.nodes[static_cast<size_t>(node_id)];
+        double inbound = 0;
+        std::vector<Table> received;
+        for (int child : node.children) {
+          const Table& child_table = by_node[static_cast<size_t>(child)];
+          const std::string payload =
+              Serializer::SerializeTable(child_table);
+          inbound += config_.TransferSeconds(payload.size());
+          rm->bytes_to_coord += payload.size();
+          rm->groups_to_coord += child_table.num_rows();
+          SKALLA_ASSIGN_OR_RETURN(Table decoded,
+                                  Serializer::DeserializeTable(payload));
+          received.push_back(std::move(decoded));
+        }
+        Stopwatch merge_sw;
+        std::vector<const Table*> ptrs;
+        ptrs.reserve(received.size());
+        for (const Table& t : received) ptrs.push_back(&t);
+        SKALLA_ASSIGN_OR_RETURN(Table combined, combine(ptrs));
+        by_node[static_cast<size_t>(node_id)] = std::move(combined);
+        level_merge_cpu = std::max(level_merge_cpu, merge_sw.ElapsedSeconds());
+        level_comm = std::max(level_comm, inbound);
+      }
+      rm->comm_sec += level_comm;
+      rm->coord_cpu_sec += level_merge_cpu;
+    }
+    return std::move(by_node[static_cast<size_t>(topology_.root)]);
+  };
+
+  // Sends `table` from the root to every leaf, charging per-level hop
+  // costs (each node's outbound link serializes over its children).
+  auto broadcast_down = [&](const Table& table, RoundMetrics* rm) {
+    const std::string payload = Serializer::SerializeTable(table);
+    for (int level = topology_.num_levels - 1; level >= 1; --level) {
+      double level_comm = 0;
+      for (int node_id : topology_.NodesAtLevel(level)) {
+        const TreeTopology::Node& node =
+            topology_.nodes[static_cast<size_t>(node_id)];
+        double outbound = 0;
+        for (int child : node.children) {
+          (void)child;
+          outbound += config_.TransferSeconds(payload.size());
+          rm->bytes_to_sites += payload.size();
+          rm->groups_to_sites += table.num_rows();
+        }
+        level_comm = std::max(level_comm, outbound);
+      }
+      rm->comm_sec += level_comm;
+    }
+  };
+
+  // ---- Base round. ----
+  if (!plan.fuse_base) {
+    RoundMetrics rm;
+    rm.label = "base query (tree)";
+    rm.streaming = config_.streaming_sync;
+    rm.sites = static_cast<int>(sites_.size());
+    // The plan itself travels down the tree (control message per edge).
+    for (const TreeTopology::Node& node : topology_.nodes) {
+      if (node.parent >= 0) {
+        rm.bytes_to_sites += kQueryPlanBytes;
+      }
+    }
+    std::vector<Table> leaf_results(sites_.size());
+    for (size_t s = 0; s < sites_.size(); ++s) {
+      double cpu = 0;
+      SKALLA_ASSIGN_OR_RETURN(leaf_results[s],
+                              sites_[s]->EvalBase(plan.base, &cpu));
+      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpu);
+      rm.site_cpu_sum_sec += cpu;
+    }
+    SKALLA_ASSIGN_OR_RETURN(
+        Table merged,
+        propagate_up(std::move(leaf_results), &rm, DistinctUnion));
+    Stopwatch apply_sw;
+    x = Table(x_schema);
+    for (const Row& row : merged.rows()) x.AddRow(row);
+    rm.coord_cpu_sec += apply_sw.ElapsedSeconds();
+    local_metrics.rounds.push_back(std::move(rm));
+  }
+
+  // ---- GMDJ rounds. ----
+  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+    const PlanRound& round = plan.rounds[r];
+    const bool fused_base_round = plan.fuse_base && r == 0;
+    RoundMetrics rm;
+    rm.label = "gmdj round " + std::to_string(r + 1) + " (tree)";
+    rm.streaming = config_.streaming_sync;
+    rm.sites = static_cast<int>(sites_.size());
+
+    int sub_width = 0;
+    SKALLA_ASSIGN_OR_RETURN(std::vector<SubSlot> slots,
+                            BuildSubSlots(round.ops, schemas, &sub_width));
+
+    // Column pruning: the leaves only need the key attributes plus the θ
+    // references; the same narrowed relation travels every hop.
+    Table shipped_x;
+    const Table* x_for_leaves = &x;
+    if (!fused_base_round) {
+      if (!round.ship_cols.empty() &&
+          static_cast<int>(round.ship_cols.size()) < x.schema().num_fields()) {
+        SKALLA_ASSIGN_OR_RETURN(shipped_x, Project(x, round.ship_cols));
+        x_for_leaves = &shipped_x;
+      }
+      broadcast_down(*x_for_leaves, &rm);
+    } else {
+      // The fused plan itself travels down the tree (one control message
+      // per edge), mirroring the flat coordinator's accounting.
+      for (const TreeTopology::Node& node : topology_.nodes) {
+        if (node.parent >= 0) rm.bytes_to_sites += kQueryPlanBytes;
+      }
+    }
+
+    std::vector<Table> leaf_results(sites_.size());
+    {
+      std::vector<Result<Table>> outcomes(
+          sites_.size(), Result<Table>(Status::Internal("not evaluated")));
+      std::vector<double> cpus(sites_.size(), 0.0);
+      auto eval_one = [&](size_t s) {
+        SiteRoundInput input;
+        input.x = fused_base_round ? nullptr : x_for_leaves;
+        input.base = fused_base_round ? &plan.base : nullptr;
+        input.ops = &round.ops;
+        input.key_attrs = &plan.key_attrs;
+        input.touched_only = round.flags.independent_group_reduction;
+        outcomes[s] = sites_[s]->EvalRound(input, &cpus[s]);
+      };
+      if (parallel_sites_ && sites_.size() > 1) {
+        std::vector<std::future<void>> futures;
+        futures.reserve(sites_.size());
+        for (size_t s = 0; s < sites_.size(); ++s) {
+          futures.push_back(std::async(std::launch::async, eval_one, s));
+        }
+        for (std::future<void>& f : futures) f.get();
+      } else {
+        for (size_t s = 0; s < sites_.size(); ++s) eval_one(s);
+      }
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        SKALLA_ASSIGN_OR_RETURN(leaf_results[s], std::move(outcomes[s]));
+        rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpus[s]);
+        rm.site_cpu_sum_sec += cpus[s];
+      }
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(
+        Table h, propagate_up(
+                     std::move(leaf_results), &rm,
+                     [&](const std::vector<const Table*>& inputs) {
+                       return CombineSubResults(inputs, num_key, slots);
+                     }));
+
+    // ---- Apply the combined sub-results to X at the root. ----
+    Stopwatch apply_sw;
+    std::vector<Field> new_fields = x.schema().fields();
+    for (const SubSlot& slot : slots) new_fields.push_back(slot.final_field);
+    Table new_x(MakeSchema(std::move(new_fields)));
+
+    HashIndex h_index;
+    h_index.Build(h, key_cols);
+    auto finalize_from = [&](const Row* h_row, Row* out_row) {
+      for (const SubSlot& slot : slots) {
+        if (h_row == nullptr) {
+          std::vector<Value> init(static_cast<size_t>(slot.arity));
+          InitSubValues(slot.func, init.data());
+          out_row->push_back(FinalizeSubValues(slot.func, init.data()));
+        } else {
+          out_row->push_back(FinalizeSubValues(
+              slot.func,
+              &(*h_row)[static_cast<size_t>(num_key + slot.offset)]));
+        }
+      }
+    };
+    if (fused_base_round) {
+      // X is assembled from the combined H itself.
+      new_x.Reserve(h.num_rows());
+      for (const Row& h_row : h.rows()) {
+        Row row(h_row.begin(), h_row.begin() + num_key);
+        finalize_from(&h_row, &row);
+        new_x.AddRow(std::move(row));
+      }
+    } else {
+      new_x.Reserve(x.num_rows());
+      for (int64_t i = 0; i < x.num_rows(); ++i) {
+        Row row = x.row(i);
+        const std::vector<int64_t>* match = h_index.Lookup(row, key_cols);
+        finalize_from(match == nullptr ? nullptr : &h.row(match->front()),
+                      &row);
+        new_x.AddRow(std::move(row));
+      }
+    }
+    x = std::move(new_x);
+    rm.coord_cpu_sec += apply_sw.ElapsedSeconds();
+    local_metrics.rounds.push_back(std::move(rm));
+  }
+
+
+  // ---- HAVING: final coordinator-side filter over the finished X. ----
+  if (plan.having != nullptr) {
+    Stopwatch having_sw;
+    SKALLA_ASSIGN_OR_RETURN(
+        CompiledExpr having,
+        CompiledExpr::Compile(plan.having, &x.schema(), nullptr));
+    Table filtered(x.schema_ptr());
+    for (const Row& row : x.rows()) {
+      if (having.EvalBool(&row, nullptr)) filtered.AddRow(row);
+    }
+    x = std::move(filtered);
+    if (!local_metrics.rounds.empty()) {
+      local_metrics.rounds.back().coord_cpu_sec += having_sw.ElapsedSeconds();
+    }
+  }
+
+  // ---- Presentation: ORDER BY / LIMIT on the finished relation. ----
+  if (!plan.order_by.empty()) {
+    SKALLA_ASSIGN_OR_RETURN(x, SortedByKeys(x, plan.order_by));
+  }
+  if (plan.limit >= 0) {
+    x = Limit(x, plan.limit);
+  }
+
+  if (metrics != nullptr) *metrics = std::move(local_metrics);
+  return x;
+}
+
+}  // namespace skalla

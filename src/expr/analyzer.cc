@@ -1,0 +1,128 @@
+#include "expr/analyzer.h"
+
+namespace skalla {
+
+namespace {
+
+void SplitConjunctsInto(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op() == BinaryOp::kAnd) {
+      SplitConjunctsInto(bin.left(), out);
+      SplitConjunctsInto(bin.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+void CollectColumnsInto(const Expr& expr, Side side,
+                        std::set<std::string>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      const auto& col = static_cast<const ColumnExpr&>(expr);
+      if (col.side() == side) out->insert(col.name());
+      return;
+    }
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      CollectColumnsInto(*un.operand(), side, out);
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      CollectColumnsInto(*bin.left(), side, out);
+      CollectColumnsInto(*bin.right(), side, out);
+      return;
+    }
+  }
+}
+
+/// If `expr` is a bare column of the given side, returns its name.
+const std::string* AsColumnOf(const ExprPtr& expr, Side side) {
+  if (expr->kind() != ExprKind::kColumn) return nullptr;
+  const auto& col = static_cast<const ColumnExpr&>(*expr);
+  if (col.side() != side) return nullptr;
+  return &col.name();
+}
+
+/// If `conjunct` is `B.x = R.y` (either order), fills the pair.
+bool AsEquiPair(const ExprPtr& conjunct, EquiPair* pair) {
+  if (conjunct->kind() != ExprKind::kBinary) return false;
+  const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+  if (bin.op() != BinaryOp::kEq) return false;
+  if (const std::string* b = AsColumnOf(bin.left(), Side::kBase)) {
+    if (const std::string* r = AsColumnOf(bin.right(), Side::kDetail)) {
+      pair->base_col = *b;
+      pair->detail_col = *r;
+      return true;
+    }
+  }
+  if (const std::string* r = AsColumnOf(bin.left(), Side::kDetail)) {
+    if (const std::string* b = AsColumnOf(bin.right(), Side::kBase)) {
+      pair->base_col = *b;
+      pair->detail_col = *r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  SplitConjunctsInto(expr, &out);
+  return out;
+}
+
+std::set<std::string> CollectColumns(const ExprPtr& expr, Side side) {
+  std::set<std::string> out;
+  CollectColumnsInto(*expr, side, &out);
+  return out;
+}
+
+bool ReferencesSide(const ExprPtr& expr, Side side) {
+  return !CollectColumns(expr, side).empty();
+}
+
+ThetaDecomposition DecomposeTheta(const ExprPtr& theta) {
+  ThetaDecomposition out;
+  std::vector<ExprPtr> residual_conjuncts;
+  for (const ExprPtr& conjunct : SplitConjuncts(theta)) {
+    EquiPair pair;
+    if (AsEquiPair(conjunct, &pair)) {
+      out.pairs.push_back(std::move(pair));
+    } else {
+      residual_conjuncts.push_back(conjunct);
+    }
+  }
+  if (!residual_conjuncts.empty()) {
+    out.residual = AndAll(residual_conjuncts);
+  }
+  return out;
+}
+
+bool EntailsEquality(const ExprPtr& theta, const std::string& base_col,
+                     const std::string& detail_col) {
+  for (const ExprPtr& conjunct : SplitConjuncts(theta)) {
+    EquiPair pair;
+    if (AsEquiPair(conjunct, &pair) && pair.base_col == base_col &&
+        pair.detail_col == detail_col) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EntailsKeyEquality(const ExprPtr& theta,
+                        const std::vector<std::string>& key_attrs) {
+  for (const std::string& attr : key_attrs) {
+    if (!EntailsEquality(theta, attr, attr)) return false;
+  }
+  return true;
+}
+
+}  // namespace skalla

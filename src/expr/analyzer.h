@@ -1,0 +1,60 @@
+#ifndef SKALLA_EXPR_ANALYZER_H_
+#define SKALLA_EXPR_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// Splits a condition into its top-level AND conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Collects the names of all columns of the given side referenced anywhere
+/// in the expression (attr(θ) of the paper, restricted to one relation).
+std::set<std::string> CollectColumns(const ExprPtr& expr, Side side);
+
+/// True if the expression references any column of the given side.
+bool ReferencesSide(const ExprPtr& expr, Side side);
+
+/// An equality conjunct `B.base_col = R.detail_col`.
+struct EquiPair {
+  std::string base_col;
+  std::string detail_col;
+
+  bool operator==(const EquiPair& other) const {
+    return base_col == other.base_col && detail_col == other.detail_col;
+  }
+};
+
+/// Decomposition of a θ condition into hash-joinable equalities plus a
+/// residual predicate. The local GMDJ evaluator builds a hash index over B
+/// keyed on the `pairs` base columns and evaluates `residual` per match;
+/// when `pairs` is empty it falls back to a nested loop.
+struct ThetaDecomposition {
+  std::vector<EquiPair> pairs;
+  /// Conjunction of the non-equi conjuncts; null when none remain.
+  ExprPtr residual;
+};
+
+/// Extracts all top-level `B.x = R.y` conjuncts from θ.
+ThetaDecomposition DecomposeTheta(const ExprPtr& theta);
+
+/// True if θ has a top-level conjunct equivalent to
+/// `B.base_col = R.detail_col` (in either operand order). This implements
+/// the entailment tests of Proposition 2 and Corollary 1: θ entails θ_K
+/// when every key attribute has such a conjunct.
+bool EntailsEquality(const ExprPtr& theta, const std::string& base_col,
+                     const std::string& detail_col);
+
+/// True if θ entails equality on every listed base key attribute against
+/// the identically-named detail attribute (the common case where B was
+/// produced by a projection of R).
+bool EntailsKeyEquality(const ExprPtr& theta,
+                        const std::vector<std::string>& key_attrs);
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_ANALYZER_H_

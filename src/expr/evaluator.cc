@@ -1,0 +1,300 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace skalla {
+
+bool ValueIsTrue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return v.AsInt64() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+namespace {
+
+/// Three-valued truth for Kleene logic.
+enum class Truth { kFalse, kTrue, kUnknown };
+
+Truth ToTruth(const Value& v) {
+  if (v.is_null()) return Truth::kUnknown;
+  return ValueIsTrue(v) ? Truth::kTrue : Truth::kFalse;
+}
+
+Value FromTruth(Truth t) {
+  switch (t) {
+    case Truth::kFalse:
+      return Value(int64_t{0});
+    case Truth::kTrue:
+      return Value(int64_t{1});
+    case Truth::kUnknown:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // Division always happens in double precision: GMDJ conditions such as
+  // `R.NumBytes >= B.sum1 / B.cnt1` (Example 1 of the paper) expect real
+  // averages, not integer division.
+  if (op == BinaryOp::kDiv) {
+    const double denom = r.ToDouble();
+    if (denom == 0.0) return Value::Null();
+    return Value(l.ToDouble() / denom);
+  }
+  if (op == BinaryOp::kMod) {
+    if (!l.is_int64() || !r.is_int64() || r.AsInt64() == 0) {
+      return Value::Null();
+    }
+    return Value(l.AsInt64() % r.AsInt64());
+  }
+  if (l.is_int64() && r.is_int64()) {
+    const int64_t a = l.AsInt64();
+    const int64_t b = r.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      default:
+        break;
+    }
+  }
+  const double a = l.ToDouble();
+  const double b = r.ToDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value(a + b);
+    case BinaryOp::kSub:
+      return Value(a - b);
+    case BinaryOp::kMul:
+      return Value(a * b);
+    default:
+      break;
+  }
+  return Value::Null();
+}
+
+Value EvalComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const int cmp = l.Compare(r);
+  bool out = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      out = (cmp == 0);
+      break;
+    case BinaryOp::kNe:
+      out = (cmp != 0);
+      break;
+    case BinaryOp::kLt:
+      out = (cmp < 0);
+      break;
+    case BinaryOp::kLe:
+      out = (cmp <= 0);
+      break;
+    case BinaryOp::kGt:
+      out = (cmp > 0);
+      break;
+    case BinaryOp::kGe:
+      out = (cmp >= 0);
+      break;
+    default:
+      break;
+  }
+  return Value(int64_t{out ? 1 : 0});
+}
+
+}  // namespace
+
+Result<CompiledExpr> CompiledExpr::Compile(const ExprPtr& expr,
+                                           const Schema* base_schema,
+                                           const Schema* detail_schema) {
+  CompiledExpr compiled;
+
+  // Recursive lowering returning (node id, static type).
+  struct Lowerer {
+    CompiledExpr* out;
+    const Schema* base_schema;
+    const Schema* detail_schema;
+
+    Result<std::pair<int, ValueType>> Lower(const Expr& e) {
+      switch (e.kind()) {
+        case ExprKind::kColumn: {
+          const auto& col = static_cast<const ColumnExpr&>(e);
+          const Schema* schema =
+              col.side() == Side::kBase ? base_schema : detail_schema;
+          if (schema == nullptr) {
+            return Status::InvalidArgument(
+                std::string("no ") +
+                (col.side() == Side::kBase ? "base" : "detail") +
+                " schema bound for column reference " + col.ToString());
+          }
+          SKALLA_ASSIGN_OR_RETURN(int idx, schema->MustIndexOf(col.name()));
+          Node node;
+          node.kind = ExprKind::kColumn;
+          node.side = col.side();
+          node.col_index = idx;
+          out->nodes_.push_back(std::move(node));
+          return std::make_pair(static_cast<int>(out->nodes_.size()) - 1,
+                                schema->field(idx).type);
+        }
+        case ExprKind::kLiteral: {
+          const auto& lit = static_cast<const LiteralExpr&>(e);
+          Node node;
+          node.kind = ExprKind::kLiteral;
+          node.literal = lit.value();
+          out->nodes_.push_back(std::move(node));
+          return std::make_pair(static_cast<int>(out->nodes_.size()) - 1,
+                                lit.value().type());
+        }
+        case ExprKind::kUnary: {
+          const auto& un = static_cast<const UnaryExpr&>(e);
+          SKALLA_ASSIGN_OR_RETURN(auto operand, Lower(*un.operand()));
+          if (un.op() == UnaryOp::kNeg &&
+              operand.second == ValueType::kString) {
+            return Status::TypeError("cannot negate a string: " +
+                                     e.ToString());
+          }
+          Node node;
+          node.kind = ExprKind::kUnary;
+          node.unary_op = un.op();
+          node.left = operand.first;
+          out->nodes_.push_back(std::move(node));
+          const ValueType type = un.op() == UnaryOp::kNeg
+                                     ? operand.second
+                                     : ValueType::kInt64;
+          return std::make_pair(static_cast<int>(out->nodes_.size()) - 1,
+                                type);
+        }
+        case ExprKind::kBinary: {
+          const auto& bin = static_cast<const BinaryExpr&>(e);
+          SKALLA_ASSIGN_OR_RETURN(auto left, Lower(*bin.left()));
+          SKALLA_ASSIGN_OR_RETURN(auto right, Lower(*bin.right()));
+          SKALLA_ASSIGN_OR_RETURN(
+              ValueType type,
+              CheckTypes(bin.op(), left.second, right.second, e));
+          Node node;
+          node.kind = ExprKind::kBinary;
+          node.binary_op = bin.op();
+          node.left = left.first;
+          node.right = right.first;
+          out->nodes_.push_back(std::move(node));
+          return std::make_pair(static_cast<int>(out->nodes_.size()) - 1,
+                                type);
+        }
+      }
+      return Status::Internal("unreachable expr kind");
+    }
+
+    Result<ValueType> CheckTypes(BinaryOp op, ValueType l, ValueType r,
+                                 const Expr& e) {
+      auto numeric = [](ValueType t) {
+        return t == ValueType::kInt64 || t == ValueType::kDouble ||
+               t == ValueType::kNull;
+      };
+      if (IsArithmetic(op)) {
+        if (!numeric(l) || !numeric(r)) {
+          return Status::TypeError("arithmetic on non-numeric operands: " +
+                                   e.ToString());
+        }
+        if (op == BinaryOp::kDiv) return ValueType::kDouble;
+        if (op == BinaryOp::kMod) return ValueType::kInt64;
+        return (l == ValueType::kDouble || r == ValueType::kDouble)
+                   ? ValueType::kDouble
+                   : ValueType::kInt64;
+      }
+      if (IsComparison(op)) {
+        const bool l_str = l == ValueType::kString;
+        const bool r_str = r == ValueType::kString;
+        if (l_str != r_str && l != ValueType::kNull && r != ValueType::kNull) {
+          return Status::TypeError("comparison of string and numeric: " +
+                                   e.ToString());
+        }
+        return ValueType::kInt64;
+      }
+      // AND / OR accept anything truth-convertible.
+      return ValueType::kInt64;
+    }
+  };
+
+  Lowerer lowerer{&compiled, base_schema, detail_schema};
+  SKALLA_ASSIGN_OR_RETURN(auto root, lowerer.Lower(*expr));
+  compiled.root_ = root.first;
+  compiled.result_type_ = root.second;
+  return compiled;
+}
+
+Value CompiledExpr::EvalNode(int node_id, const Row* base_row,
+                             const Row* detail_row) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  switch (node.kind) {
+    case ExprKind::kColumn: {
+      const Row* row = node.side == Side::kBase ? base_row : detail_row;
+      SKALLA_DCHECK(row != nullptr);
+      return (*row)[static_cast<size_t>(node.col_index)];
+    }
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kUnary: {
+      const Value operand = EvalNode(node.left, base_row, detail_row);
+      if (node.unary_op == UnaryOp::kIsNull) {
+        return Value(int64_t{operand.is_null() ? 1 : 0});
+      }
+      if (node.unary_op == UnaryOp::kNot) {
+        const Truth t = ToTruth(operand);
+        if (t == Truth::kUnknown) return Value::Null();
+        return Value(int64_t{t == Truth::kTrue ? 0 : 1});
+      }
+      if (operand.is_null()) return Value::Null();
+      if (operand.is_int64()) return Value(-operand.AsInt64());
+      return Value(-operand.ToDouble());
+    }
+    case ExprKind::kBinary: {
+      if (node.binary_op == BinaryOp::kAnd) {
+        const Truth l = ToTruth(EvalNode(node.left, base_row, detail_row));
+        if (l == Truth::kFalse) return Value(int64_t{0});
+        const Truth r = ToTruth(EvalNode(node.right, base_row, detail_row));
+        if (r == Truth::kFalse) return Value(int64_t{0});
+        if (l == Truth::kUnknown || r == Truth::kUnknown) return Value::Null();
+        return Value(int64_t{1});
+      }
+      if (node.binary_op == BinaryOp::kOr) {
+        const Truth l = ToTruth(EvalNode(node.left, base_row, detail_row));
+        if (l == Truth::kTrue) return Value(int64_t{1});
+        const Truth r = ToTruth(EvalNode(node.right, base_row, detail_row));
+        if (r == Truth::kTrue) return Value(int64_t{1});
+        if (l == Truth::kUnknown || r == Truth::kUnknown) return Value::Null();
+        return Value(int64_t{0});
+      }
+      const Value l = EvalNode(node.left, base_row, detail_row);
+      const Value r = EvalNode(node.right, base_row, detail_row);
+      if (IsArithmetic(node.binary_op)) {
+        return EvalArithmetic(node.binary_op, l, r);
+      }
+      return EvalComparison(node.binary_op, l, r);
+    }
+  }
+  return Value::Null();
+}
+
+Value CompiledExpr::Eval(const Row* base_row, const Row* detail_row) const {
+  return EvalNode(root_, base_row, detail_row);
+}
+
+bool CompiledExpr::EvalBool(const Row* base_row, const Row* detail_row) const {
+  return ValueIsTrue(Eval(base_row, detail_row));
+}
+
+}  // namespace skalla

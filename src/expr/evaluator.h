@@ -1,0 +1,77 @@
+#ifndef SKALLA_EXPR_EVALUATOR_H_
+#define SKALLA_EXPR_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace skalla {
+
+/// \brief An expression compiled against concrete schemas.
+///
+/// Compilation resolves every column reference to a (side, index) pair and
+/// type-checks the tree, so that evaluation in the GMDJ inner loop does no
+/// name lookups and cannot fail. SQL NULL semantics:
+///  - arithmetic with a NULL operand yields NULL;
+///  - comparisons with a NULL operand yield NULL;
+///  - AND/OR use Kleene three-valued logic;
+///  - EvalBool maps NULL to false (a θ condition with unknown truth does not
+///    select the detail tuple).
+class CompiledExpr {
+ public:
+  /// Compiles `expr` against the two schemas. `base_schema` may be null for
+  /// single-relation expressions (any kBase reference then fails to compile).
+  static Result<CompiledExpr> Compile(const ExprPtr& expr,
+                                      const Schema* base_schema,
+                                      const Schema* detail_schema);
+
+  CompiledExpr(CompiledExpr&&) noexcept = default;
+  CompiledExpr& operator=(CompiledExpr&&) noexcept = default;
+  CompiledExpr(const CompiledExpr&) = default;
+  CompiledExpr& operator=(const CompiledExpr&) = default;
+
+  /// Evaluates against a pair of rows; a null row pointer is only legal if
+  /// the expression has no reference to that side.
+  Value Eval(const Row* base_row, const Row* detail_row) const;
+
+  /// Evaluates as a predicate: NULL and non-true become false.
+  bool EvalBool(const Row* base_row, const Row* detail_row) const;
+
+  /// Static type of the expression result (NULLs aside).
+  ValueType result_type() const { return result_type_; }
+
+ private:
+  struct Node {
+    ExprKind kind;
+    // kColumn:
+    Side side = Side::kDetail;
+    int col_index = -1;
+    // kLiteral:
+    Value literal;
+    // kUnary / kBinary:
+    UnaryOp unary_op = UnaryOp::kNeg;
+    BinaryOp binary_op = BinaryOp::kAdd;
+    int left = -1;   // node ids
+    int right = -1;
+  };
+
+  CompiledExpr() = default;
+
+  Value EvalNode(int node, const Row* base_row, const Row* detail_row) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  ValueType result_type_ = ValueType::kNull;
+};
+
+/// Convenience: true iff the value is non-NULL and numerically non-zero
+/// (or a non-empty string).
+bool ValueIsTrue(const Value& v);
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_EVALUATOR_H_

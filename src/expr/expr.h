@@ -1,0 +1,187 @@
+#ifndef SKALLA_EXPR_EXPR_H_
+#define SKALLA_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace skalla {
+
+/// Which relation a column reference names inside a GMDJ condition θ(b, r):
+/// the base-values relation B or the detail relation R (Definition 1 of the
+/// paper). Expressions over a single relation use kDetail by convention.
+enum class Side : uint8_t { kBase = 0, kDetail = 1 };
+
+const char* SideToString(Side side);
+
+enum class ExprKind : uint8_t { kColumn, kLiteral, kUnary, kBinary };
+
+enum class UnaryOp : uint8_t {
+  kNeg,
+  kNot,
+  /// SQL `IS NULL`: TRUE/FALSE (never unknown), the only way to test for
+  /// NULL since `= NULL` is always unknown.
+  kIsNull,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+bool IsComparison(BinaryOp op);
+bool IsArithmetic(BinaryOp op);
+
+class Expr;
+/// Immutable, shareable expression node. Optimizer rewrites build new trees
+/// reusing untouched subtrees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief A node of the expression AST used for GMDJ conditions, base-query
+/// filters, and derived group-reduction predicates.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Unparses to the surface syntax accepted by expr/parser.h.
+  virtual std::string ToString() const = 0;
+
+  /// Structural equality (same shape, ops, columns, literal values).
+  virtual bool Equals(const Expr& other) const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+/// Reference to column `name` of relation `side`.
+class ColumnExpr final : public Expr {
+ public:
+  ColumnExpr(Side side, std::string name)
+      : Expr(ExprKind::kColumn), side_(side), name_(std::move(name)) {}
+
+  Side side() const { return side_; }
+  const std::string& name() const { return name_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+
+ private:
+  Side side_;
+  std::string name_;
+};
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+
+ private:
+  Value value_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  std::string ToString() const override;
+  bool Equals(const Expr& other) const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// ---------------------------------------------------------------------------
+// Builder functions. These are the programmatic way to construct conditions;
+// expr/parser.h offers the equivalent textual surface syntax.
+// ---------------------------------------------------------------------------
+
+/// Column of the base-values relation: BCol("SourceAS") ≙ "B.SourceAS".
+ExprPtr BCol(std::string name);
+/// Column of the detail relation: RCol("NumBytes") ≙ "R.NumBytes".
+ExprPtr RCol(std::string name);
+ExprPtr Col(Side side, std::string name);
+ExprPtr Lit(Value value);
+
+ExprPtr Neg(ExprPtr operand);
+ExprPtr Not(ExprPtr operand);
+/// SQL `operand IS NULL`; wrap in Not() for IS NOT NULL.
+ExprPtr IsNull(ExprPtr operand);
+
+ExprPtr Add(ExprPtr left, ExprPtr right);
+ExprPtr Sub(ExprPtr left, ExprPtr right);
+ExprPtr Mul(ExprPtr left, ExprPtr right);
+ExprPtr Div(ExprPtr left, ExprPtr right);
+ExprPtr Mod(ExprPtr left, ExprPtr right);
+ExprPtr Eq(ExprPtr left, ExprPtr right);
+ExprPtr Ne(ExprPtr left, ExprPtr right);
+ExprPtr Lt(ExprPtr left, ExprPtr right);
+ExprPtr Le(ExprPtr left, ExprPtr right);
+ExprPtr Gt(ExprPtr left, ExprPtr right);
+ExprPtr Ge(ExprPtr left, ExprPtr right);
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+
+/// Conjunction of all (true when empty).
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+/// Disjunction of all (false when empty).
+ExprPtr OrAll(const std::vector<ExprPtr>& disjuncts);
+
+/// The literal TRUE / FALSE.
+ExprPtr True();
+ExprPtr False();
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_EXPR_H_

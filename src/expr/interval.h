@@ -1,0 +1,71 @@
+#ifndef SKALLA_EXPR_INTERVAL_H_
+#define SKALLA_EXPR_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "expr/expr.h"
+#include "storage/partition_info.h"
+
+namespace skalla {
+
+/// \brief A closed numeric interval [lo, hi]; lo/hi may be ±infinity.
+///
+/// The unit of the interval-arithmetic engine behind distribution-aware
+/// group reduction (Theorem 4 of the paper): detail-side sub-expressions are
+/// abstracted to the interval of values they can take at a given site.
+struct Interval {
+  double lo;
+  double hi;
+
+  static Interval Point(double v) { return Interval{v, v}; }
+  static Interval All();
+
+  bool IsPoint() const { return lo == hi; }
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  Interval Negate() const;
+  Interval Add(const Interval& other) const;
+  Interval Sub(const Interval& other) const;
+  Interval Mul(const Interval& other) const;
+  /// Division; unbounded when the divisor interval contains zero.
+  Interval Div(const Interval& other) const;
+
+  std::string ToString() const;
+};
+
+/// Computes the interval of a *pure detail-side* numeric expression under a
+/// site's partition predicate φ (attribute domains). Returns nullopt when
+/// the expression references the base side, strings, or attributes with no
+/// known bounds (the caller must then treat the atom as unconstrained).
+std::optional<Interval> DetailInterval(const ExprPtr& expr,
+                                       const PartitionInfo& site);
+
+/// \brief Derives the paper's ¬ψ_i(b) predicate for one site (Theorem 4).
+///
+/// Given θ₁ ∨ … ∨ θ_m (passed as the list of per-block conditions) and the
+/// site's φ_i, returns a *base-side only* predicate that is true for every
+/// base tuple b which could match any detail tuple at the site — i.e. a
+/// sound over-approximation of ∃r (φ_i(r) ∧ (θ₁∨…∨θ_m)(b, r)). The
+/// coordinator ships to site i only σ_{¬ψ_i}(B).
+///
+/// The relaxation rules per atom `lhs ⊙ rhs`:
+///  - one side pure-base, other pure-detail with interval [lo,hi]:
+///      =  → lo ≤ base_expr ≤ hi        ≠ → true
+///      <  → base_expr < hi             ≤ → base_expr ≤ hi
+///      >  → base_expr > lo             ≥ → base_expr ≥ lo
+///    (additionally, `B.x = R.y` with a finite value-set domain for y
+///     becomes an explicit membership disjunction when the set is small);
+///  - pure-detail atom: kept only if refutable from φ_i (then FALSE);
+///  - pure-base atom: kept verbatim;
+///  - anything else: TRUE (no reduction).
+/// AND/OR/NOT recurse structurally (NOT conservatively relaxes to TRUE
+/// unless its operand relaxes exactly).
+///
+/// Returns an expression whose column references are all Side::kBase.
+ExprPtr DeriveShipPredicate(const std::vector<ExprPtr>& thetas,
+                            const PartitionInfo& site);
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_INTERVAL_H_

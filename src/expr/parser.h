@@ -1,0 +1,44 @@
+#ifndef SKALLA_EXPR_PARSER_H_
+#define SKALLA_EXPR_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// Options controlling how column references in the surface syntax bind.
+struct ParserOptions {
+  /// Qualifier naming the base-values relation ("B" in `B.SourceAS`).
+  std::string base_alias = "B";
+  /// Qualifier naming the detail relation ("R" in `R.NumBytes`).
+  std::string detail_alias = "R";
+  /// Which side an unqualified identifier binds to.
+  Side default_side = Side::kDetail;
+};
+
+/// \brief Parses the textual condition syntax into an expression tree.
+///
+/// Grammar (usual precedence, lowest first):
+///
+///   expr    := or
+///   or      := and  ( ("||" | "or")  and )*
+///   and     := cmp  ( ("&&" | "and") cmp )*
+///   cmp     := sum  ( ("=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">=") sum
+///                   | ["not"] "in" "(" sum ("," sum)* ")"
+///                   | ["not"] "between" sum "and" sum )?
+///   sum     := term ( ("+" | "-") term )*
+///   term    := unary ( ("*" | "/" | "%") unary )*
+///   unary   := ("-" | "!" | "not") unary | primary
+///   primary := NUMBER | 'string' | QUALIFIER "." IDENT | IDENT | "(" expr ")"
+///             | "true" | "false" | "null"
+///
+/// Example: `B.SourceAS = R.SourceAS && R.NumBytes >= B.sum1 / B.cnt1`.
+Result<ExprPtr> ParseExpr(std::string_view text,
+                          const ParserOptions& options = ParserOptions());
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_PARSER_H_

@@ -1,0 +1,55 @@
+#include "expr/rewriter.h"
+
+#include "expr/evaluator.h"
+
+namespace skalla {
+
+bool IsLiteralTrue(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::kLiteral) return false;
+  const auto& lit = static_cast<const LiteralExpr&>(*expr);
+  return !lit.value().is_null() && ValueIsTrue(lit.value());
+}
+
+bool IsLiteralFalse(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::kLiteral) return false;
+  const auto& lit = static_cast<const LiteralExpr&>(*expr);
+  return lit.value().is_null() || !ValueIsTrue(lit.value());
+}
+
+ExprPtr SimplifyConstants(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumn:
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(*expr);
+      ExprPtr operand = SimplifyConstants(un.operand());
+      if (un.op() == UnaryOp::kNot) {
+        if (IsLiteralTrue(operand)) return False();
+        if (IsLiteralFalse(operand)) return True();
+      }
+      if (operand == un.operand()) return expr;
+      return std::make_shared<UnaryExpr>(un.op(), std::move(operand));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(*expr);
+      ExprPtr left = SimplifyConstants(bin.left());
+      ExprPtr right = SimplifyConstants(bin.right());
+      if (bin.op() == BinaryOp::kAnd) {
+        if (IsLiteralFalse(left) || IsLiteralFalse(right)) return False();
+        if (IsLiteralTrue(left)) return right;
+        if (IsLiteralTrue(right)) return left;
+      } else if (bin.op() == BinaryOp::kOr) {
+        if (IsLiteralTrue(left) || IsLiteralTrue(right)) return True();
+        if (IsLiteralFalse(left)) return right;
+        if (IsLiteralFalse(right)) return left;
+      }
+      if (left == bin.left() && right == bin.right()) return expr;
+      return std::make_shared<BinaryExpr>(bin.op(), std::move(left),
+                                          std::move(right));
+    }
+  }
+  return expr;
+}
+
+}  // namespace skalla

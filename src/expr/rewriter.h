@@ -1,0 +1,27 @@
+#ifndef SKALLA_EXPR_REWRITER_H_
+#define SKALLA_EXPR_REWRITER_H_
+
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// \brief Boolean constant folding.
+///
+/// Simplifies TRUE/FALSE literals out of AND/OR/NOT trees:
+///   TRUE  && e → e      FALSE && e → FALSE
+///   TRUE  || e → TRUE   FALSE || e → e
+///   !TRUE → FALSE, !FALSE → TRUE
+/// Used to tidy derived ship predicates (expr/interval.h) so that a
+/// predicate that relaxed to TRUE is recognizable as "no reduction".
+ExprPtr SimplifyConstants(const ExprPtr& expr);
+
+/// True if the expression is literally TRUE (after folding, a non-zero,
+/// non-null literal).
+bool IsLiteralTrue(const ExprPtr& expr);
+
+/// True if the expression is literally FALSE (a zero or NULL literal).
+bool IsLiteralFalse(const ExprPtr& expr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_REWRITER_H_

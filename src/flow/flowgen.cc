@@ -1,0 +1,79 @@
+#include "flow/flowgen.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+SchemaPtr FlowSchema() {
+  return MakeSchema({
+      {"RouterId", ValueType::kInt64},
+      {"SourceIP", ValueType::kInt64},
+      {"SourcePort", ValueType::kInt64},
+      {"SourceMask", ValueType::kInt64},
+      {"SourceAS", ValueType::kInt64},
+      {"DestIP", ValueType::kInt64},
+      {"DestPort", ValueType::kInt64},
+      {"DestMask", ValueType::kInt64},
+      {"DestAS", ValueType::kInt64},
+      {"StartTime", ValueType::kInt64},
+      {"EndTime", ValueType::kInt64},
+      {"NumPackets", ValueType::kInt64},
+      {"NumBytes", ValueType::kInt64},
+  });
+}
+
+int64_t RouterOfSourceAs(int64_t source_as, const FlowConfig& config) {
+  const int64_t block =
+      (config.num_as + config.num_routers - 1) / config.num_routers;
+  int64_t router = source_as / block;
+  if (router >= config.num_routers) router = config.num_routers - 1;
+  return router;
+}
+
+Table GenerateFlows(const FlowConfig& config) {
+  SKALLA_CHECK(config.num_routers > 0);
+  SKALLA_CHECK(config.num_as > 0);
+  Rng rng(config.seed);
+  Table table(FlowSchema());
+  table.Reserve(config.num_rows);
+
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    // Zipf-skewed AS popularity: a few systems carry most traffic.
+    const int64_t source_as = rng.Zipf(config.num_as, 0.8);
+    const int64_t dest_as = rng.Zipf(config.num_as, 0.8);
+    const int64_t router = RouterOfSourceAs(source_as, config);
+    const int64_t source_ip =
+        (source_as << 16) | rng.Uniform(0, 0xffff);
+    const int64_t dest_ip = (dest_as << 16) | rng.Uniform(0, 0xffff);
+    const bool is_web = rng.Chance(config.web_fraction);
+    const int64_t dest_port =
+        is_web ? (rng.Chance(0.8) ? 80 : 443) : rng.Uniform(1024, 65535);
+    const int64_t source_port = rng.Uniform(1024, 65535);
+    const int64_t start = rng.Uniform(0, config.num_hours * 3600 - 1);
+    const int64_t duration = rng.Uniform(0, 600);
+    const int64_t packets = 1 + rng.Zipf(10000, 1.1);
+    const int64_t bytes = packets * rng.Uniform(40, 1500);
+
+    Row row;
+    row.reserve(13);
+    row.push_back(Value(router));
+    row.push_back(Value(source_ip));
+    row.push_back(Value(source_port));
+    row.push_back(Value(int64_t{24}));
+    row.push_back(Value(source_as));
+    row.push_back(Value(dest_ip));
+    row.push_back(Value(dest_port));
+    row.push_back(Value(int64_t{24}));
+    row.push_back(Value(dest_as));
+    row.push_back(Value(start));
+    row.push_back(Value(start + duration));
+    row.push_back(Value(packets));
+    row.push_back(Value(bytes));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace skalla

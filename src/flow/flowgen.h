@@ -1,0 +1,42 @@
+#ifndef SKALLA_FLOW_FLOWGEN_H_
+#define SKALLA_FLOW_FLOWGEN_H_
+
+#include <cstdint>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief Parameters of the synthetic IP-flow generator.
+///
+/// Reproduces the paper's motivating application (Sect. 2.1): NetFlow-style
+/// records dumped by routers, one local warehouse per router. RouterId is
+/// the natural partition attribute; to match Example 2 of the paper, each
+/// router handles a contiguous block of source autonomous systems, so
+/// SourceAS is a partition attribute too.
+struct FlowConfig {
+  int64_t num_rows = 50000;
+  int64_t num_routers = 8;
+  int64_t num_as = 200;          ///< autonomous systems (source and dest)
+  int64_t num_hours = 24;        ///< StartTime spans this many hours
+  double web_fraction = 0.4;     ///< fraction of flows on port 80/443
+  uint64_t seed = 7;
+};
+
+/// The Flow fact relation schema of Sect. 2.1:
+/// Flow(RouterId, SourceIP, SourcePort, SourceMask, SourceAS, DestIP,
+///      DestPort, DestMask, DestAS, StartTime, EndTime, NumPackets,
+///      NumBytes).
+SchemaPtr FlowSchema();
+
+/// Generates the Flow relation; deterministic in `config.seed`. The
+/// generated RouterId equals the AS-block owner of SourceAS.
+Table GenerateFlows(const FlowConfig& config);
+
+/// The router owning a source AS under the block mapping.
+int64_t RouterOfSourceAs(int64_t source_as, const FlowConfig& config);
+
+}  // namespace skalla
+
+#endif  // SKALLA_FLOW_FLOWGEN_H_

@@ -1,0 +1,24 @@
+#ifndef SKALLA_GMDJ_CENTRAL_EVAL_H_
+#define SKALLA_GMDJ_CENTRAL_EVAL_H_
+
+#include "common/result.h"
+#include "gmdj/gmdj.h"
+#include "storage/catalog.h"
+
+namespace skalla {
+
+/// \brief Evaluates the base query B₀ over a single relation instance.
+Result<Table> EvalBaseQuery(const BaseQuery& base, const Table& source);
+
+/// \brief Centralized reference evaluation of a complex GMDJ expression.
+///
+/// Evaluates the chain against the full relations in `catalog` (i.e. as if
+/// all data lived in one warehouse). This is the correctness oracle for the
+/// distributed evaluator: by Theorems 1, 3, 4, 5 every distributed plan
+/// must produce exactly this result.
+Result<Table> EvalGmdjExprCentralized(const GmdjExpr& expr,
+                                      const Catalog& catalog);
+
+}  // namespace skalla
+
+#endif  // SKALLA_GMDJ_CENTRAL_EVAL_H_

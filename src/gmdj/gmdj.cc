@@ -1,0 +1,182 @@
+#include "gmdj/gmdj.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "expr/analyzer.h"
+#include "expr/evaluator.h"
+
+namespace skalla {
+
+std::vector<AggSpec> GmdjOp::AllAggs() const {
+  std::vector<AggSpec> out;
+  for (const GmdjBlock& block : blocks) {
+    out.insert(out.end(), block.aggs.begin(), block.aggs.end());
+  }
+  return out;
+}
+
+std::vector<ExprPtr> GmdjOp::AllThetas() const {
+  std::vector<ExprPtr> out;
+  out.reserve(blocks.size());
+  for (const GmdjBlock& block : blocks) out.push_back(block.theta);
+  return out;
+}
+
+namespace {
+
+Result<SchemaPtr> LookupSchema(const SchemaMap& schemas,
+                               const std::string& name) {
+  auto it = schemas.find(name);
+  if (it == schemas.end()) {
+    return Status::NotFound("no schema for relation '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<SchemaPtr> BaseResultSchema(const GmdjExpr& expr,
+                                   const SchemaMap& schemas, size_t k) {
+  if (k > expr.ops.size()) {
+    return Status::OutOfRange(
+        StrFormat("round %zu of a %zu-operator expression", k,
+                  expr.ops.size()));
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr source,
+                          LookupSchema(schemas, expr.base.source_table));
+  std::vector<Field> fields;
+  for (const std::string& col : expr.base.project_cols) {
+    SKALLA_ASSIGN_OR_RETURN(int idx, source->MustIndexOf(col));
+    fields.push_back(source->field(idx));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    const GmdjOp& op = expr.ops[i];
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr detail,
+                            LookupSchema(schemas, op.detail_table));
+    for (const AggSpec& spec : op.AllAggs()) {
+      SKALLA_ASSIGN_OR_RETURN(Field f, FinalFieldFor(spec, *detail));
+      fields.push_back(std::move(f));
+    }
+  }
+  return MakeSchema(std::move(fields));
+}
+
+Status ValidateGmdjExpr(const GmdjExpr& expr, const SchemaMap& schemas) {
+  if (expr.base.project_cols.empty()) {
+    return Status::InvalidArgument("base query has no projection columns");
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr source,
+                          LookupSchema(schemas, expr.base.source_table));
+  for (const std::string& col : expr.base.project_cols) {
+    if (!source->Contains(col)) {
+      return Status::NotFound("base projection column '" + col +
+                              "' not in relation '" + expr.base.source_table +
+                              "'");
+    }
+  }
+  if (expr.base.filter != nullptr) {
+    SKALLA_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::Compile(expr.base.filter, nullptr, source.get()));
+    (void)compiled;
+  }
+
+  std::set<std::string> output_names(expr.base.project_cols.begin(),
+                                     expr.base.project_cols.end());
+  for (size_t k = 0; k < expr.ops.size(); ++k) {
+    const GmdjOp& op = expr.ops[k];
+    if (op.blocks.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("GMDJ operator %zu has no blocks", k + 1));
+    }
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr detail,
+                            LookupSchema(schemas, op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr base_schema,
+                            BaseResultSchema(expr, schemas, k));
+    for (const GmdjBlock& block : op.blocks) {
+      if (block.theta == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("GMDJ operator %zu has a null condition", k + 1));
+      }
+      SKALLA_ASSIGN_OR_RETURN(
+          CompiledExpr compiled,
+          CompiledExpr::Compile(block.theta, base_schema.get(), detail.get()));
+      (void)compiled;
+      if (block.aggs.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("GMDJ operator %zu has a block with no aggregates",
+                      k + 1));
+      }
+      for (const AggSpec& spec : block.aggs) {
+        if (spec.output.empty()) {
+          return Status::InvalidArgument("aggregate with empty output name: " +
+                                         spec.ToString());
+        }
+        SKALLA_ASSIGN_OR_RETURN(Field f, FinalFieldFor(spec, *detail));
+        (void)f;
+        if (!output_names.insert(spec.output).second) {
+          return Status::AlreadyExists("duplicate output column '" +
+                                       spec.output + "'");
+        }
+      }
+    }
+  }
+  if (!expr.order_by.empty()) {
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr final_schema,
+                            BaseResultSchema(expr, schemas, expr.ops.size()));
+    for (const SortKey& key : expr.order_by) {
+      if (!final_schema->Contains(key.column)) {
+        return Status::NotFound("ORDER BY column '" + key.column +
+                                "' not in the result schema");
+      }
+    }
+  }
+  if (expr.having != nullptr) {
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr final_schema,
+                            BaseResultSchema(expr, schemas, expr.ops.size()));
+    if (ReferencesSide(expr.having, Side::kDetail)) {
+      return Status::InvalidArgument(
+          "HAVING may only reference base-result columns");
+    }
+    SKALLA_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::Compile(expr.having, final_schema.get(), nullptr));
+    (void)compiled;
+  }
+  return Status::OK();
+}
+
+std::string GmdjExprToString(const GmdjExpr& expr) {
+  std::ostringstream os;
+  std::string inner = "pi_{" + Join(expr.base.project_cols, ",") + "}(" +
+                      expr.base.source_table + ")";
+  if (expr.base.filter != nullptr) {
+    inner = "sigma_{" + expr.base.filter->ToString() + "}(" + inner + ")";
+  }
+  for (size_t k = 0; k < expr.ops.size(); ++k) {
+    const GmdjOp& op = expr.ops[k];
+    std::ostringstream md;
+    md << "MD(" << inner << ",\n   " << op.detail_table << ",\n   (";
+    for (size_t b = 0; b < op.blocks.size(); ++b) {
+      if (b) md << "; ";
+      std::vector<std::string> specs;
+      for (const AggSpec& spec : op.blocks[b].aggs) {
+        specs.push_back(spec.ToString());
+      }
+      md << "(" << Join(specs, ", ") << ")";
+    }
+    md << "),\n   (";
+    for (size_t b = 0; b < op.blocks.size(); ++b) {
+      if (b) md << "; ";
+      md << op.blocks[b].theta->ToString();
+    }
+    md << "))";
+    inner = md.str();
+  }
+  os << inner;
+  return os.str();
+}
+
+}  // namespace skalla

@@ -1,0 +1,104 @@
+#ifndef SKALLA_GMDJ_GMDJ_H_
+#define SKALLA_GMDJ_GMDJ_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/result.h"
+#include "engine/operators.h"
+#include "expr/expr.h"
+#include "storage/schema.h"
+
+namespace skalla {
+
+/// \brief One (l_i, θ_i) pair of a GMDJ operator (Definition 1 of the
+/// paper): a list of aggregates evaluated over RNG(b, R, θ_i).
+struct GmdjBlock {
+  std::vector<AggSpec> aggs;
+  /// θ_i(b, r): condition over base-side (Side::kBase) and detail-side
+  /// (Side::kDetail) columns.
+  ExprPtr theta;
+};
+
+/// \brief One MD operator: MD(B, R, (l_1..l_m), (θ_1..θ_m)).
+///
+/// The base-values relation B is implicit — in a GmdjExpr chain it is the
+/// result of the previous operator (or the base query for the first).
+struct GmdjOp {
+  /// Name of the detail relation R_k for this round (the paper allows the
+  /// detail relation to change across rounds).
+  std::string detail_table;
+  std::vector<GmdjBlock> blocks;
+
+  /// All aggregate specs across blocks, in output order.
+  std::vector<AggSpec> AllAggs() const;
+  /// All θ conditions, in block order.
+  std::vector<ExprPtr> AllThetas() const;
+};
+
+/// \brief The base-values query B₀: a (distinct) projection of a source
+/// relation, optionally filtered. This is the common shape used throughout
+/// the paper (e.g. B₀ = π_{SAS,DAS}(Flow) in Example 1); the projection
+/// columns become the key attributes K of the base-result structure.
+struct BaseQuery {
+  std::string source_table;
+  std::vector<std::string> project_cols;
+  /// Optional filter over the source relation (detail-side references).
+  ExprPtr filter;
+  bool distinct = true;
+};
+
+/// \brief A complex GMDJ expression: a chain
+/// MD_n(... MD_1(B₀, R_1, l_1, θ_1) ..., R_n, l_n, θ_n)
+/// where each inner result is the next operator's base-values relation.
+struct GmdjExpr {
+  BaseQuery base;
+  std::vector<GmdjOp> ops;
+
+  /// Optional presentation of the final relation: ORDER BY keys (with a
+  /// deterministic full-row tie-break) and a row LIMIT, applied after
+  /// HAVING. Presentation never affects distributed evaluation — only how
+  /// the finished base-result structure is returned.
+  std::vector<SortKey> order_by;
+  int64_t limit = -1;  ///< negative = no limit
+
+  /// Optional HAVING condition applied to the finalized base-result
+  /// structure after the last operator: a base-side-only predicate over
+  /// the key attributes and aggregate outputs. Evaluated once at the
+  /// coordinator — it never affects what the sites compute or ship.
+  ExprPtr having;
+
+  /// The key attributes K of the base-result structure (the projection
+  /// columns of the base query).
+  const std::vector<std::string>& key_attrs() const {
+    return base.project_cols;
+  }
+};
+
+/// Mapping from relation name to its schema, used for validation and
+/// result-schema computation.
+using SchemaMap = std::map<std::string, SchemaPtr>;
+
+/// Structural and type validation of a GMDJ expression:
+///  - the base source and every detail table must be in `schemas`;
+///  - projection columns must exist in the base source;
+///  - aggregate inputs must exist (with aggregable types) in their detail
+///    relation;
+///  - every θ_k must compile against (X_{k-1} schema, R_k schema);
+///  - aggregate output names must be unique and must not collide with the
+///    key attributes.
+Status ValidateGmdjExpr(const GmdjExpr& expr, const SchemaMap& schemas);
+
+/// The schema of the base-result structure after round k (k = 0 is the base
+/// query result; k = ops.size() is the final query result schema).
+Result<SchemaPtr> BaseResultSchema(const GmdjExpr& expr,
+                                   const SchemaMap& schemas, size_t k);
+
+/// Pretty-prints the expression in the paper's MD(...) notation.
+std::string GmdjExprToString(const GmdjExpr& expr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_GMDJ_GMDJ_H_

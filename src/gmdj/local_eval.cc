@@ -1,0 +1,266 @@
+#include "gmdj/local_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "expr/analyzer.h"
+#include "expr/evaluator.h"
+#include "storage/hash_index.h"
+
+namespace skalla {
+
+namespace {
+
+/// Per-block execution artifacts prepared before the detail scan.
+struct BlockPlan {
+  // Hash path: base/probe key column indices (empty → nested loop).
+  std::vector<int> base_key_cols;
+  std::vector<int> detail_key_cols;
+  // Residual predicate (hash path) or the full θ (nested-loop path);
+  // nullopt when the hash keys fully cover θ.
+  std::optional<CompiledExpr> predicate;
+  // Detail column index per aggregate; -1 for COUNT(*).
+  std::vector<int> agg_inputs;
+};
+
+}  // namespace
+
+Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
+                         const GmdjOp& op, const LocalGmdjOptions& options) {
+  const Schema& base_schema = base.schema();
+  const Schema& detail_schema = detail.schema();
+
+  // Resolve carry columns.
+  std::vector<int> carry_indices;
+  std::vector<Field> out_fields;
+  if (options.carry_cols.empty()) {
+    carry_indices.resize(static_cast<size_t>(base_schema.num_fields()));
+    for (size_t i = 0; i < carry_indices.size(); ++i) {
+      carry_indices[i] = static_cast<int>(i);
+      out_fields.push_back(base_schema.field(static_cast<int>(i)));
+    }
+  } else {
+    for (const std::string& name : options.carry_cols) {
+      SKALLA_ASSIGN_OR_RETURN(int idx, base_schema.MustIndexOf(name));
+      carry_indices.push_back(idx);
+      out_fields.push_back(base_schema.field(idx));
+    }
+  }
+
+  // Prepare per-block plans and output schema.
+  std::vector<BlockPlan> plans;
+  plans.reserve(op.blocks.size());
+  for (const GmdjBlock& block : op.blocks) {
+    BlockPlan plan;
+    ThetaDecomposition decomposition = DecomposeTheta(block.theta);
+    if (!decomposition.pairs.empty()) {
+      for (const EquiPair& pair : decomposition.pairs) {
+        SKALLA_ASSIGN_OR_RETURN(int b_idx,
+                                base_schema.MustIndexOf(pair.base_col));
+        SKALLA_ASSIGN_OR_RETURN(int d_idx,
+                                detail_schema.MustIndexOf(pair.detail_col));
+        plan.base_key_cols.push_back(b_idx);
+        plan.detail_key_cols.push_back(d_idx);
+      }
+      if (decomposition.residual != nullptr) {
+        SKALLA_ASSIGN_OR_RETURN(
+            CompiledExpr compiled,
+            CompiledExpr::Compile(decomposition.residual, &base_schema,
+                                  &detail_schema));
+        plan.predicate = std::move(compiled);
+      }
+    } else {
+      SKALLA_ASSIGN_OR_RETURN(
+          CompiledExpr compiled,
+          CompiledExpr::Compile(block.theta, &base_schema, &detail_schema));
+      plan.predicate = std::move(compiled);
+    }
+    for (const AggSpec& spec : block.aggs) {
+      if (spec.is_count_star()) {
+        plan.agg_inputs.push_back(-1);
+      } else {
+        SKALLA_ASSIGN_OR_RETURN(int idx,
+                                detail_schema.MustIndexOf(spec.input));
+        plan.agg_inputs.push_back(idx);
+      }
+      if (options.mode == AggMode::kFinal) {
+        SKALLA_ASSIGN_OR_RETURN(Field f, FinalFieldFor(spec, detail_schema));
+        out_fields.push_back(std::move(f));
+      } else {
+        SKALLA_ASSIGN_OR_RETURN(std::vector<Field> fs,
+                                SubFieldsFor(spec, detail_schema));
+        out_fields.insert(out_fields.end(), fs.begin(), fs.end());
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Aggregate states: per block, |B| × |aggs| accumulators.
+  const size_t num_base = static_cast<size_t>(base.num_rows());
+  std::vector<std::vector<AggState>> states(op.blocks.size());
+  for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
+    const auto& aggs = op.blocks[blk].aggs;
+    states[blk].reserve(num_base * aggs.size());
+    for (size_t r = 0; r < num_base; ++r) {
+      for (const AggSpec& spec : aggs) {
+        states[blk].emplace_back(spec.func);
+      }
+    }
+  }
+  std::vector<char> touched(num_base, 0);
+
+  static const Value kOne(int64_t{1});
+  auto update_match = [&](size_t blk, int64_t base_row_id,
+                          const Row& detail_row) {
+    touched[static_cast<size_t>(base_row_id)] = 1;
+    const BlockPlan& plan = plans[blk];
+    const size_t num_aggs = op.blocks[blk].aggs.size();
+    AggState* row_states =
+        &states[blk][static_cast<size_t>(base_row_id) * num_aggs];
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const int in = plan.agg_inputs[a];
+      row_states[a].Update(in < 0 ? kOne : detail_row[static_cast<size_t>(in)]);
+    }
+  };
+
+  // Compares the projections of two rows onto (possibly different) key
+  // column lists; used by the sort-merge path.
+  auto compare_keys = [](const Row& a, const std::vector<int>& a_cols,
+                         const Row& b, const std::vector<int>& b_cols) {
+    for (size_t i = 0; i < a_cols.size(); ++i) {
+      const int c = a[static_cast<size_t>(a_cols[i])].Compare(
+          b[static_cast<size_t>(b_cols[i])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+
+  // One detail scan per block. Blocks typically share the same equi-key
+  // over B (key equality appears in every θ), so hash indexes are built
+  // once per distinct key-column set and reused across blocks.
+  std::map<std::vector<int>, HashIndex> index_cache;
+  for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
+    const BlockPlan& plan = plans[blk];
+    if (!plan.base_key_cols.empty() &&
+        options.join == JoinStrategy::kSortMerge) {
+      // Sort row ids of both sides on the equi-key, then merge runs.
+      std::vector<int64_t> base_ids(static_cast<size_t>(base.num_rows()));
+      std::iota(base_ids.begin(), base_ids.end(), 0);
+      std::sort(base_ids.begin(), base_ids.end(),
+                [&](int64_t a, int64_t b) {
+                  return compare_keys(base.row(a), plan.base_key_cols,
+                                      base.row(b), plan.base_key_cols) < 0;
+                });
+      std::vector<int64_t> detail_ids(
+          static_cast<size_t>(detail.num_rows()));
+      std::iota(detail_ids.begin(), detail_ids.end(), 0);
+      std::sort(detail_ids.begin(), detail_ids.end(),
+                [&](int64_t a, int64_t b) {
+                  return compare_keys(detail.row(a), plan.detail_key_cols,
+                                      detail.row(b),
+                                      plan.detail_key_cols) < 0;
+                });
+      size_t b_pos = 0;
+      size_t d_pos = 0;
+      while (b_pos < base_ids.size() && d_pos < detail_ids.size()) {
+        const int cmp = compare_keys(
+            base.row(base_ids[b_pos]), plan.base_key_cols,
+            detail.row(detail_ids[d_pos]), plan.detail_key_cols);
+        if (cmp < 0) {
+          ++b_pos;
+          continue;
+        }
+        if (cmp > 0) {
+          ++d_pos;
+          continue;
+        }
+        // Runs of equal keys on both sides.
+        size_t b_end = b_pos + 1;
+        while (b_end < base_ids.size() &&
+               compare_keys(base.row(base_ids[b_end]), plan.base_key_cols,
+                            base.row(base_ids[b_pos]),
+                            plan.base_key_cols) == 0) {
+          ++b_end;
+        }
+        size_t d_end = d_pos + 1;
+        while (d_end < detail_ids.size() &&
+               compare_keys(detail.row(detail_ids[d_end]),
+                            plan.detail_key_cols,
+                            detail.row(detail_ids[d_pos]),
+                            plan.detail_key_cols) == 0) {
+          ++d_end;
+        }
+        for (size_t d = d_pos; d < d_end; ++d) {
+          const Row& detail_row = detail.row(detail_ids[d]);
+          for (size_t b = b_pos; b < b_end; ++b) {
+            const int64_t base_row_id = base_ids[b];
+            if (plan.predicate.has_value() &&
+                !plan.predicate->EvalBool(&base.row(base_row_id),
+                                          &detail_row)) {
+              continue;
+            }
+            update_match(blk, base_row_id, detail_row);
+          }
+        }
+        b_pos = b_end;
+        d_pos = d_end;
+      }
+    } else if (!plan.base_key_cols.empty()) {
+      auto [it, inserted] = index_cache.try_emplace(plan.base_key_cols);
+      HashIndex& index = it->second;
+      if (inserted) index.Build(base, plan.base_key_cols);
+      for (const Row& detail_row : detail.rows()) {
+        const std::vector<int64_t>* matches =
+            index.Lookup(detail_row, plan.detail_key_cols);
+        if (matches == nullptr) continue;
+        for (int64_t base_row_id : *matches) {
+          if (plan.predicate.has_value() &&
+              !plan.predicate->EvalBool(&base.row(base_row_id), &detail_row)) {
+            continue;
+          }
+          update_match(blk, base_row_id, detail_row);
+        }
+      }
+    } else {
+      for (const Row& detail_row : detail.rows()) {
+        for (int64_t base_row_id = 0; base_row_id < base.num_rows();
+             ++base_row_id) {
+          if (!plan.predicate->EvalBool(&base.row(base_row_id), &detail_row)) {
+            continue;
+          }
+          update_match(blk, base_row_id, detail_row);
+        }
+      }
+    }
+  }
+
+  // Emit output rows.
+  Table out(MakeSchema(std::move(out_fields)));
+  out.Reserve(base.num_rows());
+  for (int64_t r = 0; r < base.num_rows(); ++r) {
+    if (options.touched_only && !touched[static_cast<size_t>(r)]) continue;
+    Row row;
+    row.reserve(carry_indices.size() + 4);
+    const Row& base_row = base.row(r);
+    for (int idx : carry_indices) {
+      row.push_back(base_row[static_cast<size_t>(idx)]);
+    }
+    for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
+      const size_t num_aggs = op.blocks[blk].aggs.size();
+      const AggState* row_states =
+          &states[blk][static_cast<size_t>(r) * num_aggs];
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (options.mode == AggMode::kFinal) {
+          row.push_back(row_states[a].Final());
+        } else {
+          row_states[a].EmitSub(&row);
+        }
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace skalla

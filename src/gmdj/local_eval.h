@@ -1,0 +1,63 @@
+#ifndef SKALLA_GMDJ_LOCAL_EVAL_H_
+#define SKALLA_GMDJ_LOCAL_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "gmdj/gmdj.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// Whether the evaluator emits finalized aggregate values (centralized
+/// evaluation) or shippable sub-aggregates (site-side evaluation, to be
+/// merged by the coordinator's super-aggregates — Theorem 1).
+enum class AggMode { kFinal, kSub };
+
+/// How equi-key blocks match detail tuples to base tuples.
+enum class JoinStrategy {
+  /// Hash index over B probed once per detail tuple (default; O(|B|+|R|)).
+  kHash,
+  /// Sort both sides on the equi-key and merge runs. Same complexity up to
+  /// the O(n log n) sorts; better locality on large runs. Provided as a
+  /// design-choice ablation (bench_gmdj_local compares the two).
+  kSortMerge,
+};
+
+/// Options of one local GMDJ evaluation.
+struct LocalGmdjOptions {
+  AggMode mode = AggMode::kFinal;
+
+  JoinStrategy join = JoinStrategy::kHash;
+
+  /// Distribution-independent group reduction (Proposition 1): emit only
+  /// base tuples b with |RNG(b, R_i, θ₁ ∨ … ∨ θ_m)| > 0. Equivalent to the
+  /// paper's guard COUNT(*) over the θ-disjunction followed by a COUNT > 0
+  /// selection, fused into the evaluation.
+  bool touched_only = false;
+
+  /// Base columns copied into the output ahead of the aggregate columns.
+  /// Empty means "all base columns" (centralized evaluation); distributed
+  /// rounds ship only the key attributes K.
+  std::vector<std::string> carry_cols;
+};
+
+/// \brief Evaluates one GMDJ operator MD(base, detail, blocks) locally.
+///
+/// Implementation: per block, θ is decomposed (expr/analyzer.h) into
+/// `B.x = R.y` equi-conjuncts plus a residual. With equi-conjuncts present,
+/// a hash index over the base relation keyed on the x-columns is probed
+/// once per detail tuple — O(|B| + |R|·matches) — with the residual
+/// evaluated per candidate match. Without equi-conjuncts the evaluator
+/// falls back to the nested loop O(|B|·|R|) demanded by GMDJ generality
+/// (RNG sets may overlap arbitrarily).
+///
+/// The output contains one row per base tuple (or per *touched* base tuple
+/// when options.touched_only): carry columns followed by, for every block
+/// in order, every aggregate's value(s) in `options.mode` form.
+Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
+                         const GmdjOp& op, const LocalGmdjOptions& options);
+
+}  // namespace skalla
+
+#endif  // SKALLA_GMDJ_LOCAL_EVAL_H_

@@ -1,0 +1,90 @@
+#include "net/sim_network.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+void SimNetwork::BeginRound(std::string label) {
+  round_labels_.push_back(std::move(label));
+  current_round_ = static_cast<int>(round_labels_.size()) - 1;
+}
+
+double SimNetwork::Transfer(int from, int to, size_t bytes, int64_t rows,
+                            std::string label) {
+  TransferRecord record;
+  record.from = from;
+  record.to = to;
+  record.bytes = bytes;
+  record.rows = rows;
+  record.round = current_round_;
+  record.label = std::move(label);
+  record.seconds = config_.TransferSeconds(bytes);
+  transfers_.push_back(record);
+  return record.seconds;
+}
+
+size_t SimNetwork::TotalBytes() const {
+  size_t total = 0;
+  for (const TransferRecord& t : transfers_) total += t.bytes;
+  return total;
+}
+
+size_t SimNetwork::BytesToCoordinator() const {
+  size_t total = 0;
+  for (const TransferRecord& t : transfers_) {
+    if (t.to == kCoordinatorId) total += t.bytes;
+  }
+  return total;
+}
+
+size_t SimNetwork::BytesFromCoordinator() const {
+  size_t total = 0;
+  for (const TransferRecord& t : transfers_) {
+    if (t.from == kCoordinatorId) total += t.bytes;
+  }
+  return total;
+}
+
+int64_t SimNetwork::RowsToCoordinator() const {
+  int64_t total = 0;
+  for (const TransferRecord& t : transfers_) {
+    if (t.to == kCoordinatorId) total += t.rows;
+  }
+  return total;
+}
+
+int64_t SimNetwork::RowsFromCoordinator() const {
+  int64_t total = 0;
+  for (const TransferRecord& t : transfers_) {
+    if (t.from == kCoordinatorId) total += t.rows;
+  }
+  return total;
+}
+
+void SimNetwork::Reset() {
+  transfers_.clear();
+  round_labels_.clear();
+  current_round_ = -1;
+}
+
+std::string SimNetwork::Report() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < round_labels_.size(); ++r) {
+    size_t to_sites = 0;
+    size_t to_coord = 0;
+    for (const TransferRecord& t : transfers_) {
+      if (t.round != static_cast<int>(r)) continue;
+      if (t.from == kCoordinatorId) to_sites += t.bytes;
+      if (t.to == kCoordinatorId) to_coord += t.bytes;
+    }
+    os << StrFormat("round %zu (%s): coord->sites %s, sites->coord %s\n", r,
+                    round_labels_[r].c_str(), HumanBytes(static_cast<double>(to_sites)).c_str(),
+                    HumanBytes(static_cast<double>(to_coord)).c_str());
+  }
+  os << "total: " << HumanBytes(static_cast<double>(TotalBytes()));
+  return os.str();
+}
+
+}  // namespace skalla

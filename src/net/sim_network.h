@@ -1,0 +1,70 @@
+#ifndef SKALLA_NET_SIM_NETWORK_H_
+#define SKALLA_NET_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/cost_model.h"
+
+namespace skalla {
+
+/// Endpoint id of the coordinator in transfer records.
+inline constexpr int kCoordinatorId = -1;
+
+/// One recorded message on the simulated network.
+struct TransferRecord {
+  int from = kCoordinatorId;
+  int to = kCoordinatorId;
+  size_t bytes = 0;
+  int64_t rows = 0;       ///< relation rows carried (0 for control messages)
+  int round = -1;
+  std::string label;
+  double seconds = 0.0;   ///< simulated transfer time charged
+};
+
+/// \brief In-process stand-in for the warehouse's WAN.
+///
+/// Every relation shipped between the coordinator and a site is first
+/// binary-serialized (storage/serializer.h), so byte counts are exact; the
+/// cost model then converts bytes to simulated seconds. The network never
+/// loses or reorders messages — Skalla's evaluation algorithm is
+/// synchronous by construction (rounds).
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkConfig config = NetworkConfig())
+      : config_(config) {}
+
+  const NetworkConfig& config() const { return config_; }
+
+  /// Starts a new accounting round with a human-readable label.
+  void BeginRound(std::string label);
+
+  /// Records one message and returns the simulated seconds it took.
+  double Transfer(int from, int to, size_t bytes, int64_t rows,
+                  std::string label);
+
+  const std::vector<TransferRecord>& transfers() const { return transfers_; }
+
+  size_t TotalBytes() const;
+  size_t BytesToCoordinator() const;
+  size_t BytesFromCoordinator() const;
+  int64_t RowsToCoordinator() const;
+  int64_t RowsFromCoordinator() const;
+
+  /// Clears all recorded traffic (metrics for a fresh query).
+  void Reset();
+
+  /// A per-round traffic summary for debugging.
+  std::string Report() const;
+
+ private:
+  NetworkConfig config_;
+  std::vector<TransferRecord> transfers_;
+  std::vector<std::string> round_labels_;
+  int current_round_ = -1;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_NET_SIM_NETWORK_H_

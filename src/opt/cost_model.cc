@@ -1,0 +1,282 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "dist/tree_coordinator.h"
+
+namespace skalla {
+
+Result<RelationStats> ProfileRelation(const Table& table,
+                                      const std::vector<std::string>& attrs) {
+  RelationStats stats;
+  stats.rows = table.num_rows();
+  for (const std::string& attr : attrs) {
+    SKALLA_ASSIGN_OR_RETURN(int idx, table.schema().MustIndexOf(attr));
+    std::unordered_set<uint64_t> hashes;
+    double width_sum = 0;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.Get(r, idx);
+      hashes.insert(v.Hash());
+      width_sum += static_cast<double>(v.SerializedSize());
+    }
+    stats.distinct_counts[attr] = static_cast<int64_t>(hashes.size());
+    stats.avg_widths[attr] =
+        table.num_rows() == 0 ? 0.0
+                              : width_sum / static_cast<double>(table.num_rows());
+  }
+  return stats;
+}
+
+std::string CostBreakdown::ToString() const {
+  return StrFormat(
+      "estimate: %d round(s), |Q|~%.0f, down %s, up %s, comm %.3fs",
+      rounds, groups, HumanBytes(bytes_down).c_str(),
+      HumanBytes(bytes_up).c_str(), comm_seconds);
+}
+
+namespace {
+
+/// Serialized width of one numeric aggregate column (tag + 8 bytes).
+constexpr double kAggColBytes = 9.0;
+
+/// Fixed serialization overhead charged once per shipped relation
+/// (magic + schema header + row count); small but keeps tiny-relation
+/// estimates honest.
+constexpr double kTableHeaderBytes = 64.0;
+
+}  // namespace
+
+bool CostEstimator::KeysContainPartitionAttribute(
+    const DistributedPlan& plan) const {
+  if (site_infos_.empty()) return false;
+  for (const std::string& attr : plan.key_attrs) {
+    if (IsPartitionAttribute(attr, site_infos_)) return true;
+  }
+  return false;
+}
+
+Result<double> CostEstimator::EstimateGroups(
+    const DistributedPlan& plan) const {
+  auto it = stats_.find(plan.base.source_table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for relation '" +
+                            plan.base.source_table + "'");
+  }
+  const RelationStats& stats = it->second;
+  // Independence assumption capped by the relation size (the classic
+  // System-R style estimate).
+  double groups = 1;
+  for (const std::string& attr : plan.key_attrs) {
+    auto d = stats.distinct_counts.find(attr);
+    if (d == stats.distinct_counts.end()) {
+      return Status::NotFound("no distinct-count statistic for '" + attr +
+                              "'");
+    }
+    groups *= static_cast<double>(std::max<int64_t>(1, d->second));
+  }
+  return std::min(groups, static_cast<double>(std::max<int64_t>(1, stats.rows)));
+}
+
+Result<double> CostEstimator::XRowWidth(const DistributedPlan& plan,
+                                        int agg_cols) const {
+  auto it = stats_.find(plan.base.source_table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for relation '" +
+                            plan.base.source_table + "'");
+  }
+  double width = 0;
+  for (const std::string& attr : plan.key_attrs) {
+    auto w = it->second.avg_widths.find(attr);
+    if (w == it->second.avg_widths.end()) {
+      return Status::NotFound("no width statistic for '" + attr + "'");
+    }
+    width += w->second;
+  }
+  return width + kAggColBytes * agg_cols;
+}
+
+Result<CostBreakdown> CostEstimator::EstimateFlat(
+    const DistributedPlan& plan) const {
+  CostBreakdown cost;
+  SKALLA_ASSIGN_OR_RETURN(cost.groups, EstimateGroups(plan));
+  const bool partitioned = KeysContainPartitionAttribute(plan);
+  const double s = static_cast<double>(num_sites_);
+
+  double messages = 0;
+
+  // Base round: per site, a plan message down and a B_i relation up. Under
+  // a partition-attribute key each group lives at one site; otherwise
+  // every site may contribute every group.
+  if (!plan.fuse_base) {
+    SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
+    cost.rounds += 1;
+    cost.bytes_down += s * 512.0;  // kQueryPlanBytes
+    const double up_groups = partitioned ? cost.groups : s * cost.groups;
+    cost.bytes_up += up_groups * key_width + s * kTableHeaderBytes;
+    messages += 2 * s;
+  }
+
+  int completed_agg_cols = 0;
+  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+    const PlanRound& round = plan.rounds[r];
+    const bool fused = plan.fuse_base && r == 0;
+    cost.rounds += 1;
+
+    int round_sub_cols = 0;
+    int round_final_cols = 0;
+    for (const GmdjOp& op : round.ops) {
+      for (const AggSpec& spec : op.AllAggs()) {
+        round_sub_cols += SubArity(spec.func);
+        round_final_cols += 1;
+      }
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(double x_width,
+                            XRowWidth(plan, completed_agg_cols));
+    SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
+    const double h_width = key_width + kAggColBytes * round_sub_cols;
+
+    if (fused) {
+      cost.bytes_down += s * 512.0;
+    } else {
+      // Aware reduction with a partitioned key ships each group to one
+      // site; otherwise every site receives the whole structure.
+      const double down_groups =
+          (round.flags.aware_group_reduction && partitioned)
+              ? cost.groups
+              : s * cost.groups;
+      cost.bytes_down += down_groups * x_width + s * kTableHeaderBytes;
+    }
+    // Independent reduction returns each group from the sites that touch
+    // it (once in total under a partitioned key); fused rounds return the
+    // full local base regardless.
+    const double up_groups =
+        (fused || (round.flags.independent_group_reduction && partitioned))
+            ? cost.groups
+            : s * cost.groups;
+    cost.bytes_up += up_groups * h_width + s * kTableHeaderBytes;
+    messages += 2 * s;
+    completed_agg_cols += round_final_cols;
+  }
+
+  cost.comm_seconds = messages * net_.latency_sec +
+                      cost.TotalBytes() / net_.bandwidth_bytes_per_sec;
+  return cost;
+}
+
+Result<CostBreakdown> CostEstimator::EstimateTree(const DistributedPlan& plan,
+                                                  int fan_in) const {
+  if (fan_in < 2) {
+    return Status::InvalidArgument("tree fan-in must be at least 2");
+  }
+  CostBreakdown cost;
+  SKALLA_ASSIGN_OR_RETURN(cost.groups, EstimateGroups(plan));
+  const bool partitioned = KeysContainPartitionAttribute(plan);
+  const TreeTopology topology = TreeTopology::Build(num_sites_, fan_in);
+  const double s = static_cast<double>(num_sites_);
+
+  // Per-level edge counts and the per-leaf group share.
+  const double leaf_groups = partitioned ? cost.groups / s : cost.groups;
+
+  double down_time = 0;
+  double up_time = 0;
+
+  auto level_width = [&](int level) {
+    // Number of leaves covered by a node at `level`.
+    return std::pow(static_cast<double>(fan_in), level);
+  };
+
+  int completed_agg_cols = 0;
+
+  if (!plan.fuse_base) {
+    SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
+    cost.rounds += 1;
+    for (int level = 1; level < topology.num_levels; ++level) {
+      // A parent at `level` receives ≤ fan_in child relations, each capped
+      // at the full group count.
+      const double child_groups =
+          std::min(cost.groups, leaf_groups * level_width(level - 1));
+      const double child_bytes =
+          child_groups * key_width + kTableHeaderBytes;
+      const double children =
+          static_cast<double>(topology.NodesAtLevel(level - 1).size());
+      cost.bytes_up += children * child_bytes;
+      up_time += static_cast<double>(fan_in) *
+                 net_.TransferSeconds(static_cast<size_t>(child_bytes));
+    }
+    cost.bytes_down += 512.0 * static_cast<double>(topology.nodes.size() - 1);
+  }
+
+  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+    const PlanRound& round = plan.rounds[r];
+    const bool fused = plan.fuse_base && r == 0;
+    cost.rounds += 1;
+
+    int round_sub_cols = 0;
+    int round_final_cols = 0;
+    for (const GmdjOp& op : round.ops) {
+      for (const AggSpec& spec : op.AllAggs()) {
+        round_sub_cols += SubArity(spec.func);
+        round_final_cols += 1;
+      }
+    }
+    SKALLA_ASSIGN_OR_RETURN(double x_width,
+                            XRowWidth(plan, completed_agg_cols));
+    SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
+    const double h_width = key_width + kAggColBytes * round_sub_cols;
+
+    if (!fused) {
+      // Broadcast of the full X along every edge; per level the busiest
+      // node forwards fan_in copies.
+      const double x_bytes = cost.groups * x_width + kTableHeaderBytes;
+      const double edges =
+          static_cast<double>(topology.nodes.size() - 1);
+      cost.bytes_down += edges * x_bytes;
+      down_time += static_cast<double>(topology.num_levels - 1) *
+                   static_cast<double>(fan_in) *
+                   net_.TransferSeconds(static_cast<size_t>(x_bytes));
+    } else {
+      cost.bytes_down +=
+          512.0 * static_cast<double>(topology.nodes.size() - 1);
+    }
+
+    const double effective_leaf_groups =
+        (fused || (round.flags.independent_group_reduction && partitioned))
+            ? cost.groups / s
+            : cost.groups;
+    for (int level = 1; level < topology.num_levels; ++level) {
+      const double child_groups = std::min(
+          cost.groups, effective_leaf_groups * level_width(level - 1));
+      const double child_bytes = child_groups * h_width + kTableHeaderBytes;
+      const double children =
+          static_cast<double>(topology.NodesAtLevel(level - 1).size());
+      cost.bytes_up += children * child_bytes;
+      up_time += static_cast<double>(fan_in) *
+                 net_.TransferSeconds(static_cast<size_t>(child_bytes));
+    }
+    completed_agg_cols += round_final_cols;
+  }
+
+  cost.comm_seconds = down_time + up_time;
+  return cost;
+}
+
+Result<int> CostEstimator::ChooseArchitecture(
+    const DistributedPlan& plan,
+    const std::vector<int>& fan_in_candidates) const {
+  SKALLA_ASSIGN_OR_RETURN(CostBreakdown best, EstimateFlat(plan));
+  int winner = 0;
+  for (int fan_in : fan_in_candidates) {
+    SKALLA_ASSIGN_OR_RETURN(CostBreakdown tree, EstimateTree(plan, fan_in));
+    if (tree.comm_seconds < best.comm_seconds) {
+      best = tree;
+      winner = fan_in;
+    }
+  }
+  return winner;
+}
+
+}  // namespace skalla

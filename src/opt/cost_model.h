@@ -1,0 +1,98 @@
+#ifndef SKALLA_OPT_COST_MODEL_H_
+#define SKALLA_OPT_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/plan.h"
+#include "net/cost_model.h"
+#include "storage/partition_info.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief Summary statistics of a (global) relation, used by the cost
+/// estimator. Gathered once at load time via ProfileRelation.
+struct RelationStats {
+  int64_t rows = 0;
+  /// Distinct-value counts per profiled attribute.
+  std::map<std::string, int64_t> distinct_counts;
+  /// Average serialized width (bytes) per profiled attribute.
+  std::map<std::string, double> avg_widths;
+};
+
+/// Computes RelationStats for the given attributes in one pass.
+Result<RelationStats> ProfileRelation(const Table& table,
+                                      const std::vector<std::string>& attrs);
+
+/// \brief Predicted cost of executing a distributed plan.
+struct CostBreakdown {
+  double groups = 0;        ///< estimated |Q| (base-result rows)
+  double bytes_down = 0;    ///< coordinator/root → sites
+  double bytes_up = 0;      ///< sites → coordinator/root
+  int rounds = 0;
+  double comm_seconds = 0;  ///< modelled communication time
+
+  double TotalBytes() const { return bytes_down + bytes_up; }
+  std::string ToString() const;
+};
+
+/// \brief Egil's analytic cost model.
+///
+/// Predicts the traffic and communication time of a plan from relation
+/// statistics, the partition metadata, and the network parameters — before
+/// running anything. The model mirrors the paper's Sect.-5.2 analysis:
+/// per synchronized round the coordinator ships |X| groups to each
+/// participating site (reduced to the site's share under
+/// distribution-aware reduction when the key contains a partition
+/// attribute) and receives each site's sub-results (reduced to touched
+/// groups under distribution-independent reduction). Used to validate
+/// measured traffic and to choose between the flat and multi-tier
+/// coordinator architectures.
+class CostEstimator {
+ public:
+  CostEstimator(int num_sites, NetworkConfig net,
+                std::vector<PartitionInfo> site_infos = {})
+      : num_sites_(num_sites), net_(net), site_infos_(std::move(site_infos)) {}
+
+  /// Registers statistics for a relation (by its global name).
+  void AddRelation(const std::string& name, RelationStats stats) {
+    stats_[name] = std::move(stats);
+  }
+
+  /// Estimated number of groups produced by the plan's base query.
+  Result<double> EstimateGroups(const DistributedPlan& plan) const;
+
+  /// Predicts the cost of executing `plan` on the flat coordinator.
+  Result<CostBreakdown> EstimateFlat(const DistributedPlan& plan) const;
+
+  /// Predicts the cost on a k-ary aggregation tree.
+  Result<CostBreakdown> EstimateTree(const DistributedPlan& plan,
+                                     int fan_in) const;
+
+  /// Chooses the architecture with the lowest estimated communication
+  /// time: returns 0 for the flat coordinator or the winning fan-in from
+  /// `fan_in_candidates`.
+  Result<int> ChooseArchitecture(
+      const DistributedPlan& plan,
+      const std::vector<int>& fan_in_candidates) const;
+
+ private:
+  /// True if any plan key attribute is a partition attribute.
+  bool KeysContainPartitionAttribute(const DistributedPlan& plan) const;
+
+  /// Average serialized row width of the base-result structure after the
+  /// given number of completed aggregate columns.
+  Result<double> XRowWidth(const DistributedPlan& plan, int agg_cols) const;
+
+  int num_sites_;
+  NetworkConfig net_;
+  std::vector<PartitionInfo> site_infos_;
+  std::map<std::string, RelationStats> stats_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_OPT_COST_MODEL_H_

@@ -1,0 +1,93 @@
+#ifndef SKALLA_OPT_OPTIMIZER_H_
+#define SKALLA_OPT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/plan.h"
+#include "gmdj/gmdj.h"
+#include "storage/partition_info.h"
+
+namespace skalla {
+
+/// Which of the paper's Section-4 optimizations the planner may apply.
+/// Each is individually toggleable so benchmarks can quantify its effect.
+struct OptimizerOptions {
+  /// GMDJ coalescing: fold MD₂ ∘ MD₁ into one operator when θ₂ does not
+  /// reference MD₁'s outputs (Sect. 4.3, first transformation).
+  bool coalesce = false;
+
+  /// Distribution-independent group reduction (Proposition 1).
+  bool independent_group_reduction = false;
+
+  /// Distribution-aware group reduction (Theorem 4) — requires per-site
+  /// partition metadata.
+  bool aware_group_reduction = false;
+
+  /// Synchronization reduction (Proposition 2, Theorem 5, Corollary 1).
+  bool sync_reduction = false;
+
+  /// Column pruning: ship to the sites only the key attributes plus the
+  /// X columns each round's conditions actually reference, instead of the
+  /// full (growing) base-result structure. Orthogonal to the paper's
+  /// row-level group reductions; a width-level reduction.
+  bool column_pruning = false;
+
+  static OptimizerOptions None() { return OptimizerOptions{}; }
+  static OptimizerOptions All() {
+    return OptimizerOptions{true, true, true, true, true};
+  }
+};
+
+/// Outcome of the synchronization-reduction analysis, reported in plan
+/// explanations and probed by tests.
+struct SyncAnalysis {
+  /// Key attributes that are partition attributes (Definition 2).
+  std::vector<std::string> partition_attrs;
+  /// True if every θ of the first operator entails θ_K (Prop. 2 applies).
+  bool base_fusable = false;
+  /// For each adjacent operator pair (i, i+1), true when the pair may be
+  /// evaluated without an intermediate synchronization (Thm. 5 / Cor. 1).
+  std::vector<bool> pair_fusable;
+};
+
+/// \brief Egil: the Skalla GMDJ optimizer.
+///
+/// Translates a (validated) GMDJ expression into a distributed evaluation
+/// plan, applying the enabled optimization schemes. Each scheme only fires
+/// when its correctness condition — as established by the corresponding
+/// theorem in the paper — is met, so the resulting plan always computes the
+/// same relation as the centralized evaluation.
+class Optimizer {
+ public:
+  /// `site_infos[i]` is site i's partition predicate φ_i; pass an empty
+  /// vector when no distribution knowledge is available (then only the
+  /// distribution-independent optimizations can fire).
+  explicit Optimizer(std::vector<PartitionInfo> site_infos = {})
+      : site_infos_(std::move(site_infos)) {}
+
+  /// Builds a plan for `expr` under the given options.
+  Result<DistributedPlan> BuildPlan(const GmdjExpr& expr,
+                                    const OptimizerOptions& options) const;
+
+  /// Applies only the coalescing transformation to the expression.
+  GmdjExpr Coalesce(const GmdjExpr& expr) const;
+
+  /// Runs the synchronization-reduction analysis on the expression.
+  SyncAnalysis AnalyzeSync(const GmdjExpr& expr) const;
+
+  /// Derives the per-site ship predicate ¬ψ_i for a set of θ conditions
+  /// (simplified; null when no reduction is possible for that site).
+  ExprPtr ShipPredicateForSite(const std::vector<ExprPtr>& thetas,
+                               int site) const;
+
+  const std::vector<PartitionInfo>& site_infos() const { return site_infos_; }
+
+ private:
+  std::vector<PartitionInfo> site_infos_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_OPT_OPTIMIZER_H_

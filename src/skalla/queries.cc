@@ -1,0 +1,174 @@
+#include "skalla/queries.h"
+
+namespace skalla {
+namespace queries {
+
+namespace {
+
+/// θ conjunct `B.attr = R.attr`.
+ExprPtr KeyEq(const std::string& attr) { return Eq(BCol(attr), RCol(attr)); }
+
+}  // namespace
+
+GmdjExpr FlowExample1() {
+  GmdjExpr expr;
+  expr.base.source_table = "Flow";
+  expr.base.project_cols = {"SourceAS", "DestAS"};
+
+  GmdjOp md1;
+  md1.detail_table = "Flow";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Sum("NumBytes", "sum1")};
+  b1.theta = And(KeyEq("SourceAS"), KeyEq("DestAS"));
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  GmdjOp md2;
+  md2.detail_table = "Flow";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2")};
+  b2.theta = And(And(KeyEq("SourceAS"), KeyEq("DestAS")),
+                 Ge(RCol("NumBytes"), Div(BCol("sum1"), BCol("cnt1"))));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+  return expr;
+}
+
+GmdjExpr GroupReductionQuery(const std::string& group_attr) {
+  GmdjExpr expr;
+  expr.base.source_table = "TPCR";
+  expr.base.project_cols = {group_attr};
+
+  GmdjOp md1;
+  md1.detail_table = "TPCR";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Avg("Quantity", "avg1")};
+  b1.theta = KeyEq(group_attr);
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  // Correlated: counts line items above the group's average quantity.
+  GmdjOp md2;
+  md2.detail_table = "TPCR";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2"),
+             AggSpec::Avg("ExtendedPrice", "avg2")};
+  b2.theta = And(KeyEq(group_attr), Gt(RCol("Quantity"), BCol("avg1")));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+  return expr;
+}
+
+GmdjExpr CoalescingQuery(const std::string& group_attr) {
+  GmdjExpr expr;
+  expr.base.source_table = "TPCR";
+  expr.base.project_cols = {group_attr};
+
+  GmdjOp md1;
+  md1.detail_table = "TPCR";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Avg("Quantity", "avg1")};
+  b1.theta = KeyEq(group_attr);
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  // Independent of MD1's outputs: restricts the detail side only.
+  GmdjOp md2;
+  md2.detail_table = "TPCR";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2"),
+             AggSpec::Avg("ExtendedPrice", "avg2")};
+  b2.theta = And(KeyEq(group_attr), Ge(RCol("Quantity"), Lit(25)));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+  return expr;
+}
+
+GmdjExpr SyncReductionQuery(const std::string& group_attr) {
+  GmdjExpr expr;
+  expr.base.source_table = "TPCR";
+  expr.base.project_cols = {group_attr};
+
+  GmdjOp md1;
+  md1.detail_table = "TPCR";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Avg("ExtendedPrice", "avg1")};
+  b1.theta = KeyEq(group_attr);
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  // Correlated (references avg1): coalescing cannot fire, but every θ
+  // entails equality on the grouping attribute, so synchronization
+  // reduction can.
+  GmdjOp md2;
+  md2.detail_table = "TPCR";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2"), AggSpec::Avg("Quantity", "avg2")};
+  b2.theta =
+      And(KeyEq(group_attr), Ge(RCol("ExtendedPrice"), BCol("avg1")));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+  return expr;
+}
+
+GmdjExpr CombinedQuery(const std::string& group_attr) {
+  GmdjExpr expr;
+  expr.base.source_table = "TPCR";
+  expr.base.project_cols = {group_attr};
+
+  GmdjOp md1;
+  md1.detail_table = "TPCR";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Avg("Quantity", "avg1")};
+  b1.theta = KeyEq(group_attr);
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  // Coalescable into MD1 (independent of its outputs).
+  GmdjOp md2;
+  md2.detail_table = "TPCR";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2"), AggSpec::Avg("Discount", "avg2")};
+  b2.theta = And(KeyEq(group_attr), Ge(RCol("Quantity"), Lit(25)));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+
+  // Correlated with MD1: needs a later round unless sync reduction fuses.
+  GmdjOp md3;
+  md3.detail_table = "TPCR";
+  GmdjBlock b3;
+  b3.aggs = {AggSpec::Count("cnt3"), AggSpec::Avg("ExtendedPrice", "avg3")};
+  b3.theta = And(KeyEq(group_attr), Gt(RCol("Quantity"), BCol("avg1")));
+  md3.blocks.push_back(std::move(b3));
+  expr.ops.push_back(std::move(md3));
+  return expr;
+}
+
+GmdjExpr MultiFeatureQuery(const std::string& group_attr) {
+  GmdjExpr expr;
+  expr.base.source_table = "TPCR";
+  expr.base.project_cols = {group_attr};
+
+  GmdjOp md1;
+  md1.detail_table = "TPCR";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Min("ShipDate", "first_ship")};
+  b1.theta = KeyEq(group_attr);
+  md1.blocks.push_back(std::move(b1));
+  expr.ops.push_back(std::move(md1));
+
+  // Aggregates restricted to the tuples at the per-group minimum.
+  GmdjOp md2;
+  md2.detail_table = "TPCR";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("first_ship_cnt"),
+             AggSpec::Avg("ExtendedPrice", "first_ship_avg_price")};
+  b2.theta =
+      And(KeyEq(group_attr), Eq(RCol("ShipDate"), BCol("first_ship")));
+  md2.blocks.push_back(std::move(b2));
+  expr.ops.push_back(std::move(md2));
+  return expr;
+}
+
+}  // namespace queries
+}  // namespace skalla

@@ -1,0 +1,60 @@
+#ifndef SKALLA_SKALLA_QUERIES_H_
+#define SKALLA_SKALLA_QUERIES_H_
+
+#include <string>
+
+#include "gmdj/gmdj.h"
+
+namespace skalla {
+namespace queries {
+
+/// \brief Example 1 of the paper, over the Flow relation:
+///
+///   MD( MD(π_{SAS,DAS}(Flow) → B₀, Flow,
+///          ((cnt(*)→cnt1, sum(NB)→sum1)),
+///          (F.SAS = B.SAS && F.DAS = B.DAS)) → B₁,
+///       Flow, ((cnt(*)→cnt2)),
+///       (F.SAS = B.SAS && F.DAS = B.DAS && F.NB ≥ sum1/cnt1))
+///
+/// "the total number of flows, and the number of flows whose NumBytes
+/// exceeds the average, per (SourceAS, DestAS)".
+GmdjExpr FlowExample1();
+
+/// \brief The *group reduction query* of Fig. 2: two correlated GMDJ
+/// operators grouped on `group_attr` (each computing COUNT and AVG, per the
+/// paper's setup). The second θ references the first operator's AVG, so
+/// coalescing cannot fire; the query isolates the effect of group
+/// reduction.
+GmdjExpr GroupReductionQuery(const std::string& group_attr);
+
+/// \brief The *coalescing query* of Fig. 3: two GMDJ operators whose second
+/// condition is independent of the first operator's outputs (it adds only a
+/// detail-side selection), so the pair coalesces into a single operator /
+/// single round.
+GmdjExpr CoalescingQuery(const std::string& group_attr);
+
+/// \brief The *synchronization reduction query* of Fig. 4: two correlated
+/// GMDJ operators (not coalescable) whose conditions all entail equality on
+/// `group_attr`; when `group_attr` is a partition attribute the whole query
+/// evaluates locally with a single synchronization (Prop. 2 + Cor. 1).
+GmdjExpr SyncReductionQuery(const std::string& group_attr);
+
+/// \brief The *combined reductions query* of Fig. 5: three GMDJ operators —
+/// the second coalescable into the first, the third correlated — so that
+/// coalescing, both group reductions, and synchronization reduction all
+/// have something to do.
+GmdjExpr CombinedQuery(const std::string& group_attr);
+
+/// \brief A multi-feature query (Ross, Srivastava & Chatziantoniou, cited
+/// by the paper as one of the OLAP classes GMDJ captures): per group, the
+/// minimum ship date, then — among the tuples AT that minimum ship date —
+/// their count and average extended price. The second operator's condition
+/// equates a detail attribute with a previously computed aggregate
+/// (`R.ShipDate = B.first_ship`), the defining shape of multi-feature
+/// queries.
+GmdjExpr MultiFeatureQuery(const std::string& group_attr);
+
+}  // namespace queries
+}  // namespace skalla
+
+#endif  // SKALLA_SKALLA_QUERIES_H_

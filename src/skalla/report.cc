@@ -1,0 +1,40 @@
+#include "skalla/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string FormatExecutionReport(const QueryResult& result) {
+  std::ostringstream os;
+  os << "=== plan ===\n" << result.plan.Explain();
+  os << "=== execution ===\n";
+  os << StrFormat("%-30s %6s %12s %12s %10s %10s %10s\n", "round", "sites",
+                  "out", "in", "site[s]", "coord[s]", "comm[s]");
+  for (const RoundMetrics& rm : result.metrics.rounds) {
+    os << StrFormat(
+        "%-30s %6d %12s %12s %10.4f %10.4f %10.4f\n", rm.label.c_str(),
+        rm.sites, HumanBytes(static_cast<double>(rm.bytes_to_sites)).c_str(),
+        HumanBytes(static_cast<double>(rm.bytes_to_coord)).c_str(),
+        rm.site_cpu_max_sec, rm.coord_cpu_sec, rm.comm_sec);
+  }
+  os << "=== summary ===\n";
+  os << StrFormat(
+      "result rows: %lld\n"
+      "rounds:      %d\n"
+      "traffic:     %s to sites, %s to coordinator\n"
+      "groups:      %lld shipped out, %lld shipped in\n"
+      "response:    %.4f s  (site %.4f + coord %.4f + comm %.4f)\n",
+      static_cast<long long>(result.table.num_rows()),
+      result.metrics.NumRounds(),
+      HumanBytes(static_cast<double>(result.metrics.BytesToSites())).c_str(),
+      HumanBytes(static_cast<double>(result.metrics.BytesToCoord())).c_str(),
+      static_cast<long long>(result.metrics.GroupsToSites()),
+      static_cast<long long>(result.metrics.GroupsToCoord()),
+      result.metrics.ResponseSeconds(), result.metrics.SiteCpuSeconds(),
+      result.metrics.CoordCpuSeconds(), result.metrics.CommSeconds());
+  return os.str();
+}
+
+}  // namespace skalla

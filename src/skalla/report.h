@@ -1,0 +1,18 @@
+#ifndef SKALLA_SKALLA_REPORT_H_
+#define SKALLA_SKALLA_REPORT_H_
+
+#include <string>
+
+#include "skalla/warehouse.h"
+
+namespace skalla {
+
+/// \brief Formats a query execution as a human-readable report: the
+/// distributed plan, the per-round cost table, and the end-to-end summary
+/// (an EXPLAIN ANALYZE for Skalla). Used by the interactive shell's
+/// `\analyze` command and handy in tests and examples.
+std::string FormatExecutionReport(const QueryResult& result);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SKALLA_REPORT_H_

@@ -1,0 +1,171 @@
+#include "skalla/warehouse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/operators.h"
+#include "gmdj/central_eval.h"
+
+namespace skalla {
+
+Warehouse::Warehouse(int num_sites, NetworkConfig net) : net_(net) {
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(std::make_unique<Site>(i));
+  }
+}
+
+Status Warehouse::LoadPartitioned(const std::string& name,
+                                  PartitionedData data) {
+  if (static_cast<int>(data.fragments.size()) != num_sites()) {
+    return Status::InvalidArgument(
+        "fragment count does not match site count");
+  }
+  std::vector<const Table*> fragment_ptrs;
+  for (size_t i = 0; i < data.fragments.size(); ++i) {
+    SKALLA_RETURN_NOT_OK(
+        sites_[i]->catalog().AddTable(name, data.fragments[i]));
+    if (i < data.infos.size()) {
+      for (const auto& [attr, domain] : data.infos[i].domains()) {
+        PartitionInfo& info = sites_[i]->mutable_partition_info();
+        // φ_i is attribute-level across every relation at the site. If a
+        // previously loaded relation declared a different domain for this
+        // attribute, the sound combined domain is a superset of both;
+        // widen to the numeric hull, or give up (kAny) when no hull
+        // exists. Never silently replace — that could understate what the
+        // site holds and make the Sect.-4 optimizations unsound.
+        if (info.HasDomain(attr)) {
+          const AttrDomain& existing = info.Domain(attr);
+          double lo_a = 0, hi_a = 0, lo_b = 0, hi_b = 0;
+          if (existing.NumericBounds(&lo_a, &hi_a) &&
+              domain.NumericBounds(&lo_b, &hi_b)) {
+            auto as_value = [](double v) {
+              return v == std::floor(v) && std::abs(v) < 9.0e15
+                         ? Value(static_cast<int64_t>(v))
+                         : Value(v);
+            };
+            info.SetDomain(attr,
+                           AttrDomain::Range(as_value(std::min(lo_a, lo_b)),
+                                             as_value(std::max(hi_a, hi_b))));
+          } else {
+            info.SetDomain(attr, AttrDomain::Any());
+          }
+        } else {
+          info.SetDomain(attr, domain);
+        }
+      }
+    }
+    fragment_ptrs.push_back(data.fragments[i].get());
+  }
+  SKALLA_ASSIGN_OR_RETURN(Table full, UnionAll(fragment_ptrs));
+  return central_.AddTable(name,
+                           std::make_shared<const Table>(std::move(full)));
+}
+
+Status Warehouse::LoadByRange(const std::string& name, const Table& table,
+                              const std::string& attr, int64_t attr_min,
+                              int64_t attr_max,
+                              const std::vector<std::string>& profile_attrs) {
+  SKALLA_ASSIGN_OR_RETURN(
+      PartitionedData data,
+      PartitionByRange(table, attr, num_sites(), attr_min, attr_max));
+  if (!profile_attrs.empty()) {
+    SKALLA_RETURN_NOT_OK(ProfileDomains(&data, profile_attrs));
+  }
+  return LoadPartitioned(name, std::move(data));
+}
+
+Status Warehouse::LoadByHash(const std::string& name, const Table& table,
+                             const std::string& attr) {
+  SKALLA_ASSIGN_OR_RETURN(PartitionedData data,
+                          PartitionByHash(table, attr, num_sites()));
+  return LoadPartitioned(name, std::move(data));
+}
+
+std::vector<PartitionInfo> Warehouse::SiteInfos() const {
+  std::vector<PartitionInfo> infos;
+  infos.reserve(sites_.size());
+  for (const auto& site : sites_) infos.push_back(site->partition_info());
+  return infos;
+}
+
+Result<DistributedPlan> Warehouse::Plan(const GmdjExpr& expr,
+                                        const OptimizerOptions& options) const {
+  Optimizer optimizer(SiteInfos());
+  return optimizer.BuildPlan(expr, options);
+}
+
+Result<QueryResult> Warehouse::Execute(const GmdjExpr& expr,
+                                       const OptimizerOptions& options) {
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan, Plan(expr, options));
+  return ExecutePlan(plan);
+}
+
+Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan) {
+  std::vector<Site*> site_ptrs;
+  site_ptrs.reserve(sites_.size());
+  for (const auto& site : sites_) site_ptrs.push_back(site.get());
+  Coordinator coordinator(std::move(site_ptrs), net_);
+  coordinator.set_parallel_sites(parallel_sites_);
+  QueryResult result;
+  result.plan = plan;
+  SKALLA_ASSIGN_OR_RETURN(result.table,
+                          coordinator.Execute(plan, &result.metrics));
+  return result;
+}
+
+Result<QueryResult> Warehouse::ExecutePlanTree(const DistributedPlan& plan,
+                                               int fan_in) {
+  std::vector<Site*> site_ptrs;
+  site_ptrs.reserve(sites_.size());
+  for (const auto& site : sites_) site_ptrs.push_back(site.get());
+  TreeCoordinator coordinator(std::move(site_ptrs), fan_in, net_);
+  coordinator.set_parallel_sites(parallel_sites_);
+  QueryResult result;
+  result.plan = plan;
+  SKALLA_ASSIGN_OR_RETURN(result.table,
+                          coordinator.Execute(plan, &result.metrics));
+  return result;
+}
+
+Result<QueryResult> Warehouse::ExecuteAuto(const GmdjExpr& expr,
+                                           int* chosen_fan_in) {
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan,
+                          Plan(expr, OptimizerOptions::All()));
+
+  // Profile statistics for the base relation's key and θ-referenced
+  // attributes (cached across queries).
+  CostEstimator estimator(num_sites(), net_, SiteInfos());
+  auto cached = stats_cache_.find(plan.base.source_table);
+  if (cached == stats_cache_.end()) {
+    SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> full,
+                            central_.GetTable(plan.base.source_table));
+    // Profile every column of the base relation once; the estimator only
+    // reads what the plan needs.
+    SKALLA_ASSIGN_OR_RETURN(
+        RelationStats stats,
+        ProfileRelation(*full, full->schema().FieldNames()));
+    cached = stats_cache_.emplace(plan.base.source_table, std::move(stats))
+                 .first;
+  }
+  estimator.AddRelation(plan.base.source_table, cached->second);
+
+  int fan_in = 0;
+  // Tree execution currently supports full-participation plans only.
+  bool tree_eligible = plan.base_sites.empty();
+  for (const PlanRound& round : plan.rounds) {
+    if (!round.participating_sites.empty()) tree_eligible = false;
+  }
+  if (tree_eligible && num_sites() >= 4) {
+    auto choice = estimator.ChooseArchitecture(plan, {2, 4});
+    if (choice.ok()) fan_in = *choice;
+  }
+  if (chosen_fan_in != nullptr) *chosen_fan_in = fan_in;
+  return fan_in == 0 ? ExecutePlan(plan) : ExecutePlanTree(plan, fan_in);
+}
+
+Result<Table> Warehouse::ExecuteCentralized(const GmdjExpr& expr) const {
+  return EvalGmdjExprCentralized(expr, central_);
+}
+
+}  // namespace skalla

@@ -1,0 +1,129 @@
+#ifndef SKALLA_SKALLA_WAREHOUSE_H_
+#define SKALLA_SKALLA_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/coordinator.h"
+#include "dist/tree_coordinator.h"
+#include "dist/metrics.h"
+#include "dist/plan.h"
+#include "dist/site.h"
+#include "gmdj/gmdj.h"
+#include "net/cost_model.h"
+#include "opt/cost_model.h"
+#include "opt/optimizer.h"
+#include "tpc/partitioner.h"
+
+namespace skalla {
+
+/// Result of one distributed query execution.
+struct QueryResult {
+  Table table;               ///< the finalized base-result structure
+  ExecutionMetrics metrics;  ///< cost accounting of the execution
+  DistributedPlan plan;      ///< the plan that was executed
+};
+
+/// \brief The Skalla distributed data warehouse facade.
+///
+/// A Warehouse bundles N Skalla sites, their partition metadata, a
+/// coordinator and the Egil optimizer behind one convenient API:
+///
+/// \code
+///   Warehouse wh(8);
+///   wh.LoadPartitioned("TPCR", std::move(parts));       // fragments + φ_i
+///   GmdjExpr query = ...;                               // gmdj/gmdj.h
+///   auto result = wh.Execute(query, OptimizerOptions::All());
+///   std::cout << result->table.ToString() << result->metrics.ToString();
+/// \endcode
+///
+/// The warehouse also keeps the union of every loaded relation in a central
+/// catalog so that any query can be cross-checked against the centralized
+/// reference evaluator (ExecuteCentralized).
+class Warehouse {
+ public:
+  explicit Warehouse(int num_sites, NetworkConfig net = NetworkConfig());
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  Site& site(int i) { return *sites_[static_cast<size_t>(i)]; }
+  const Site& site(int i) const { return *sites_[static_cast<size_t>(i)]; }
+
+  /// Registers a pre-partitioned relation: fragment i goes to site i, whose
+  /// partition metadata is extended with the fragment's PartitionInfo.
+  /// The central catalog receives the union of the fragments.
+  Status LoadPartitioned(const std::string& name, PartitionedData data);
+
+  /// Partitions `table` by contiguous ranges of `attr` (making it a
+  /// partition attribute) and loads it. `profile_attrs` lists additional
+  /// attributes whose observed per-site ranges are recorded as distribution
+  /// knowledge (e.g. CustKey under a NationKey partitioning).
+  Status LoadByRange(const std::string& name, const Table& table,
+                     const std::string& attr, int64_t attr_min,
+                     int64_t attr_max,
+                     const std::vector<std::string>& profile_attrs = {});
+
+  /// Hash-partitions `table` on `attr` and loads it (no distribution
+  /// knowledge recorded).
+  Status LoadByHash(const std::string& name, const Table& table,
+                    const std::string& attr);
+
+  /// Builds (but does not run) the distributed plan for a query.
+  Result<DistributedPlan> Plan(const GmdjExpr& expr,
+                               const OptimizerOptions& options) const;
+
+  /// Optimizes and executes a query over the distributed warehouse.
+  Result<QueryResult> Execute(const GmdjExpr& expr,
+                              const OptimizerOptions& options);
+
+  /// Executes a pre-built plan.
+  Result<QueryResult> ExecutePlan(const DistributedPlan& plan);
+
+  /// Executes a pre-built plan over a multi-tier aggregation tree with the
+  /// given fan-in (dist/tree_coordinator.h; the paper's future-work
+  /// architecture). Produces the same relation as ExecutePlan with a
+  /// different cost profile.
+  Result<QueryResult> ExecutePlanTree(const DistributedPlan& plan,
+                                      int fan_in);
+
+  /// Fully automatic execution: optimizes with every optimization enabled,
+  /// profiles relation statistics (cached per relation), and lets the cost
+  /// model (opt/cost_model.h) choose between the flat coordinator and a
+  /// multi-tier tree before executing. `chosen_fan_in`, when non-null,
+  /// receives 0 (flat) or the winning fan-in.
+  Result<QueryResult> ExecuteAuto(const GmdjExpr& expr,
+                                  int* chosen_fan_in = nullptr);
+
+  /// Centralized reference evaluation over the unioned relations.
+  Result<Table> ExecuteCentralized(const GmdjExpr& expr) const;
+
+  /// The union catalog (for reference evaluation and inspection).
+  const Catalog& central_catalog() const { return central_; }
+
+  /// Partition metadata of every site (φ_1 … φ_n).
+  std::vector<PartitionInfo> SiteInfos() const;
+
+  const NetworkConfig& network_config() const { return net_; }
+  void set_network_config(NetworkConfig net) { net_ = net; }
+
+  /// Runs each round's site evaluations on real threads (see
+  /// Coordinator::set_parallel_sites). Identical results, faster
+  /// simulation wall-clock on multi-core machines.
+  void set_parallel_site_execution(bool parallel) {
+    parallel_sites_ = parallel;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Site>> sites_;
+  Catalog central_;
+  NetworkConfig net_;
+  bool parallel_sites_ = false;
+  /// Relation statistics cache for ExecuteAuto (profiled on first use).
+  std::map<std::string, RelationStats> stats_cache_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_SKALLA_WAREHOUSE_H_

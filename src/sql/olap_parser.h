@@ -1,0 +1,57 @@
+#ifndef SKALLA_SQL_OLAP_PARSER_H_
+#define SKALLA_SQL_OLAP_PARSER_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "gmdj/gmdj.h"
+
+namespace skalla {
+
+/// \brief The textual OLAP query dialect of the Skalla query generator.
+///
+/// The paper's front end accepts OLAP queries and has Egil translate them
+/// into GMDJ expressions (Sect. 3.2). This module implements that surface:
+/// a small correlated-aggregate dialect that compiles directly to a GMDJ
+/// chain.
+///
+/// Grammar:
+///
+///   query   := SELECT items FROM ident [WHERE expr]
+///              GROUP BY cols extend*
+///   extend  := EXTEND aggs [WHERE expr]
+///   items   := (col | agg) ("," (col | agg))*
+///   agg     := FUNC "(" ("*" | ident) ")" AS ident
+///   FUNC    := COUNT | SUM | MIN | MAX | AVG
+///
+/// Semantics:
+///  - the GROUP BY columns become the base-values projection (the key K);
+///  - the SELECT aggregates form the first GMDJ operator with
+///    θ = equality on every key attribute;
+///  - each EXTEND clause adds one more GMDJ operator whose θ is the key
+///    equality conjoined with the clause's WHERE condition;
+///  - inside an EXTEND WHERE, an identifier naming a GROUP BY column or a
+///    previously computed aggregate binds to the base-values relation
+///    (B side); any other identifier binds to the detail relation (R side).
+///    The query-level WHERE (before GROUP BY) filters the base query's
+///    source rows.
+///
+/// Example — the paper's Example 1:
+///
+///   SELECT SourceAS, DestAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+///   FROM Flow
+///   GROUP BY SourceAS, DestAS
+///   EXTEND COUNT(*) AS cnt2 WHERE NumBytes >= sum1 / cnt1
+Result<GmdjExpr> ParseOlapQuery(std::string_view text);
+
+/// Rebinds bare (detail-side) column references whose name appears in
+/// `base_names` to the base side. Used by the translator to resolve EXTEND
+/// conditions; exposed for tests and other front ends.
+ExprPtr RebindToBase(const ExprPtr& expr,
+                     const std::set<std::string>& base_names);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_OLAP_PARSER_H_

@@ -1,0 +1,190 @@
+#include "sql/olap_printer.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "expr/analyzer.h"
+
+namespace skalla {
+
+namespace {
+
+/// Prints an expression with bare (unqualified) column names, verifying
+/// that the dialect's name-based rebinding will reconstruct the sides:
+/// base references must be in `base_names`, detail references must not be.
+Status PrintBare(const Expr& expr, const std::set<std::string>& base_names,
+                 std::ostringstream* out) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      const auto& col = static_cast<const ColumnExpr&>(expr);
+      const bool in_base_names = base_names.count(col.name()) > 0;
+      if (col.side() == Side::kBase && !in_base_names) {
+        return Status::InvalidArgument(
+            "base reference '" + col.name() +
+            "' is not a key attribute or earlier output");
+      }
+      if (col.side() == Side::kDetail && in_base_names) {
+        return Status::InvalidArgument(
+            "detail column '" + col.name() +
+            "' is shadowed by a base name; not expressible in the dialect");
+      }
+      *out << col.name();
+      return Status::OK();
+    }
+    case ExprKind::kLiteral:
+      *out << expr.ToString();
+      return Status::OK();
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op() == UnaryOp::kIsNull) {
+        *out << "(";
+        SKALLA_RETURN_NOT_OK(PrintBare(*un.operand(), base_names, out));
+        *out << " IS NULL)";
+        return Status::OK();
+      }
+      *out << (un.op() == UnaryOp::kNeg ? "-(" : "!(");
+      SKALLA_RETURN_NOT_OK(PrintBare(*un.operand(), base_names, out));
+      *out << ")";
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      *out << "(";
+      SKALLA_RETURN_NOT_OK(PrintBare(*bin.left(), base_names, out));
+      *out << " " << BinaryOpToString(bin.op()) << " ";
+      SKALLA_RETURN_NOT_OK(PrintBare(*bin.right(), base_names, out));
+      *out << ")";
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+/// Splits θ into the mandatory key equalities plus the residual conjuncts.
+/// Fails if any key equality is missing (the dialect always emits them).
+Result<std::vector<ExprPtr>> ResidualConjuncts(
+    const ExprPtr& theta, const std::vector<std::string>& keys) {
+  std::set<std::string> pending(keys.begin(), keys.end());
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : SplitConjuncts(theta)) {
+    bool is_key_eq = false;
+    if (conjunct->kind() == ExprKind::kBinary) {
+      const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+      if (bin.op() == BinaryOp::kEq &&
+          bin.left()->kind() == ExprKind::kColumn &&
+          bin.right()->kind() == ExprKind::kColumn) {
+        const auto& l = static_cast<const ColumnExpr&>(*bin.left());
+        const auto& r = static_cast<const ColumnExpr&>(*bin.right());
+        const ColumnExpr* base_col =
+            l.side() == Side::kBase ? &l : (r.side() == Side::kBase ? &r : nullptr);
+        const ColumnExpr* detail_col =
+            l.side() == Side::kDetail ? &l
+                                      : (r.side() == Side::kDetail ? &r : nullptr);
+        if (base_col != nullptr && detail_col != nullptr &&
+            base_col->name() == detail_col->name() &&
+            pending.erase(base_col->name()) > 0) {
+          is_key_eq = true;
+        }
+      }
+    }
+    if (!is_key_eq) residual.push_back(conjunct);
+  }
+  if (!pending.empty()) {
+    return Status::InvalidArgument(
+        "theta lacks the key equality on '" + *pending.begin() +
+        "' required by the dialect");
+  }
+  return residual;
+}
+
+std::string AggToString(const AggSpec& spec) {
+  std::string func = AggFuncToString(spec.func);
+  for (char& c : func) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return func + "(" + (spec.is_count_star() ? "*" : spec.input) + ") AS " +
+         spec.output;
+}
+
+}  // namespace
+
+Result<std::string> OlapQueryToString(const GmdjExpr& expr) {
+  if (expr.ops.empty()) {
+    return Status::InvalidArgument("expression has no operators");
+  }
+  for (const GmdjOp& op : expr.ops) {
+    if (op.blocks.size() != 1) {
+      return Status::InvalidArgument(
+          "multi-block operators are not expressible in the dialect");
+    }
+    if (op.detail_table != expr.base.source_table) {
+      return Status::InvalidArgument(
+          "operators over a different relation are not expressible");
+    }
+  }
+
+  std::ostringstream out;
+  out << "SELECT " << Join(expr.base.project_cols, ", ");
+  for (const AggSpec& spec : expr.ops[0].blocks[0].aggs) {
+    out << ", " << AggToString(spec);
+  }
+  out << " FROM " << expr.base.source_table;
+
+  if (expr.base.filter != nullptr) {
+    out << " WHERE ";
+    SKALLA_RETURN_NOT_OK(PrintBare(*expr.base.filter, {}, &out));
+  }
+  out << " GROUP BY " << Join(expr.base.project_cols, ", ");
+
+  std::set<std::string> base_names(expr.base.project_cols.begin(),
+                                   expr.base.project_cols.end());
+
+  for (size_t k = 0; k < expr.ops.size(); ++k) {
+    const GmdjBlock& block = expr.ops[k].blocks[0];
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<ExprPtr> residual,
+        ResidualConjuncts(block.theta, expr.base.project_cols));
+    if (k == 0) {
+      if (!residual.empty()) {
+        return Status::InvalidArgument(
+            "the first operator's theta must be exactly the key equality");
+      }
+    } else {
+      out << " EXTEND ";
+      for (size_t a = 0; a < block.aggs.size(); ++a) {
+        if (a) out << ", ";
+        out << AggToString(block.aggs[a]);
+      }
+      if (!residual.empty()) {
+        out << " WHERE ";
+        const ExprPtr combined = AndAll(residual);
+        SKALLA_RETURN_NOT_OK(PrintBare(*combined, base_names, &out));
+      }
+    }
+    for (const AggSpec& spec : block.aggs) base_names.insert(spec.output);
+  }
+  if (expr.having != nullptr) {
+    out << " HAVING ";
+    SKALLA_RETURN_NOT_OK(PrintBare(*expr.having, base_names, &out));
+  }
+  if (!expr.order_by.empty()) {
+    out << " ORDER BY ";
+    for (size_t i = 0; i < expr.order_by.size(); ++i) {
+      const SortKey& key = expr.order_by[i];
+      if (!base_names.count(key.column)) {
+        return Status::InvalidArgument("ORDER BY column '" + key.column +
+                                       "' is not a key or output");
+      }
+      if (i) out << ", ";
+      out << key.column;
+      if (key.descending) out << " DESC";
+    }
+  }
+  if (expr.limit >= 0) {
+    out << " LIMIT " << expr.limit;
+  }
+  return out.str();
+}
+
+}  // namespace skalla

@@ -1,0 +1,25 @@
+#ifndef SKALLA_SQL_OLAP_PRINTER_H_
+#define SKALLA_SQL_OLAP_PRINTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "gmdj/gmdj.h"
+
+namespace skalla {
+
+/// \brief Unparses a GMDJ expression into the OLAP dialect of
+/// sql/olap_parser.h, such that re-parsing reproduces the expression.
+///
+/// Only *dialect-shaped* expressions are printable:
+///  - every operator has exactly one block over the base's source relation;
+///  - every θ is (equality on every key attribute) ∧ residual;
+///  - residual base-side references name key attributes or earlier
+///    aggregate outputs, and no detail-side reference shares a name with
+///    any of those (the dialect binds identifiers by name).
+/// Anything else returns InvalidArgument, naming the obstacle.
+Result<std::string> OlapQueryToString(const GmdjExpr& expr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_OLAP_PRINTER_H_

@@ -1,0 +1,43 @@
+#include "storage/catalog.h"
+
+namespace skalla {
+
+Status Catalog::AddTable(const std::string& name,
+                         std::shared_ptr<const Table> table) {
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name,
+                       std::shared_ptr<const Table> table) {
+  tables_[name] = std::move(table);
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::DropTable(const std::string& name) {
+  return tables_.erase(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace skalla

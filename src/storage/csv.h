@@ -1,0 +1,28 @@
+#ifndef SKALLA_STORAGE_CSV_H_
+#define SKALLA_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// Writes `table` as CSV with a header row. Strings are quoted only when
+/// they contain separators/quotes; quotes are doubled.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV file into a table using the given schema (the header row in
+/// the file must match the schema's column names). Values are parsed
+/// according to the declared column types; empty fields become NULL.
+Result<Table> ReadCsv(const std::string& path, SchemaPtr schema);
+
+/// CSV-encodes a table into a string (used by tests).
+std::string CsvToString(const Table& table);
+
+/// Parses CSV text (header + rows) with the given schema.
+Result<Table> CsvFromString(const std::string& text, SchemaPtr schema);
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_CSV_H_

@@ -1,0 +1,52 @@
+#include "storage/hash_index.h"
+
+#include "common/logging.h"
+
+namespace skalla {
+
+void HashIndex::Build(const Table& table, std::vector<int> key_cols) {
+  table_ = &table;
+  key_cols_ = std::move(key_cols);
+  buckets_.clear();
+  num_entries_ = 0;
+  buckets_.reserve(static_cast<size_t>(table.num_rows()) * 2 + 16);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    Insert(table, r);
+  }
+}
+
+void HashIndex::Insert(const Table& table, int64_t row_id) {
+  SKALLA_DCHECK(table_ == nullptr || table_ == &table);
+  table_ = &table;
+  const Row& row = table.row(row_id);
+  const uint64_t h = RowKeyHash(row, key_cols_);
+  auto& chains = buckets_[h];
+  for (Bucket& bucket : chains) {
+    const Row& rep = table.row(bucket.row_ids.front());
+    if (RowKeyEquals(rep, key_cols_, row, key_cols_)) {
+      bucket.row_ids.push_back(row_id);
+      ++num_entries_;
+      return;
+    }
+  }
+  chains.push_back(Bucket{{row_id}});
+  ++num_entries_;
+}
+
+const std::vector<int64_t>* HashIndex::Lookup(
+    const Row& probe, const std::vector<int>& probe_cols) const {
+  if (table_ == nullptr) return nullptr;
+  SKALLA_DCHECK(probe_cols.size() == key_cols_.size());
+  const uint64_t h = RowKeyHash(probe, probe_cols);
+  auto it = buckets_.find(h);
+  if (it == buckets_.end()) return nullptr;
+  for (const Bucket& bucket : it->second) {
+    const Row& rep = table_->row(bucket.row_ids.front());
+    if (RowKeyEquals(rep, key_cols_, probe, probe_cols)) {
+      return &bucket.row_ids;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace skalla

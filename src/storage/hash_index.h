@@ -1,0 +1,56 @@
+#ifndef SKALLA_STORAGE_HASH_INDEX_H_
+#define SKALLA_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief A hash index from a composite column key to row positions.
+///
+/// Used in two hot paths: (1) the local GMDJ evaluator probes the
+/// base-values relation with each detail tuple's equi-join key, and (2) the
+/// coordinator's synchronizer locates the base-result row for each incoming
+/// sub-aggregate row (Theorem 1 makes this an O(|H|) merge).
+///
+/// The index stores row ids bucketed by hash; lookups verify equality to
+/// handle collisions. Duplicate keys are supported (all matching row ids
+/// are returned).
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Builds the index over `table` keyed on `key_cols`. The table must
+  /// outlive the index and must not be mutated in ways that move rows.
+  void Build(const Table& table, std::vector<int> key_cols);
+
+  /// Returns row ids whose key equals the projection of `probe` onto
+  /// `probe_cols` (which must have the same arity as the build key).
+  /// The returned pointer is invalidated by the next Build/Insert; null
+  /// when there is no match.
+  const std::vector<int64_t>* Lookup(const Row& probe,
+                                     const std::vector<int>& probe_cols) const;
+
+  /// Adds one more row of the indexed table (by id) to the index.
+  void Insert(const Table& table, int64_t row_id);
+
+  int64_t num_entries() const { return num_entries_; }
+
+ private:
+  struct Bucket {
+    // Representative row for equality verification plus all row ids.
+    std::vector<int64_t> row_ids;
+  };
+
+  const Table* table_ = nullptr;
+  std::vector<int> key_cols_;
+  std::unordered_map<uint64_t, std::vector<Bucket>> buckets_;
+  int64_t num_entries_ = 0;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_HASH_INDEX_H_

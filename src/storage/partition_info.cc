@@ -1,0 +1,147 @@
+#include "storage/partition_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+bool AttrDomain::MayContain(const Value& v) const {
+  switch (kind) {
+    case Kind::kAny:
+      return true;
+    case Kind::kValueSet:
+      for (const Value& member : values) {
+        if (member == v) return true;
+      }
+      return false;
+    case Kind::kRange: {
+      if (!lo.is_null() && v.Compare(lo) < 0) return false;
+      if (!hi.is_null() && v.Compare(hi) > 0) return false;
+      return true;
+    }
+  }
+  return true;
+}
+
+bool AttrDomain::NumericBounds(double* lo_out, double* hi_out) const {
+  switch (kind) {
+    case Kind::kAny:
+      return false;
+    case Kind::kValueSet: {
+      if (values.empty()) return false;
+      double lo_v = std::numeric_limits<double>::infinity();
+      double hi_v = -std::numeric_limits<double>::infinity();
+      for (const Value& v : values) {
+        if (!v.is_numeric()) return false;
+        lo_v = std::min(lo_v, v.ToDouble());
+        hi_v = std::max(hi_v, v.ToDouble());
+      }
+      *lo_out = lo_v;
+      *hi_out = hi_v;
+      return true;
+    }
+    case Kind::kRange: {
+      if (lo.is_null() || hi.is_null()) return false;
+      if (!lo.is_numeric() || !hi.is_numeric()) return false;
+      *lo_out = lo.ToDouble();
+      *hi_out = hi.ToDouble();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AttrDomain::ToString() const {
+  switch (kind) {
+    case Kind::kAny:
+      return "any";
+    case Kind::kValueSet: {
+      std::vector<std::string> parts;
+      parts.reserve(values.size());
+      for (const Value& v : values) parts.push_back(v.ToString());
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case Kind::kRange:
+      return "[" + (lo.is_null() ? std::string("-inf") : lo.ToString()) +
+             ", " + (hi.is_null() ? std::string("+inf") : hi.ToString()) + "]";
+  }
+  return "?";
+}
+
+void PartitionInfo::SetDomain(const std::string& attr, AttrDomain domain) {
+  domains_[attr] = std::move(domain);
+}
+
+const AttrDomain& PartitionInfo::Domain(const std::string& attr) const {
+  static const AttrDomain kAnyDomain;
+  auto it = domains_.find(attr);
+  return it == domains_.end() ? kAnyDomain : it->second;
+}
+
+bool PartitionInfo::HasDomain(const std::string& attr) const {
+  auto it = domains_.find(attr);
+  return it != domains_.end() && it->second.kind != AttrDomain::Kind::kAny;
+}
+
+std::string PartitionInfo::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [attr, domain] : domains_) {
+    parts.push_back(attr + " in " + domain.ToString());
+  }
+  return parts.empty() ? "true" : Join(parts, " and ");
+}
+
+namespace {
+
+bool DomainsDisjoint(const AttrDomain& a, const AttrDomain& b) {
+  using Kind = AttrDomain::Kind;
+  if (a.kind == Kind::kAny || b.kind == Kind::kAny) return false;
+  if (a.kind == Kind::kValueSet && b.kind == Kind::kValueSet) {
+    for (const Value& va : a.values) {
+      for (const Value& vb : b.values) {
+        if (va == vb) return false;
+      }
+    }
+    return true;
+  }
+  if (a.kind == Kind::kValueSet) {
+    for (const Value& va : a.values) {
+      if (b.MayContain(va)) return false;
+    }
+    return true;
+  }
+  if (b.kind == Kind::kValueSet) {
+    for (const Value& vb : b.values) {
+      if (a.MayContain(vb)) return false;
+    }
+    return true;
+  }
+  // Both ranges: disjoint iff one ends before the other begins. Unbounded
+  // sides make disjointness unprovable against another unbounded range.
+  if (!a.hi.is_null() && !b.lo.is_null() && a.hi.Compare(b.lo) < 0) return true;
+  if (!b.hi.is_null() && !a.lo.is_null() && b.hi.Compare(a.lo) < 0) return true;
+  return false;
+}
+
+}  // namespace
+
+bool IsPartitionAttribute(const std::string& attr,
+                          const std::vector<PartitionInfo>& sites) {
+  if (sites.size() < 2) return true;
+  for (const PartitionInfo& site : sites) {
+    if (!site.HasDomain(attr)) return false;
+  }
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      if (!DomainsDisjoint(sites[i].Domain(attr), sites[j].Domain(attr))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace skalla

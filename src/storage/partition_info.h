@@ -1,0 +1,88 @@
+#ifndef SKALLA_STORAGE_PARTITION_INFO_H_
+#define SKALLA_STORAGE_PARTITION_INFO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace skalla {
+
+/// \brief What is known about one attribute of a site's local partition.
+///
+/// This is the structured form of the paper's per-site predicate φ_i
+/// (Theorem 4): a conservative description of the values attribute A can
+/// take in R_i. kAny means "nothing known".
+struct AttrDomain {
+  enum class Kind { kAny, kValueSet, kRange };
+
+  Kind kind = Kind::kAny;
+  /// For kValueSet: the explicit set of possible values.
+  std::vector<Value> values;
+  /// For kRange: inclusive bounds; a NULL bound means unbounded on that side.
+  Value lo;
+  Value hi;
+
+  static AttrDomain Any() { return AttrDomain{}; }
+  static AttrDomain Set(std::vector<Value> vals) {
+    AttrDomain d;
+    d.kind = Kind::kValueSet;
+    d.values = std::move(vals);
+    return d;
+  }
+  static AttrDomain Range(Value lo, Value hi) {
+    AttrDomain d;
+    d.kind = Kind::kRange;
+    d.lo = std::move(lo);
+    d.hi = std::move(hi);
+    return d;
+  }
+
+  /// True if the domain cannot rule out `v`. Conservative: kAny → true.
+  bool MayContain(const Value& v) const;
+
+  /// Numeric lower/upper bound of the domain as doubles; returns false when
+  /// no finite bound is known (kAny, or non-numeric members).
+  bool NumericBounds(double* lo_out, double* hi_out) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Per-site partition predicate φ_i: a conjunction of attribute
+/// domains ("at this site, NationKey ∈ [0,2] and RegionKey ∈ {0}").
+///
+/// Used by the distribution-aware group-reduction and the
+/// synchronization-reduction analyses (Sections 4.1 and 4.3 of the paper).
+class PartitionInfo {
+ public:
+  PartitionInfo() = default;
+
+  /// Declares a domain for an attribute, replacing any previous one.
+  void SetDomain(const std::string& attr, AttrDomain domain);
+
+  /// The domain of `attr`, or kAny when undeclared.
+  const AttrDomain& Domain(const std::string& attr) const;
+
+  /// True if a (non-kAny) domain is declared for `attr`.
+  bool HasDomain(const std::string& attr) const;
+
+  const std::map<std::string, AttrDomain>& domains() const { return domains_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, AttrDomain> domains_;
+};
+
+/// \brief Checks Definition 2 of the paper: attribute A is a *partition
+/// attribute* iff the per-site declared domains for A are pairwise disjoint.
+///
+/// Conservative: returns false if any site lacks a declared domain for A or
+/// disjointness cannot be established (e.g. unbounded ranges overlapping).
+bool IsPartitionAttribute(const std::string& attr,
+                          const std::vector<PartitionInfo>& sites);
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_PARTITION_INFO_H_

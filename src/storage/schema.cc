@@ -1,0 +1,50 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  sorted_names_.reserve(fields_.size());
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    sorted_names_.emplace_back(fields_[i].name, static_cast<int>(i));
+  }
+  std::sort(sorted_names_.begin(), sorted_names_.end());
+}
+
+std::optional<int> Schema::IndexOf(const std::string& name) const {
+  auto it = std::lower_bound(
+      sorted_names_.begin(), sorted_names_.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != sorted_names_.end() && it->first == name) return it->second;
+  return std::nullopt;
+}
+
+Result<int> Schema::MustIndexOf(const std::string& name) const {
+  auto idx = IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column named '" + name + "' in schema [" +
+                            ToString() + "]");
+  }
+  return *idx;
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const Field& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + ValueTypeToString(f.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace skalla

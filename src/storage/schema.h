@@ -1,0 +1,71 @@
+#ifndef SKALLA_STORAGE_SCHEMA_H_
+#define SKALLA_STORAGE_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace skalla {
+
+/// One column of a Schema: a name plus a declared type.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of named, typed columns.
+///
+/// Schemas are immutable after construction and shared between tables via
+/// SchemaPtr; all name lookups are O(1) through an internal map.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named column, or nullopt.
+  std::optional<int> IndexOf(const std::string& name) const;
+
+  /// Index of the named column, or a NotFound status naming the column.
+  Result<int> MustIndexOf(const std::string& name) const;
+
+  /// True if the named column exists.
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// All column names in order.
+  std::vector<std::string> FieldNames() const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type, name:type, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  // Parallel lookup structure; index into fields_.
+  std::vector<std::pair<std::string, int>> sorted_names_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Convenience factory.
+inline SchemaPtr MakeSchema(std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_SCHEMA_H_

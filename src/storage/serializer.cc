@@ -1,0 +1,193 @@
+#include "storage/serializer.h"
+
+#include <cstring>
+
+namespace skalla {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534b4c31;  // 'SKL1'
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadDouble(double* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadString(uint32_t len, std::string* v) {
+    if (pos_ + len > bytes_.size()) return false;
+    v->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case ValueType::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutU32(out, static_cast<uint32_t>(v.AsString().size()));
+      out->append(v.AsString());
+      break;
+  }
+}
+
+Result<Value> ReadValue(Reader* reader) {
+  uint8_t tag = 0;
+  if (!reader->ReadU8(&tag)) {
+    return Status::IoError("truncated value tag");
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      uint64_t raw = 0;
+      if (!reader->ReadU64(&raw)) return Status::IoError("truncated int64");
+      return Value(static_cast<int64_t>(raw));
+    }
+    case ValueType::kDouble: {
+      double d = 0;
+      if (!reader->ReadDouble(&d)) return Status::IoError("truncated double");
+      return Value(d);
+    }
+    case ValueType::kString: {
+      uint32_t len = 0;
+      std::string s;
+      if (!reader->ReadU32(&len) || !reader->ReadString(len, &s)) {
+        return Status::IoError("truncated string");
+      }
+      return Value(std::move(s));
+    }
+  }
+  return Status::IoError("unknown value tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+std::string Serializer::SerializeTable(const Table& table) {
+  std::string out;
+  out.reserve(WireSize(table));
+  PutU32(&out, kMagic);
+  const Schema& schema = table.schema();
+  PutU32(&out, static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    PutU8(&out, static_cast<uint8_t>(f.type));
+    PutU32(&out, static_cast<uint32_t>(f.name.size()));
+    out.append(f.name);
+  }
+  PutU64(&out, static_cast<uint64_t>(table.num_rows()));
+  for (const Row& row : table.rows()) {
+    for (const Value& v : row) PutValue(&out, v);
+  }
+  return out;
+}
+
+Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
+  Reader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic) || magic != kMagic) {
+    return Status::IoError("bad table magic");
+  }
+  uint32_t nfields = 0;
+  if (!reader.ReadU32(&nfields)) return Status::IoError("truncated schema");
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    uint8_t type = 0;
+    uint32_t name_len = 0;
+    std::string name;
+    if (!reader.ReadU8(&type) || !reader.ReadU32(&name_len) ||
+        !reader.ReadString(name_len, &name)) {
+      return Status::IoError("truncated field");
+    }
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::IoError("bad field type " + std::to_string(type));
+    }
+    fields.push_back(Field{std::move(name), static_cast<ValueType>(type)});
+  }
+  uint64_t nrows = 0;
+  if (!reader.ReadU64(&nrows)) return Status::IoError("truncated row count");
+  Table table(MakeSchema(std::move(fields)));
+  table.Reserve(static_cast<int64_t>(nrows));
+  for (uint64_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(nfields);
+    for (uint32_t c = 0; c < nfields; ++c) {
+      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+      row.push_back(std::move(v));
+    }
+    table.AddRow(std::move(row));
+  }
+  if (!reader.AtEnd()) return Status::IoError("trailing bytes after table");
+  return table;
+}
+
+size_t Serializer::WireSize(const Table& table) {
+  size_t size = 4;  // magic
+  size += 4;        // nfields
+  for (const Field& f : table.schema().fields()) {
+    size += 1 + 4 + f.name.size();
+  }
+  size += 8;  // nrows
+  size += table.SerializedSize();
+  return size;
+}
+
+}  // namespace skalla

@@ -1,0 +1,36 @@
+#ifndef SKALLA_STORAGE_SERIALIZER_H_
+#define SKALLA_STORAGE_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief Byte-exact binary relation format.
+///
+/// Every relation shipped over the simulated network (net/sim_network.h) is
+/// encoded with this serializer; the length of the produced string is the
+/// byte count charged by the cost model. Layout (little-endian):
+///
+///   magic  u32 'SKL1'
+///   schema u32 nfields; per field: u8 type, u32 name_len, name bytes
+///   rows   u64 nrows; per value: u8 type tag, payload
+///          (int64/double: 8 bytes; string: u32 len + bytes; null: none)
+class Serializer {
+ public:
+  /// Encodes a table to its wire form.
+  static std::string SerializeTable(const Table& table);
+
+  /// Decodes a wire-form table; fails with IoError on malformed input.
+  static Result<Table> DeserializeTable(std::string_view bytes);
+
+  /// Exact wire size of `table` without materializing the bytes.
+  static size_t WireSize(const Table& table);
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_SERIALIZER_H_

@@ -1,0 +1,73 @@
+#ifndef SKALLA_STORAGE_TABLE_H_
+#define SKALLA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace skalla {
+
+/// \brief An in-memory row-store relation: a schema plus a vector of rows.
+///
+/// Table is the unit of data exchanged between Skalla sites and the
+/// coordinator (after binary serialization, see serializer.h) and the unit
+/// operated on by the local engine (engine/operators.h).
+class Table {
+ public:
+  Table() : schema_(MakeSchema({})) {}
+  explicit Table(SchemaPtr schema) : schema_(std::move(schema)) {}
+  Table(SchemaPtr schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return *schema_; }
+  const SchemaPtr& schema_ptr() const { return schema_; }
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(int64_t i) const { return rows_[static_cast<size_t>(i)]; }
+  Row& mutable_row(int64_t i) { return rows_[static_cast<size_t>(i)]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  const Value& Get(int64_t row, int col) const {
+    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+
+  /// Appends a row; the caller must supply exactly one value per column.
+  void AddRow(Row row);
+
+  /// Appends all rows of `other`; schemas must be field-count compatible.
+  void Append(const Table& other);
+
+  void Reserve(int64_t n) { rows_.reserve(static_cast<size_t>(n)); }
+  void Clear() { rows_.clear(); }
+
+  /// Stable sort by the given columns ascending (Value::Compare order).
+  void SortBy(const std::vector<int>& cols);
+
+  /// Sort by all columns; used to compare relations as multisets in tests.
+  void SortAllColumns();
+
+  /// Sum of serialized value sizes plus per-row overhead; matches the
+  /// byte counts produced by the serializer to within the fixed header.
+  size_t SerializedSize() const;
+
+  /// Renders the first `max_rows` rows as an aligned ASCII table.
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// True if both tables contain the same multiset of rows (schema
+  /// field-count must match; compares after sorting copies).
+  bool SameRowMultiset(const Table& other) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_TABLE_H_

@@ -1,0 +1,117 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/hash_util.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int64() && other.is_int64()) return AsInt64() == other.AsInt64();
+    return ToDouble() == other.ToDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  const bool lhs_num = is_numeric();
+  const bool rhs_num = other.is_numeric();
+  if (lhs_num && rhs_num) {
+    if (is_int64() && other.is_int64()) {
+      const int64_t a = AsInt64();
+      const int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = ToDouble();
+    const double b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (lhs_num != rhs_num) return lhs_num ? -1 : 1;  // numerics before strings
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;  // "null"
+    case ValueType::kInt64: {
+      // Hash integral values through their double representation when exact,
+      // so that Value(5) and Value(5.0) hash identically (they compare equal).
+      const int64_t v = AsInt64();
+      const double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        return HashInt64(bits);
+      }
+      return HashInt64(static_cast<uint64_t>(v));
+    }
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case ValueType::kString:
+      return HashBytes(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      // Render integral doubles without trailing zeros noise.
+      return StrFormat("%g", AsDouble());
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t Value::SerializedSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 4 + AsString().size();
+  }
+  return 1;
+}
+
+}  // namespace skalla

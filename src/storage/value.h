@@ -1,0 +1,87 @@
+#ifndef SKALLA_STORAGE_VALUE_H_
+#define SKALLA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace skalla {
+
+/// Runtime type of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// \brief Returns a human-readable name ("int64", "double", ...).
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A dynamically-typed SQL value: NULL, INT64, DOUBLE, or STRING.
+///
+/// Value is the cell type of every relation in Skalla. Semantics follow SQL
+/// where it matters for OLAP aggregation:
+///  - numeric comparisons cross int64/double boundaries by value;
+///  - NULLs compare equal to each other for grouping/ordering purposes
+///    (predicate evaluation handles NULL separately, see expr/evaluator.h);
+///  - Hash() is consistent with operator== across numeric types.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}           // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}      // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}            // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  /// The contained int64; must be is_int64().
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  /// The contained double; must be is_double().
+  double AsDouble() const { return std::get<double>(data_); }
+  /// The contained string; must be is_string().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion to double; must be is_numeric().
+  double ToDouble() const {
+    return is_int64() ? static_cast<double>(AsInt64()) : AsDouble();
+  }
+
+  /// Structural/value equality (see class comment).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: NULL < numerics (by value) < strings (lexicographic).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator==.
+  uint64_t Hash() const;
+
+  /// SQL-style rendering; NULL renders as "NULL", strings unquoted.
+  std::string ToString() const;
+
+  /// Serialized payload size in bytes (tag byte included); used by the
+  /// byte-exact network accounting.
+  size_t SerializedSize() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_VALUE_H_

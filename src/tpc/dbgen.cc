@@ -1,0 +1,126 @@
+#include "tpc/dbgen.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                            "REG AIR", "SHIP", "TRUCK"};
+
+}  // namespace
+
+SchemaPtr TpcrSchema() {
+  return MakeSchema({
+      {"OrderKey", ValueType::kInt64},
+      {"LineNumber", ValueType::kInt64},
+      {"CustKey", ValueType::kInt64},
+      {"CustName", ValueType::kString},
+      {"NationKey", ValueType::kInt64},
+      {"RegionKey", ValueType::kInt64},
+      {"MktSegment", ValueType::kString},
+      {"PartKey", ValueType::kInt64},
+      {"SuppKey", ValueType::kInt64},
+      {"Clerk", ValueType::kString},
+      {"ClerkKey", ValueType::kInt64},
+      {"Quantity", ValueType::kInt64},
+      {"ExtendedPrice", ValueType::kDouble},
+      {"Discount", ValueType::kDouble},
+      {"Tax", ValueType::kDouble},
+      {"OrderDate", ValueType::kInt64},
+      {"ShipDate", ValueType::kInt64},
+      {"OrderPriority", ValueType::kString},
+      {"ShipMode", ValueType::kString},
+  });
+}
+
+std::string CustomerName(int64_t cust_key) {
+  return StrFormat("Customer#%09lld", static_cast<long long>(cust_key));
+}
+
+int64_t NationOfCustomer(int64_t cust_key, const TpcConfig& config) {
+  // Block mapping: contiguous customer-key ranges per nation, so that a
+  // contiguous NationKey range owns a contiguous CustKey range.
+  const int64_t block =
+      (config.num_customers + config.num_nations - 1) / config.num_nations;
+  int64_t nation = cust_key / block;
+  if (nation >= config.num_nations) nation = config.num_nations - 1;
+  return nation;
+}
+
+Table GenerateTpcr(const TpcConfig& config) {
+  SKALLA_CHECK(config.num_rows >= 0);
+  SKALLA_CHECK(config.num_customers > 0);
+  SKALLA_CHECK(config.num_nations > 0);
+  Rng rng(config.seed);
+  Table table(TpcrSchema());
+  table.Reserve(config.num_rows);
+
+  int64_t order_key = 0;
+  int64_t lines_left = 0;
+  int64_t cust_key = 0;
+  int64_t order_date = 0;
+  std::string priority;
+
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    if (lines_left == 0) {
+      // Start a new order with 1..7 line items.
+      ++order_key;
+      lines_left = rng.Uniform(1, 7);
+      cust_key = rng.Uniform(0, config.num_customers - 1);
+      order_date = rng.Uniform(0, 2404);  // days in [1992-01-01, 1998-08-02]
+      priority = kPriorities[rng.Uniform(0, 4)];
+    }
+    const int64_t line_number = 8 - lines_left;
+    --lines_left;
+
+    const int64_t nation = NationOfCustomer(cust_key, config);
+    const int64_t region = nation % 5;
+    const int64_t part_key = rng.Uniform(0, config.num_parts - 1);
+    const int64_t supp_key = rng.Uniform(0, config.num_suppliers - 1);
+    const int64_t clerk_key = rng.Uniform(0, config.num_clerks - 1);
+    const int64_t quantity = rng.Uniform(1, 50);
+    // Integral doubles keep sums exactly representable, so distributed
+    // merge order cannot perturb AVG results (prices are in whole dollars,
+    // discount/tax in whole percent).
+    const double price =
+        static_cast<double>(quantity * rng.Uniform(900, 2100));
+    const double discount = static_cast<double>(rng.Uniform(0, 10));
+    const double tax = static_cast<double>(rng.Uniform(0, 8));
+    const int64_t ship_date = order_date + rng.Uniform(1, 121);
+
+    Row row;
+    row.reserve(19);
+    row.push_back(Value(order_key));
+    row.push_back(Value(line_number));
+    row.push_back(Value(cust_key));
+    row.push_back(Value(CustomerName(cust_key)));
+    row.push_back(Value(nation));
+    row.push_back(Value(region));
+    row.push_back(Value(std::string(kSegments[rng.Uniform(0, 4)])));
+    row.push_back(Value(part_key));
+    row.push_back(Value(supp_key));
+    row.push_back(Value(StrFormat("Clerk#%06lld",
+                                  static_cast<long long>(clerk_key))));
+    row.push_back(Value(clerk_key));
+    row.push_back(Value(quantity));
+    row.push_back(Value(price));
+    row.push_back(Value(discount));
+    row.push_back(Value(tax));
+    row.push_back(Value(order_date));
+    row.push_back(Value(ship_date));
+    row.push_back(Value(priority));
+    row.push_back(Value(std::string(kShipModes[rng.Uniform(0, 6)])));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace skalla

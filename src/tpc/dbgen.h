@@ -1,0 +1,48 @@
+#ifndef SKALLA_TPC_DBGEN_H_
+#define SKALLA_TPC_DBGEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// \brief Parameters of the TPC-R-like data generator.
+///
+/// The paper derives its test database from the TPC(R) dbgen program as a
+/// *denormalized* fact relation (orders ⋈ lineitem ⋈ customer ⋈ nation
+/// flattened), 6M tuples / 900MB, partitioned on NationKey across 8 sites.
+/// This generator reproduces that shape at configurable scale:
+///  - `CustKey` is block-correlated with `NationKey` (custkeys
+///    [n·C/N, (n+1)·C/N) belong to nation n), so a NationKey partitioning
+///    also partitions CustKey — exactly the property the paper states;
+///  - `CustName` is the high-cardinality grouping attribute (the paper's
+///    experiments use Customer.Name with 100,000 uniques);
+///  - `Clerk` is the low-cardinality attribute (2000–4000 uniques).
+struct TpcConfig {
+  int64_t num_rows = 60000;
+  int64_t num_customers = 10000;
+  int64_t num_nations = 25;
+  int64_t num_clerks = 3000;
+  int64_t num_parts = 20000;
+  int64_t num_suppliers = 1000;
+  uint64_t seed = 42;
+};
+
+/// The schema of the denormalized TPCR fact relation.
+SchemaPtr TpcrSchema();
+
+/// Generates the TPCR relation; deterministic in `config.seed`.
+Table GenerateTpcr(const TpcConfig& config);
+
+/// Derives the customer name string for a key ("Customer#000000042").
+std::string CustomerName(int64_t cust_key);
+
+/// The nation a customer key belongs to under the block mapping.
+int64_t NationOfCustomer(int64_t cust_key, const TpcConfig& config);
+
+}  // namespace skalla
+
+#endif  // SKALLA_TPC_DBGEN_H_

@@ -1,0 +1,49 @@
+#ifndef SKALLA_TPC_PARTITIONER_H_
+#define SKALLA_TPC_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/partition_info.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// A horizontal partitioning: one fragment per site plus the per-site
+/// partition predicate φ_i (what each fragment can contain).
+struct PartitionedData {
+  std::vector<std::shared_ptr<const Table>> fragments;
+  std::vector<PartitionInfo> infos;
+};
+
+/// Splits `table` into `num_sites` fragments by contiguous ranges of the
+/// integer attribute `attr` over [attr_min, attr_max]. Each site's
+/// PartitionInfo declares the corresponding range domain for `attr` —
+/// making `attr` a partition attribute per Definition 2.
+Result<PartitionedData> PartitionByRange(const Table& table,
+                                         const std::string& attr,
+                                         int num_sites, int64_t attr_min,
+                                         int64_t attr_max);
+
+/// Splits by hash of `attr` (no useful distribution knowledge results; the
+/// PartitionInfos are empty). Models a warehouse whose placement the
+/// optimizer knows nothing about.
+Result<PartitionedData> PartitionByHash(const Table& table,
+                                        const std::string& attr,
+                                        int num_sites);
+
+/// Round-robin split (empty PartitionInfos).
+Result<PartitionedData> PartitionRoundRobin(const Table& table,
+                                            int num_sites);
+
+/// Tightens each fragment's PartitionInfo with the *observed* min/max range
+/// of the listed numeric attributes (profiling-derived distribution
+/// knowledge, e.g. the CustKey ranges induced by a NationKey partitioning).
+Status ProfileDomains(PartitionedData* data,
+                      const std::vector<std::string>& attrs);
+
+}  // namespace skalla
+
+#endif  // SKALLA_TPC_PARTITIONER_H_

@@ -1,0 +1,109 @@
+#include "tpc/star.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "engine/operators.h"
+
+namespace skalla {
+
+namespace {
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                            "REG AIR", "SHIP", "TRUCK"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",   "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",  "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",   "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+
+}  // namespace
+
+StarSchema GenerateTpcrStar(const TpcConfig& config) {
+  Rng rng(config.seed ^ 0x5741aULL);
+  StarSchema star;
+
+  star.nation = Table(MakeSchema({{"NationKey", ValueType::kInt64},
+                                  {"RegionKey", ValueType::kInt64},
+                                  {"NationName", ValueType::kString}}));
+  for (int64_t n = 0; n < config.num_nations; ++n) {
+    star.nation.AddRow(
+        {Value(n), Value(n % 5),
+         Value(std::string(kNationNames[n % 25]) +
+               (n >= 25 ? StrFormat("-%lld", static_cast<long long>(n / 25))
+                        : ""))});
+  }
+
+  star.customer = Table(MakeSchema({{"CustKey", ValueType::kInt64},
+                                    {"CustName", ValueType::kString},
+                                    {"NationKey", ValueType::kInt64},
+                                    {"MktSegment", ValueType::kString}}));
+  for (int64_t c = 0; c < config.num_customers; ++c) {
+    star.customer.AddRow({Value(c), Value(CustomerName(c)),
+                          Value(NationOfCustomer(c, config)),
+                          Value(std::string(kSegments[rng.Uniform(0, 4)]))});
+  }
+
+  star.orders = Table(MakeSchema({{"OrderKey", ValueType::kInt64},
+                                  {"CustKey", ValueType::kInt64},
+                                  {"OrderDate", ValueType::kInt64},
+                                  {"OrderPriority", ValueType::kString},
+                                  {"Clerk", ValueType::kString},
+                                  {"ClerkKey", ValueType::kInt64}}));
+  star.lineitem = Table(MakeSchema({{"OrderKey", ValueType::kInt64},
+                                    {"LineNumber", ValueType::kInt64},
+                                    {"PartKey", ValueType::kInt64},
+                                    {"SuppKey", ValueType::kInt64},
+                                    {"Quantity", ValueType::kInt64},
+                                    {"ExtendedPrice", ValueType::kDouble},
+                                    {"Discount", ValueType::kDouble},
+                                    {"Tax", ValueType::kDouble},
+                                    {"ShipDate", ValueType::kInt64},
+                                    {"ShipMode", ValueType::kString}}));
+
+  int64_t rows_left = config.num_rows;
+  int64_t order_key = 0;
+  while (rows_left > 0) {
+    ++order_key;
+    const int64_t cust_key = rng.Uniform(0, config.num_customers - 1);
+    const int64_t order_date = rng.Uniform(0, 2404);
+    const int64_t clerk_key = rng.Uniform(0, config.num_clerks - 1);
+    star.orders.AddRow(
+        {Value(order_key), Value(cust_key), Value(order_date),
+         Value(std::string(kPriorities[rng.Uniform(0, 4)])),
+         Value(StrFormat("Clerk#%06lld", static_cast<long long>(clerk_key))),
+         Value(clerk_key)});
+    const int64_t lines = std::min<int64_t>(rows_left, rng.Uniform(1, 7));
+    for (int64_t l = 1; l <= lines; ++l) {
+      const int64_t quantity = rng.Uniform(1, 50);
+      star.lineitem.AddRow(
+          {Value(order_key), Value(l),
+           Value(rng.Uniform(0, config.num_parts - 1)),
+           Value(rng.Uniform(0, config.num_suppliers - 1)), Value(quantity),
+           Value(static_cast<double>(quantity * rng.Uniform(900, 2100))),
+           Value(static_cast<double>(rng.Uniform(0, 10))),
+           Value(static_cast<double>(rng.Uniform(0, 8))),
+           Value(order_date + rng.Uniform(1, 121)),
+           Value(std::string(kShipModes[rng.Uniform(0, 6)]))});
+    }
+    rows_left -= lines;
+  }
+  return star;
+}
+
+Result<Table> DenormalizeStar(const StarSchema& star) {
+  SKALLA_ASSIGN_OR_RETURN(
+      Table with_orders,
+      HashJoin(star.lineitem, star.orders, {"OrderKey"}, {"OrderKey"}));
+  SKALLA_ASSIGN_OR_RETURN(
+      Table with_customer,
+      HashJoin(with_orders, star.customer, {"CustKey"}, {"CustKey"}));
+  return HashJoin(with_customer, star.nation, {"NationKey"}, {"NationKey"});
+}
+
+}  // namespace skalla

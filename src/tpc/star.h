@@ -1,0 +1,40 @@
+#ifndef SKALLA_TPC_STAR_H_
+#define SKALLA_TPC_STAR_H_
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+
+/// \brief The TPC-R-like star schema behind the denormalized fact table.
+///
+/// The paper derives its test database by denormalizing the TPC(R) dbgen
+/// output into one flat relation (Sect. 5.1). This module provides the
+/// same pipeline: normalized dimension/fact tables plus the join-based
+/// denormalizer, so the warehouse can be loaded either from pre-flattened
+/// data (tpc/dbgen.h) or from a realistic star schema.
+struct StarSchema {
+  /// Nation(NationKey, RegionKey, NationName)
+  Table nation;
+  /// Customer(CustKey, CustName, NationKey, MktSegment)
+  Table customer;
+  /// Orders(OrderKey, CustKey, OrderDate, OrderPriority, Clerk, ClerkKey)
+  Table orders;
+  /// LineItem(OrderKey, LineNumber, PartKey, SuppKey, Quantity,
+  ///          ExtendedPrice, Discount, Tax, ShipDate, ShipMode)
+  Table lineitem;
+};
+
+/// Generates the normalized tables; deterministic in `config.seed`. The
+/// same distributional properties hold as for GenerateTpcr: customers are
+/// block-mapped onto nations, prices/discounts/taxes are integral doubles.
+StarSchema GenerateTpcrStar(const TpcConfig& config);
+
+/// Flattens the star by inner joins
+/// (LineItem ⋈ Orders ⋈ Customer ⋈ Nation); one output row per line item.
+Result<Table> DenormalizeStar(const StarSchema& star);
+
+}  // namespace skalla
+
+#endif  // SKALLA_TPC_STAR_H_

@@ -1,0 +1,133 @@
+#include "expr/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "expr/rewriter.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(AnalyzerTest, SplitConjunctsFlattensAndTree) {
+  const ExprPtr e = MustParse("B.a = R.a && B.b = R.b && R.v > 1");
+  const std::vector<ExprPtr> conjuncts = SplitConjuncts(e);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), "(B.a = R.a)");
+  EXPECT_EQ(conjuncts[2]->ToString(), "(R.v > 1)");
+}
+
+TEST(AnalyzerTest, SplitConjunctsDoesNotCrossOr) {
+  const ExprPtr e = MustParse("B.a = R.a || R.v > 1");
+  EXPECT_EQ(SplitConjuncts(e).size(), 1u);
+}
+
+TEST(AnalyzerTest, CollectColumnsBySide) {
+  const ExprPtr e = MustParse("B.a = R.x && R.y + B.b > 2");
+  const auto base_cols = CollectColumns(e, Side::kBase);
+  const auto detail_cols = CollectColumns(e, Side::kDetail);
+  EXPECT_EQ(base_cols, (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(detail_cols, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(AnalyzerTest, ReferencesSide) {
+  EXPECT_TRUE(ReferencesSide(MustParse("B.a = 1"), Side::kBase));
+  EXPECT_FALSE(ReferencesSide(MustParse("B.a = 1"), Side::kDetail));
+  EXPECT_FALSE(ReferencesSide(MustParse("1 + 2"), Side::kBase));
+}
+
+TEST(AnalyzerTest, DecomposeThetaExtractsEquiPairs) {
+  const ExprPtr e = MustParse("B.a = R.x && R.v >= B.m && R.y = B.b");
+  const ThetaDecomposition d = DecomposeTheta(e);
+  ASSERT_EQ(d.pairs.size(), 2u);
+  EXPECT_EQ(d.pairs[0], (EquiPair{"a", "x"}));
+  EXPECT_EQ(d.pairs[1], (EquiPair{"b", "y"}));  // reversed operand order
+  ASSERT_NE(d.residual, nullptr);
+  EXPECT_EQ(d.residual->ToString(), "(R.v >= B.m)");
+}
+
+TEST(AnalyzerTest, DecomposeThetaAllEqui) {
+  const ExprPtr e = MustParse("B.a = R.a && B.b = R.b");
+  const ThetaDecomposition d = DecomposeTheta(e);
+  EXPECT_EQ(d.pairs.size(), 2u);
+  EXPECT_EQ(d.residual, nullptr);
+}
+
+TEST(AnalyzerTest, DecomposeThetaNoEqui) {
+  const ExprPtr e = MustParse("R.v > B.m || B.a = R.a");
+  const ThetaDecomposition d = DecomposeTheta(e);
+  EXPECT_TRUE(d.pairs.empty());
+  ASSERT_NE(d.residual, nullptr);
+}
+
+TEST(AnalyzerTest, EquiPairIgnoresNonColumnOperands) {
+  // B.a = R.x + 0 is an equality but not a bare-column pair.
+  const ExprPtr e = MustParse("B.a = R.x + 0");
+  EXPECT_TRUE(DecomposeTheta(e).pairs.empty());
+}
+
+TEST(AnalyzerTest, EntailsEquality) {
+  const ExprPtr e = MustParse("B.a = R.a && R.v > 1");
+  EXPECT_TRUE(EntailsEquality(e, "a", "a"));
+  EXPECT_FALSE(EntailsEquality(e, "a", "v"));
+  EXPECT_FALSE(EntailsEquality(e, "v", "a"));
+}
+
+TEST(AnalyzerTest, EntailsKeyEquality) {
+  const ExprPtr two_keys = MustParse("B.a = R.a && B.b = R.b && R.v > 1");
+  EXPECT_TRUE(EntailsKeyEquality(two_keys, {"a", "b"}));
+  EXPECT_TRUE(EntailsKeyEquality(two_keys, {"a"}));
+  EXPECT_FALSE(EntailsKeyEquality(two_keys, {"a", "b", "c"}));
+}
+
+TEST(AnalyzerTest, DisjunctionDoesNotEntailEquality) {
+  const ExprPtr e = MustParse("B.a = R.a || R.v > 1");
+  EXPECT_FALSE(EntailsEquality(e, "a", "a"));
+}
+
+TEST(RewriterTest, ConstantFoldingAnd) {
+  EXPECT_TRUE(IsLiteralTrue(SimplifyConstants(MustParse("true && true"))));
+  EXPECT_TRUE(IsLiteralFalse(SimplifyConstants(MustParse("true && false"))));
+  const ExprPtr e = SimplifyConstants(MustParse("true && B.a = 1"));
+  EXPECT_EQ(e->ToString(), "(B.a = 1)");
+}
+
+TEST(RewriterTest, ConstantFoldingOr) {
+  EXPECT_TRUE(IsLiteralTrue(SimplifyConstants(MustParse("false || true"))));
+  const ExprPtr e = SimplifyConstants(MustParse("false || B.a = 1"));
+  EXPECT_EQ(e->ToString(), "(B.a = 1)");
+}
+
+TEST(RewriterTest, ConstantFoldingNested) {
+  const ExprPtr e = SimplifyConstants(
+      MustParse("(true && (false || true)) && (B.a = 1 || false)"));
+  EXPECT_EQ(e->ToString(), "(B.a = 1)");
+}
+
+TEST(RewriterTest, NotFolding) {
+  EXPECT_TRUE(IsLiteralFalse(SimplifyConstants(MustParse("!true"))));
+  EXPECT_TRUE(IsLiteralTrue(SimplifyConstants(MustParse("!false"))));
+}
+
+TEST(RewriterTest, LeavesNonConstantAlone) {
+  const ExprPtr original = MustParse("B.a = 1 && R.v > 2");
+  const ExprPtr simplified = SimplifyConstants(original);
+  EXPECT_TRUE(original->Equals(*simplified));
+}
+
+TEST(ExprEqualsTest, StructuralEquality) {
+  EXPECT_TRUE(MustParse("B.a + 1 = R.b")->Equals(*MustParse("B.a + 1 = R.b")));
+  EXPECT_FALSE(MustParse("B.a = R.b")->Equals(*MustParse("R.b = B.a")));
+  // Literal equality follows Value equality (numeric across types).
+  EXPECT_TRUE(MustParse("1")->Equals(*MustParse("1.0")));
+  EXPECT_TRUE(MustParse("null")->Equals(*MustParse("null")));
+}
+
+}  // namespace
+}  // namespace skalla

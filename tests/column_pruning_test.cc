@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+class ColumnPruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcConfig config;
+    config.num_rows = 4000;
+    config.num_customers = 400;
+    warehouse_ = std::make_unique<Warehouse>(4);
+    Table tpcr = GenerateTpcr(config);
+    ASSERT_OK(warehouse_->LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                                      {"CustKey"}));
+  }
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(ColumnPruningTest, PlanListsOnlyNeededColumns) {
+  OptimizerOptions options;
+  options.column_pruning = true;
+  // Combined query: round 2's θ references avg1 but not cnt1/cnt2/avg2.
+  ASSERT_OK_AND_ASSIGN(
+      DistributedPlan plan,
+      warehouse_->Plan(queries::CombinedQuery("CustKey"), options));
+  ASSERT_EQ(plan.rounds.size(), 3u);
+  // Round 1: only the key.
+  EXPECT_EQ(plan.rounds[0].ship_cols, std::vector<std::string>{"CustKey"});
+  // Round 3 (correlated): key + avg1.
+  EXPECT_EQ(plan.rounds[2].ship_cols,
+            (std::vector<std::string>{"CustKey", "avg1"}));
+}
+
+TEST_F(ColumnPruningTest, ReducesTrafficWithoutChangingResults) {
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                       warehouse_->Execute(query, OptimizerOptions::None()));
+  OptimizerOptions pruned_options;
+  pruned_options.column_pruning = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult pruned,
+                       warehouse_->Execute(query, pruned_options));
+  ExpectSameRows(pruned.table, baseline.table);
+  EXPECT_LT(pruned.metrics.BytesToSites(), baseline.metrics.BytesToSites());
+  // Same rows shipped, narrower rows.
+  EXPECT_EQ(pruned.metrics.GroupsToSites(),
+            baseline.metrics.GroupsToSites());
+  EXPECT_EQ(pruned.metrics.BytesToCoord(),
+            baseline.metrics.BytesToCoord());
+}
+
+TEST_F(ColumnPruningTest, TreeCoordinatorPrunesToo) {
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  OptimizerOptions pruned_options;
+  pruned_options.column_pruning = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plain_plan,
+                       warehouse_->Plan(query, OptimizerOptions::None()));
+  ASSERT_OK_AND_ASSIGN(DistributedPlan pruned_plan,
+                       warehouse_->Plan(query, pruned_options));
+  ASSERT_OK_AND_ASSIGN(QueryResult plain,
+                       warehouse_->ExecutePlanTree(plain_plan, 2));
+  ASSERT_OK_AND_ASSIGN(QueryResult pruned,
+                       warehouse_->ExecutePlanTree(pruned_plan, 2));
+  ExpectSameRows(pruned.table, plain.table);
+  EXPECT_LT(pruned.metrics.BytesToSites(), plain.metrics.BytesToSites());
+}
+
+TEST_F(ColumnPruningTest, ComposesWithEveryOtherOptimization) {
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(Table expected,
+                       warehouse_->ExecuteCentralized(query));
+  for (int mask = 0; mask < 16; ++mask) {
+    OptimizerOptions options;
+    options.coalesce = (mask & 1) != 0;
+    options.independent_group_reduction = (mask & 2) != 0;
+    options.aware_group_reduction = (mask & 4) != 0;
+    options.sync_reduction = (mask & 8) != 0;
+    options.column_pruning = true;
+    ASSERT_OK_AND_ASSIGN(QueryResult result,
+                         warehouse_->Execute(query, options));
+    ExpectSameRows(result.table, expected);
+  }
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,92 @@
+// The paper notes the coordinator "may consist of multiple instances,
+// e.g., each client may have its own coordinator instance" (Sect. 3.1).
+// Warehouse::Execute builds a fresh Coordinator per call and sites are
+// read-only during evaluation, so concurrent clients are supported; these
+// tests pin that property.
+
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+TEST(ConcurrentQueriesTest, ParallelClientsGetCorrectResults) {
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 6000;
+  config.num_customers = 400;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24, {"CustKey"}));
+
+  const std::vector<GmdjExpr> queries = {
+      queries::GroupReductionQuery("CustKey"),
+      queries::CoalescingQuery("ClerkKey"),
+      queries::SyncReductionQuery("CustKey"),
+      queries::CombinedQuery("CustKey"),
+      queries::MultiFeatureQuery("NationKey"),
+  };
+
+  // Sequential oracle first.
+  std::vector<Table> expected;
+  for (const GmdjExpr& query : queries) {
+    auto result = wh.ExecuteCentralized(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(std::move(result).ValueUnsafe());
+  }
+
+  // Then 3 rounds of all five queries racing on the shared sites, with
+  // alternating optimizer settings.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<Result<QueryResult>>> futures;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const OptimizerOptions options = (round + q) % 2 == 0
+                                           ? OptimizerOptions::All()
+                                           : OptimizerOptions::None();
+      futures.push_back(std::async(
+          std::launch::async,
+          [&wh, &queries, q, options]() {
+            return wh.Execute(queries[q], options);
+          }));
+    }
+    for (size_t q = 0; q < futures.size(); ++q) {
+      auto result = futures[q].get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectSameRows(result->table, expected[q]);
+    }
+  }
+}
+
+TEST(ConcurrentQueriesTest, MixedFlatAndTreeClients) {
+  Warehouse wh(8);
+  TpcConfig config;
+  config.num_rows = 4000;
+  config.num_customers = 300;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24, {"CustKey"}));
+
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(query, OptimizerOptions::None()));
+
+  auto flat = std::async(std::launch::async,
+                         [&wh, &plan]() { return wh.ExecutePlan(plan); });
+  auto tree2 = std::async(std::launch::async,
+                          [&wh, &plan]() { return wh.ExecutePlanTree(plan, 2); });
+  auto tree4 = std::async(std::launch::async,
+                          [&wh, &plan]() { return wh.ExecutePlanTree(plan, 4); });
+  for (auto* f : {&flat, &tree2, &tree4}) {
+    auto result = f->get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(result->table, expected);
+  }
+}
+
+}  // namespace
+}  // namespace skalla

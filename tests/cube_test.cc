@@ -1,0 +1,176 @@
+#include "cube/cube.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+CubeSpec TinySpec() {
+  CubeSpec spec;
+  spec.table = "T";
+  spec.dims = {"g", "h"};
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+               AggSpec::Avg("v", "av"), AggSpec::Min("v", "lo"),
+               AggSpec::Max("v", "hi")};
+  return spec;
+}
+
+TEST(CubeCentralizedTest, RowCountIsSumOfGroupingSets) {
+  const Table source = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table cube, CubeCentralized(TinySpec(), source));
+  // Grouping sets of (g, h): {} → 1, {g} → 3, {h} → 3, {g,h} → 7.
+  EXPECT_EQ(cube.num_rows(), 1 + 3 + 3 + 7);
+}
+
+TEST(CubeCentralizedTest, GrandTotalRow) {
+  const Table source = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table cube, CubeCentralized(TinySpec(), source));
+  int found = 0;
+  for (const Row& row : cube.rows()) {
+    if (row[0].is_null() && row[1].is_null()) {
+      ++found;
+      EXPECT_EQ(row[2], Value(12));          // count
+      EXPECT_EQ(row[3], Value(66));          // sum of v
+      EXPECT_DOUBLE_EQ(row[4].AsDouble(), 66.0 / 12.0);
+      EXPECT_EQ(row[5], Value(1));           // min
+      EXPECT_EQ(row[6], Value(9));           // max
+    }
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST(CubeCentralizedTest, SingleDimSliceMatchesGroupBy) {
+  const Table source = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table cube, CubeCentralized(TinySpec(), source));
+  ASSERT_OK_AND_ASSIGN(
+      Table by_g, HashGroupBy(source, {"g"},
+                              {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+                               AggSpec::Avg("v", "av"),
+                               AggSpec::Min("v", "lo"),
+                               AggSpec::Max("v", "hi")}));
+  // Extract the {g} slice: g non-null, h null.
+  Table slice(cube.schema_ptr());
+  for (const Row& row : cube.rows()) {
+    if (!row[0].is_null() && row[1].is_null()) slice.AddRow(row);
+  }
+  ASSERT_EQ(slice.num_rows(), by_g.num_rows());
+  // Compare modulo the h column.
+  ASSERT_OK_AND_ASSIGN(
+      Table slice_no_h,
+      Project(slice, {"g", "cnt", "sv", "av", "lo", "hi"}));
+  ExpectSameRows(slice_no_h, by_g);
+}
+
+TEST(CubeCentralizedTest, EmptySourceGivesEmptyCube) {
+  Table source(MakeTinyTable().schema_ptr());
+  ASSERT_OK_AND_ASSIGN(Table cube, CubeCentralized(TinySpec(), source));
+  EXPECT_EQ(cube.num_rows(), 0);
+}
+
+TEST(CubeCentralizedTest, InvalidSpecs) {
+  const Table source = MakeTinyTable();
+  CubeSpec no_dims = TinySpec();
+  no_dims.dims.clear();
+  EXPECT_FALSE(CubeCentralized(no_dims, source).ok());
+  CubeSpec no_aggs = TinySpec();
+  no_aggs.aggs.clear();
+  EXPECT_FALSE(CubeCentralized(no_aggs, source).ok());
+  CubeSpec bad_col = TinySpec();
+  bad_col.dims = {"nope"};
+  EXPECT_FALSE(CubeCentralized(bad_col, source).ok());
+}
+
+class CubeDistributedTest
+    : public ::testing::TestWithParam<CubeStrategy> {};
+
+TEST_P(CubeDistributedTest, MatchesCentralizedOnTpcr) {
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 3000;
+  config.num_customers = 120;
+  config.num_clerks = 8;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                           {"CustKey", "ClerkKey"}));
+
+  CubeSpec spec;
+  spec.table = "TPCR";
+  spec.dims = {"NationKey", "ClerkKey", "OrderPriority"};
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("Quantity", "qty"),
+               AggSpec::Avg("ExtendedPrice", "avg_price")};
+
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  ASSERT_OK_AND_ASSIGN(Table expected, CubeCentralized(spec, *full));
+  ASSERT_OK_AND_ASSIGN(
+      CubeExecution execution,
+      CubeDistributed(wh, spec, GetParam(), OptimizerOptions::All()));
+  ExpectSameRows(execution.table, expected);
+}
+
+TEST_P(CubeDistributedTest, MatchesCentralizedUnderNoOptimizations) {
+  Warehouse wh(3);
+  TpcConfig config;
+  config.num_rows = 1200;
+  config.num_customers = 50;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByHash("TPCR", tpcr, "OrderKey"));
+
+  CubeSpec spec;
+  spec.table = "TPCR";
+  spec.dims = {"NationKey", "MktSegment"};
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Avg("Quantity", "aq")};
+
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  ASSERT_OK_AND_ASSIGN(Table expected, CubeCentralized(spec, *full));
+  ASSERT_OK_AND_ASSIGN(
+      CubeExecution execution,
+      CubeDistributed(wh, spec, GetParam(), OptimizerOptions::None()));
+  ExpectSameRows(execution.table, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothStrategies, CubeDistributedTest,
+    ::testing::Values(CubeStrategy::kPerGroupingSet,
+                      CubeStrategy::kRollupFromFinest),
+    [](const ::testing::TestParamInfo<CubeStrategy>& info) {
+      return info.param == CubeStrategy::kPerGroupingSet ? "PerGroupingSet"
+                                                         : "RollupFromFinest";
+    });
+
+TEST(CubeStrategyTest, RollupShipsLessForMultiDimCubes) {
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 4000;
+  config.num_customers = 150;
+  config.num_clerks = 10;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                           {"CustKey", "ClerkKey"}));
+
+  CubeSpec spec;
+  spec.table = "TPCR";
+  spec.dims = {"NationKey", "ClerkKey", "MktSegment"};
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Avg("Quantity", "aq")};
+
+  ASSERT_OK_AND_ASSIGN(
+      CubeExecution per_set,
+      CubeDistributed(wh, spec, CubeStrategy::kPerGroupingSet,
+                      OptimizerOptions::All()));
+  ASSERT_OK_AND_ASSIGN(
+      CubeExecution rollup,
+      CubeDistributed(wh, spec, CubeStrategy::kRollupFromFinest,
+                      OptimizerOptions::All()));
+  EXPECT_EQ(rollup.distributed_queries, 1);
+  EXPECT_EQ(per_set.distributed_queries, 7);
+  EXPECT_LT(rollup.total_bytes, per_set.total_bytes);
+  ExpectSameRows(rollup.table, per_set.table);
+}
+
+}  // namespace
+}  // namespace skalla

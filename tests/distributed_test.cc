@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "flow/flowgen.h"
+#include "gmdj/central_eval.h"
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+/// Loads a small TPCR relation partitioned on NationKey across `num_sites`,
+/// with CustKey/NationKey range knowledge profiled.
+void LoadTpcr(Warehouse* wh, int64_t rows = 4000, int64_t customers = 300,
+              uint64_t seed = 11) {
+  TpcConfig config;
+  config.num_rows = rows;
+  config.num_customers = customers;
+  config.seed = seed;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh->LoadByRange("TPCR", tpcr, "NationKey", 0,
+                            config.num_nations - 1,
+                            {"CustKey", "NationKey", "ClerkKey"}));
+}
+
+void LoadFlows(Warehouse* wh, int64_t rows = 3000, uint64_t seed = 5) {
+  FlowConfig config;
+  config.num_rows = rows;
+  config.num_routers = wh->num_sites();
+  config.num_as = 64;
+  config.seed = seed;
+  Table flows = GenerateFlows(config);
+  ASSERT_OK(wh->LoadByRange("Flow", flows, "SourceAS", 0, config.num_as - 1,
+                            {"SourceAS", "RouterId"}));
+}
+
+TEST(DistributedTest, Example1NaivePlanMatchesCentralized) {
+  Warehouse wh(4);
+  LoadFlows(&wh);
+  const GmdjExpr query = queries::FlowExample1();
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::None()));
+  ExpectSameRows(result.table, expected);
+  // m GMDJ operators → m + 1 rounds (paper, Sect. 3.2).
+  EXPECT_EQ(result.metrics.NumRounds(), 3);
+}
+
+TEST(DistributedTest, Example1AllOptimizationsMatchCentralized) {
+  Warehouse wh(4);
+  LoadFlows(&wh);
+  const GmdjExpr query = queries::FlowExample1();
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+}
+
+TEST(DistributedTest, SingleSiteMatchesCentralized) {
+  Warehouse wh(1);
+  LoadTpcr(&wh);
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::None()));
+  ExpectSameRows(result.table, expected);
+}
+
+TEST(DistributedTest, ResultHasOneRowPerGroup) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  const GmdjExpr query = queries::CoalescingQuery("NationKey");
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::None()));
+  // |Q| equals the number of distinct groups, independent of detail size.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  ASSERT_OK_AND_ASSIGN(Table groups,
+                       DistinctProject(*full, {"NationKey"}));
+  EXPECT_EQ(result.table.num_rows(), groups.num_rows());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every optimization subset × every canonical query ×
+// several partitionings must match the centralized evaluation exactly.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  std::string name;
+  std::string query;       // which canonical query
+  std::string group_attr;
+  std::string partitioning;  // "range" | "hash"
+  int num_sites;
+};
+
+class OptimizationSweepTest
+    : public ::testing::TestWithParam<std::tuple<SweepCase, int>> {};
+
+GmdjExpr MakeQuery(const std::string& query, const std::string& attr) {
+  if (query == "group_reduction") return queries::GroupReductionQuery(attr);
+  if (query == "coalescing") return queries::CoalescingQuery(attr);
+  if (query == "sync_reduction") return queries::SyncReductionQuery(attr);
+  if (query == "combined") return queries::CombinedQuery(attr);
+  ADD_FAILURE() << "unknown query " << query;
+  return GmdjExpr();
+}
+
+TEST_P(OptimizationSweepTest, DistributedEqualsCentralized) {
+  const auto& [sweep, mask] = GetParam();
+  OptimizerOptions options;
+  options.coalesce = (mask & 1) != 0;
+  options.independent_group_reduction = (mask & 2) != 0;
+  options.aware_group_reduction = (mask & 4) != 0;
+  options.sync_reduction = (mask & 8) != 0;
+
+  Warehouse wh(sweep.num_sites);
+  TpcConfig config;
+  config.num_rows = 2500;
+  config.num_customers = 200;
+  config.num_clerks = 40;
+  config.seed = 17;
+  Table tpcr = GenerateTpcr(config);
+  if (sweep.partitioning == "range") {
+    ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0,
+                             config.num_nations - 1,
+                             {"CustKey", "NationKey"}));
+  } else {
+    ASSERT_OK(wh.LoadByHash("TPCR", tpcr, "OrderKey"));
+  }
+
+  const GmdjExpr query = MakeQuery(sweep.query, sweep.group_attr);
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+  ExpectSameRows(result.table, expected);
+}
+
+std::vector<SweepCase> SweepCases() {
+  return {
+      {"group_custkey_range", "group_reduction", "CustKey", "range", 4},
+      {"group_custname_range", "group_reduction", "CustName", "range", 3},
+      {"coalesce_clerk_range", "coalescing", "ClerkKey", "range", 4},
+      {"coalesce_custkey_hash", "coalescing", "CustKey", "hash", 4},
+      {"sync_custkey_range", "sync_reduction", "CustKey", "range", 4},
+      {"sync_custkey_hash", "sync_reduction", "CustKey", "hash", 3},
+      {"combined_custkey_range", "combined", "CustKey", "range", 4},
+      {"combined_nation_range", "combined", "NationKey", "range", 2},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptimizationSubsets, OptimizationSweepTest,
+    ::testing::Combine(::testing::ValuesIn(SweepCases()),
+                       ::testing::Range(0, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<SweepCase, int>>& info) {
+      return std::get<0>(info.param).name + "_opt" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Plan-shape assertions: the optimizations must actually fire.
+// ---------------------------------------------------------------------------
+
+TEST(PlanShapeTest, CoalescingMergesIndependentOps) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  OptimizerOptions options;
+  options.coalesce = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(queries::CoalescingQuery("CustName"), options));
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].ops.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].ops[0].blocks.size(), 2u);
+}
+
+TEST(PlanShapeTest, CoalescingDoesNotMergeCorrelatedOps) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  OptimizerOptions options;
+  options.coalesce = true;
+  ASSERT_OK_AND_ASSIGN(
+      DistributedPlan plan,
+      wh.Plan(queries::GroupReductionQuery("CustName"), options));
+  EXPECT_EQ(plan.rounds.size(), 2u);
+}
+
+TEST(PlanShapeTest, SyncReductionFusesOnPartitionAttribute) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(queries::SyncReductionQuery("CustKey"), options));
+  // One fused round evaluating both operators, base fused as well → the
+  // whole query runs locally with a single synchronization (Example 5).
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].ops.size(), 2u);
+  EXPECT_TRUE(plan.fuse_base);
+}
+
+TEST(PlanShapeTest, SyncReductionDoesNotFireOnHashPartitioning) {
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 1000;
+  config.num_customers = 100;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByHash("TPCR", tpcr, "OrderKey"));
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(queries::SyncReductionQuery("CustKey"), options));
+  // No distribution knowledge → CustKey cannot be proven a partition
+  // attribute → two synchronized rounds remain.
+  EXPECT_EQ(plan.rounds.size(), 2u);
+  // Prop. 2 (base fusion) is distribution-independent: it only needs the
+  // θs to entail key equality, which they do.
+  EXPECT_TRUE(plan.fuse_base);
+}
+
+TEST(PlanShapeTest, AwareReductionProducesShipPredicates) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  OptimizerOptions options;
+  options.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(
+      DistributedPlan plan,
+      wh.Plan(queries::GroupReductionQuery("CustKey"), options));
+  ASSERT_EQ(plan.rounds.size(), 2u);
+  EXPECT_TRUE(plan.rounds[0].flags.aware_group_reduction);
+  ASSERT_EQ(plan.ship_predicates[0].size(), 4u);
+  for (const ExprPtr& pred : plan.ship_predicates[0]) {
+    EXPECT_NE(pred, nullptr);
+  }
+}
+
+TEST(PlanShapeTest, NaivePlanHasOneRoundPerOperator) {
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  const DistributedPlan plan = MakeNaivePlan(query);
+  EXPECT_EQ(plan.rounds.size(), 3u);
+  EXPECT_FALSE(plan.fuse_base);
+  for (const PlanRound& round : plan.rounds) {
+    EXPECT_EQ(round.ops.size(), 1u);
+    EXPECT_FALSE(round.flags.independent_group_reduction);
+    EXPECT_FALSE(round.flags.aware_group_reduction);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic properties.
+// ---------------------------------------------------------------------------
+
+TEST(TrafficTest, GroupReductionNeverIncreasesTraffic) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                       wh.Execute(query, OptimizerOptions::None()));
+  OptimizerOptions reduced;
+  reduced.independent_group_reduction = true;
+  reduced.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult optimized, wh.Execute(query, reduced));
+  EXPECT_LE(optimized.metrics.TotalBytes(), baseline.metrics.TotalBytes());
+  EXPECT_LT(optimized.metrics.GroupsToCoord(),
+            baseline.metrics.GroupsToCoord());
+  EXPECT_LT(optimized.metrics.GroupsToSites(),
+            baseline.metrics.GroupsToSites());
+}
+
+TEST(TrafficTest, TheoremTwoBoundHolds) {
+  for (const char* attr : {"CustKey", "CustName", "ClerkKey"}) {
+    Warehouse wh(4);
+    LoadTpcr(&wh);
+    const GmdjExpr query = queries::GroupReductionQuery(attr);
+    ASSERT_OK_AND_ASSIGN(QueryResult result,
+                         wh.Execute(query, OptimizerOptions::None()));
+    const int64_t bound = TheoremTwoGroupBound(result.plan, wh.num_sites(),
+                                               result.table.num_rows());
+    EXPECT_LE(result.metrics.GroupsToSites() +
+                  result.metrics.GroupsToCoord(),
+              bound)
+        << "attribute " << attr;
+  }
+}
+
+TEST(TrafficTest, SyncReductionUsesSingleRound) {
+  Warehouse wh(4);
+  LoadTpcr(&wh);
+  const GmdjExpr query = queries::SyncReductionQuery("CustKey");
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+  EXPECT_EQ(result.metrics.NumRounds(), 1);
+  // Nothing but control messages flows coordinator → sites.
+  EXPECT_EQ(result.metrics.GroupsToSites(), 0);
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ExpectSameRows(result.table, expected);
+}
+
+}  // namespace
+}  // namespace skalla

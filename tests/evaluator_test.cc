@@ -1,0 +1,192 @@
+#include "expr/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : base_schema_({{"g", ValueType::kInt64},
+                      {"sum1", ValueType::kInt64},
+                      {"cnt1", ValueType::kInt64}}),
+        detail_schema_({{"g", ValueType::kInt64},
+                        {"v", ValueType::kInt64},
+                        {"w", ValueType::kDouble},
+                        {"s", ValueType::kString}}) {}
+
+  Value Eval(const std::string& text, const Row& base, const Row& detail) {
+    auto parsed = ParseExpr(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto compiled =
+        CompiledExpr::Compile(*parsed, &base_schema_, &detail_schema_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    return compiled->Eval(&base, &detail);
+  }
+
+  bool EvalB(const std::string& text, const Row& base, const Row& detail) {
+    auto parsed = ParseExpr(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto compiled =
+        CompiledExpr::Compile(*parsed, &base_schema_, &detail_schema_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    return compiled->EvalBool(&base, &detail);
+  }
+
+  Schema base_schema_;
+  Schema detail_schema_;
+};
+
+TEST_F(EvaluatorTest, ColumnLookupBothSides) {
+  const Row base = {Value(7), Value(100), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_EQ(Eval("B.g", base, detail), Value(7));
+  EXPECT_EQ(Eval("R.v", base, detail), Value(30));
+}
+
+TEST_F(EvaluatorTest, ArithmeticIntAndDouble) {
+  const Row base = {Value(7), Value(100), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_EQ(Eval("R.v + 2", base, detail), Value(32));
+  EXPECT_EQ(Eval("R.v * R.v", base, detail), Value(900));
+  EXPECT_EQ(Eval("R.w + 1", base, detail), Value(2.5));
+  EXPECT_EQ(Eval("R.v % 7", base, detail), Value(2));
+}
+
+TEST_F(EvaluatorTest, DivisionIsAlwaysReal) {
+  const Row base = {Value(7), Value(100), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  // Example 1 relies on sum1/cnt1 being a real average.
+  EXPECT_EQ(Eval("B.sum1 / B.cnt1", base, detail), Value(25.0));
+  EXPECT_EQ(Eval("7 / 2", base, detail), Value(3.5));
+}
+
+TEST_F(EvaluatorTest, DivisionByZeroIsNull) {
+  const Row base = {Value(7), Value(100), Value(0)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_TRUE(Eval("B.sum1 / B.cnt1", base, detail).is_null());
+  EXPECT_FALSE(EvalB("R.v >= B.sum1 / B.cnt1", base, detail));
+}
+
+TEST_F(EvaluatorTest, NullPropagatesThroughArithmetic) {
+  const Row base = {Value(7), Value::Null(), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_TRUE(Eval("B.sum1 + 1", base, detail).is_null());
+  EXPECT_TRUE(Eval("-B.sum1", base, detail).is_null());
+}
+
+TEST_F(EvaluatorTest, ComparisonWithNullIsUnknownAndFalseAsPredicate) {
+  const Row base = {Value(7), Value::Null(), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_TRUE(Eval("B.sum1 > 0", base, detail).is_null());
+  EXPECT_FALSE(EvalB("B.sum1 > 0", base, detail));
+  EXPECT_FALSE(EvalB("B.sum1 = B.sum1", base, detail));
+}
+
+TEST_F(EvaluatorTest, KleeneAndOr) {
+  const Row base = {Value(7), Value::Null(), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  // FALSE && UNKNOWN = FALSE (short-circuits soundly).
+  EXPECT_EQ(Eval("R.v < 0 && B.sum1 > 0", base, detail), Value(0));
+  // TRUE || UNKNOWN = TRUE.
+  EXPECT_EQ(Eval("R.v > 0 || B.sum1 > 0", base, detail), Value(1));
+  // TRUE && UNKNOWN = UNKNOWN.
+  EXPECT_TRUE(Eval("R.v > 0 && B.sum1 > 0", base, detail).is_null());
+  // FALSE || UNKNOWN = UNKNOWN.
+  EXPECT_TRUE(Eval("R.v < 0 || B.sum1 > 0", base, detail).is_null());
+}
+
+TEST_F(EvaluatorTest, NotOfUnknownIsUnknown) {
+  const Row base = {Value(7), Value::Null(), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  EXPECT_TRUE(Eval("!(B.sum1 > 0)", base, detail).is_null());
+}
+
+TEST_F(EvaluatorTest, IsNullSemantics) {
+  const Row base = {Value(7), Value::Null(), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("x")};
+  // IS NULL is two-valued: TRUE/FALSE, never unknown.
+  EXPECT_EQ(Eval("B.sum1 IS NULL", base, detail), Value(1));
+  EXPECT_EQ(Eval("R.v IS NULL", base, detail), Value(int64_t{0}));
+  EXPECT_EQ(Eval("B.sum1 IS NOT NULL", base, detail), Value(int64_t{0}));
+  // Contrast with = NULL, which is unknown (→ false as a predicate).
+  EXPECT_FALSE(EvalB("B.sum1 = null", base, detail));
+  EXPECT_TRUE(EvalB("B.sum1 IS NULL", base, detail));
+  // Expressions: NULL-propagating arithmetic detected.
+  EXPECT_TRUE(EvalB("(B.sum1 + 1) IS NULL", base, detail));
+}
+
+TEST_F(EvaluatorTest, StringComparison) {
+  const Row base = {Value(7), Value(100), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(1.5), Value("abc")};
+  EXPECT_TRUE(EvalB("R.s = 'abc'", base, detail));
+  EXPECT_TRUE(EvalB("R.s < 'abd'", base, detail));
+  EXPECT_FALSE(EvalB("R.s != 'abc'", base, detail));
+}
+
+TEST_F(EvaluatorTest, CrossTypeNumericComparison) {
+  const Row base = {Value(7), Value(100), Value(4)};
+  const Row detail = {Value(7), Value(30), Value(30.0), Value("x")};
+  EXPECT_TRUE(EvalB("R.v = R.w", base, detail));
+  EXPECT_TRUE(EvalB("R.v >= R.w", base, detail));
+}
+
+TEST_F(EvaluatorTest, CompileErrors) {
+  auto missing_col = ParseExpr("R.nope = 1");
+  ASSERT_TRUE(missing_col.ok());
+  EXPECT_FALSE(
+      CompiledExpr::Compile(*missing_col, &base_schema_, &detail_schema_)
+          .ok());
+
+  auto string_arith = ParseExpr("R.s + 1");
+  ASSERT_TRUE(string_arith.ok());
+  auto result =
+      CompiledExpr::Compile(*string_arith, &base_schema_, &detail_schema_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+
+  auto string_vs_num = ParseExpr("R.s < 1");
+  ASSERT_TRUE(string_vs_num.ok());
+  EXPECT_FALSE(
+      CompiledExpr::Compile(*string_vs_num, &base_schema_, &detail_schema_)
+          .ok());
+}
+
+TEST_F(EvaluatorTest, BaseReferenceWithoutBaseSchemaFails) {
+  auto parsed = ParseExpr("B.g = 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(CompiledExpr::Compile(*parsed, nullptr, &detail_schema_).ok());
+}
+
+TEST_F(EvaluatorTest, ResultTypeInference) {
+  auto check = [&](const std::string& text, ValueType want) {
+    auto parsed = ParseExpr(text);
+    ASSERT_TRUE(parsed.ok());
+    auto compiled =
+        CompiledExpr::Compile(*parsed, &base_schema_, &detail_schema_);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ(compiled->result_type(), want) << text;
+  };
+  check("R.v + 1", ValueType::kInt64);
+  check("R.v + R.w", ValueType::kDouble);
+  check("R.v / 2", ValueType::kDouble);
+  check("R.v > 1", ValueType::kInt64);
+  check("R.s", ValueType::kString);
+}
+
+TEST(ValueIsTrueTest, Semantics) {
+  EXPECT_FALSE(ValueIsTrue(Value::Null()));
+  EXPECT_FALSE(ValueIsTrue(Value(0)));
+  EXPECT_TRUE(ValueIsTrue(Value(2)));
+  EXPECT_FALSE(ValueIsTrue(Value(0.0)));
+  EXPECT_TRUE(ValueIsTrue(Value(0.5)));
+  EXPECT_FALSE(ValueIsTrue(Value("")));
+  EXPECT_TRUE(ValueIsTrue(Value("x")));
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,250 @@
+// Randomized end-to-end property test: for arbitrary GMDJ chains over
+// arbitrary partitionings, every optimizer configuration and both
+// coordinator architectures must reproduce the centralized evaluation
+// exactly (Theorems 1, 3, 4, 5; Propositions 1, 2).
+//
+// All numeric data is integer-valued (including the double column) so that
+// distributed merge order cannot perturb results through floating-point
+// rounding — any mismatch is a real bug.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/partitioner.h"
+
+namespace skalla {
+namespace {
+
+SchemaPtr FuzzSchema() {
+  return MakeSchema({{"g1", ValueType::kInt64},
+                     {"g2", ValueType::kInt64},
+                     {"s", ValueType::kString},
+                     {"v1", ValueType::kInt64},
+                     {"v2", ValueType::kInt64},
+                     {"w", ValueType::kDouble}});
+}
+
+Table RandomTable(Rng* rng, int64_t rows) {
+  Table t(FuzzSchema());
+  static const char* kStrings[] = {"alpha", "beta", "gamma", "delta"};
+  for (int64_t i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(Value(rng->Uniform(0, 7)));
+    row.push_back(Value(rng->Uniform(0, 3)));
+    row.push_back(Value(kStrings[rng->Uniform(0, 3)]));
+    row.push_back(rng->Chance(0.08) ? Value::Null()
+                                    : Value(rng->Uniform(-20, 20)));
+    row.push_back(Value(rng->Uniform(0, 100)));
+    row.push_back(Value(static_cast<double>(rng->Uniform(-50, 50))));
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+/// Columns usable as aggregate inputs (numeric) and as θ operands.
+const std::vector<std::string>& NumericCols() {
+  static const std::vector<std::string> cols = {"v1", "v2", "w"};
+  return cols;
+}
+
+struct FuzzQuery {
+  GmdjExpr expr;
+  /// Numeric aggregate outputs available for residual references.
+  std::vector<std::string> numeric_outputs;
+};
+
+AggSpec RandomAgg(Rng* rng, int* counter,
+                  std::vector<std::string>* numeric_outputs) {
+  const std::string output = "o" + std::to_string((*counter)++);
+  const int kind = static_cast<int>(rng->Uniform(0, 6));
+  AggSpec spec;
+  switch (kind) {
+    case 0:
+      spec = AggSpec::Count(output);
+      break;
+    case 1:
+      spec = AggSpec::Sum(rng->Pick(NumericCols()), output);
+      break;
+    case 2:
+      spec = AggSpec::Avg(rng->Pick(NumericCols()), output);
+      break;
+    case 3:
+      spec = AggSpec::Min(rng->Pick(NumericCols()), output);
+      break;
+    case 4:
+      spec = AggSpec::Var(rng->Pick(NumericCols()), output);
+      break;
+    case 5:
+      spec = AggSpec::StdDev(rng->Pick(NumericCols()), output);
+      break;
+    default:
+      spec = AggSpec::Max(rng->Pick(NumericCols()), output);
+      break;
+  }
+  numeric_outputs->push_back(output);
+  return spec;
+}
+
+/// A residual condition over base and detail columns; may reference
+/// earlier aggregate outputs (all numeric).
+ExprPtr RandomResidual(Rng* rng,
+                       const std::vector<std::string>& numeric_outputs) {
+  const int kind = static_cast<int>(rng->Uniform(0, 3));
+  const BinaryOp cmps[] = {BinaryOp::kLt, BinaryOp::kLe, BinaryOp::kGt,
+                           BinaryOp::kGe, BinaryOp::kEq, BinaryOp::kNe};
+  const BinaryOp cmp = cmps[rng->Uniform(0, 5)];
+  ExprPtr lhs = RCol(rng->Pick(NumericCols()));
+  ExprPtr rhs;
+  switch (kind) {
+    case 0:
+      rhs = Lit(Value(rng->Uniform(-30, 30)));
+      break;
+    case 1:
+      if (numeric_outputs.empty()) {
+        rhs = Lit(Value(rng->Uniform(-10, 10)));
+      } else {
+        rhs = Add(BCol(rng->Pick(numeric_outputs)),
+                  Lit(Value(rng->Uniform(-5, 5))));
+      }
+      break;
+    default:
+      rhs = Mul(RCol(rng->Pick(NumericCols())), Lit(Value(rng->Uniform(0, 2))));
+      break;
+  }
+  return std::make_shared<BinaryExpr>(cmp, std::move(lhs), std::move(rhs));
+}
+
+FuzzQuery RandomQuery(Rng* rng) {
+  FuzzQuery q;
+  q.expr.base.source_table = "T";
+
+  // Random non-empty key subset.
+  const std::vector<std::string> candidates = {"g1", "g2", "s"};
+  for (const std::string& col : candidates) {
+    if (rng->Chance(0.5)) q.expr.base.project_cols.push_back(col);
+  }
+  if (q.expr.base.project_cols.empty()) {
+    q.expr.base.project_cols.push_back(rng->Pick(candidates));
+  }
+  if (rng->Chance(0.3)) {
+    q.expr.base.filter = Ge(RCol("v2"), Lit(Value(rng->Uniform(0, 40))));
+  }
+
+  int counter = 0;
+  const int num_ops = static_cast<int>(rng->Uniform(1, 3));
+  for (int op_idx = 0; op_idx < num_ops; ++op_idx) {
+    GmdjOp op;
+    op.detail_table = "T";
+    // θ conditions may reference only outputs of *earlier* operators —
+    // never outputs of any block of this same operator.
+    const std::vector<std::string> visible = q.numeric_outputs;
+    const int num_blocks = static_cast<int>(rng->Uniform(1, 2));
+    for (int b = 0; b < num_blocks; ++b) {
+      GmdjBlock block;
+      const int num_aggs = static_cast<int>(rng->Uniform(1, 3));
+      for (int a = 0; a < num_aggs; ++a) {
+        block.aggs.push_back(RandomAgg(rng, &counter, &q.numeric_outputs));
+      }
+      // θ: usually key equality (+ optional residual); sometimes a pure
+      // inequality condition exercising the nested-loop path.
+      std::vector<ExprPtr> conjuncts;
+      if (rng->Chance(0.85)) {
+        for (const std::string& key : q.expr.base.project_cols) {
+          conjuncts.push_back(Eq(BCol(key), RCol(key)));
+        }
+      } else {
+        // Pure-inequality θ exercising the nested-loop path. The base
+        // operand must be numeric: prefer an integer key column, else an
+        // overlapping-range comparison against a literal.
+        ExprPtr base_operand;
+        for (const std::string& key : q.expr.base.project_cols) {
+          if (key != "s") {
+            base_operand = BCol(key);
+            break;
+          }
+        }
+        if (base_operand == nullptr) {
+          base_operand = Lit(Value(rng->Uniform(20, 120)));
+        } else {
+          base_operand =
+              Add(base_operand, Lit(Value(rng->Uniform(20, 120))));
+        }
+        conjuncts.push_back(Le(RCol("v2"), std::move(base_operand)));
+      }
+      if (rng->Chance(0.6)) {
+        conjuncts.push_back(RandomResidual(rng, visible));
+      }
+      block.theta = AndAll(conjuncts);
+      op.blocks.push_back(std::move(block));
+    }
+    q.expr.ops.push_back(std::move(op));
+  }
+  return q;
+}
+
+class FuzzPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPropertyTest, DistributedMatchesCentralizedEverywhere) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+
+  const int num_sites = static_cast<int>(rng.Uniform(1, 5));
+  const int64_t rows = rng.Uniform(0, 600);
+  Table data = RandomTable(&rng, rows);
+
+  Warehouse wh(num_sites);
+  const int partitioning = static_cast<int>(rng.Uniform(0, 2));
+  if (partitioning == 0) {
+    ASSERT_OK(wh.LoadByRange("T", data, "g1", 0, 7, {"g1", "g2", "v2"}));
+  } else if (partitioning == 1) {
+    ASSERT_OK(wh.LoadByHash("T", data, "g2"));
+  } else {
+    ASSERT_OK_AND_ASSIGN(PartitionedData parts,
+                         PartitionRoundRobin(data, num_sites));
+    ASSERT_OK(wh.LoadPartitioned("T", std::move(parts)));
+  }
+
+  const FuzzQuery q = RandomQuery(&rng);
+  SCOPED_TRACE(GmdjExprToString(q.expr));
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(q.expr));
+
+  // Random optimizer subset + the two extremes.
+  OptimizerOptions random_options;
+  random_options.coalesce = rng.Chance(0.5);
+  random_options.independent_group_reduction = rng.Chance(0.5);
+  random_options.aware_group_reduction = rng.Chance(0.5);
+  random_options.sync_reduction = rng.Chance(0.5);
+
+  for (const OptimizerOptions& options :
+       {OptimizerOptions::None(), random_options, OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(q.expr, options));
+    ExpectSameRows(result.table, expected);
+
+    // Theorem 2's transfer bound must hold for every plan.
+    const int64_t bound = TheoremTwoGroupBound(result.plan, num_sites,
+                                               result.table.num_rows());
+    EXPECT_LE(result.metrics.GroupsToSites() + result.metrics.GroupsToCoord(),
+              bound);
+  }
+
+  // Tree coordinator spot check (it requires full participation, which
+  // site exclusion may have removed).
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(q.expr, random_options));
+  bool full_participation = plan.base_sites.empty();
+  for (const PlanRound& round : plan.rounds) {
+    if (!round.participating_sites.empty()) full_participation = false;
+  }
+  if (full_participation) {
+    const int fan_in = static_cast<int>(rng.Uniform(2, 4));
+    ASSERT_OK_AND_ASSIGN(QueryResult tree, wh.ExecutePlanTree(plan, fan_in));
+    ExpectSameRows(tree.table, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPropertyTest, ::testing::Range(0, 72));
+
+}  // namespace
+}  // namespace skalla

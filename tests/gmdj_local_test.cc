@@ -1,0 +1,409 @@
+#include "gmdj/local_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "expr/parser.h"
+#include "gmdj/central_eval.h"
+#include "gmdj/gmdj.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+GmdjOp SimpleCountOp(const std::string& theta) {
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt")};
+  block.theta = MustParse(theta);
+  op.blocks.push_back(std::move(block));
+  return op;
+}
+
+TEST(GmdjLocalTest, KeyEqualityEquivalentToGroupBy) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g"}));
+
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+                AggSpec::Avg("v", "av"), AggSpec::Min("v", "lo"),
+                AggSpec::Max("v", "hi")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(std::move(block));
+
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table gmdj, EvalGmdjOp(base, detail, op, options));
+
+  ASSERT_OK_AND_ASSIGN(
+      Table group_by,
+      HashGroupBy(detail, {"g"},
+                  {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+                   AggSpec::Avg("v", "av"), AggSpec::Min("v", "lo"),
+                   AggSpec::Max("v", "hi")}));
+  ExpectSameRows(gmdj, group_by);
+}
+
+TEST(GmdjLocalTest, OverlappingRangesNeedNestedLoop) {
+  // θ without equi-conjuncts: count of detail tuples with v <= b.v — RNG
+  // sets overlap, which GROUP BY cannot express.
+  Table base(MakeSchema({{"v", ValueType::kInt64}}));
+  base.AddRow({Value(2)});
+  base.AddRow({Value(5)});
+  base.AddRow({Value(9)});
+
+  const Table detail = MakeTinyTable();
+  const GmdjOp op = SimpleCountOp("R.v <= B.v");
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+
+  // detail v values: 5,7,9,4,6,8,2,1,3,5,7,9 → ≤2:2  ≤5:6  ≤9:12.
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"v"}));
+  EXPECT_EQ(sorted.Get(0, 1), Value(2));
+  EXPECT_EQ(sorted.Get(1, 1), Value(6));
+  EXPECT_EQ(sorted.Get(2, 1), Value(12));
+}
+
+TEST(GmdjLocalTest, HashAndNestedLoopPathsAgree) {
+  // The same θ evaluated via the hash path (equi + residual) and as an
+  // opaque residual-only predicate must agree.
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g"}));
+
+  const GmdjOp hash_op = SimpleCountOp("B.g = R.g && R.v >= 5");
+  // Arithmetic identity hides the equi-conjunct from the decomposer.
+  const GmdjOp loop_op = SimpleCountOp("B.g = R.g + 0 && R.v >= 5");
+
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table via_hash,
+                       EvalGmdjOp(base, detail, hash_op, options));
+  ASSERT_OK_AND_ASSIGN(Table via_loop,
+                       EvalGmdjOp(base, detail, loop_op, options));
+  ExpectSameRows(via_hash, via_loop);
+}
+
+TEST(GmdjLocalTest, MultipleBlocksEvaluateIndependently) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g"}));
+
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt_all")};
+  b1.theta = MustParse("B.g = R.g");
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt_big")};
+  b2.theta = MustParse("B.g = R.g && R.v >= 7");
+  op.blocks = {b1, b2};
+
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"g"}));
+  // group 1: all 3, big {7,9} = 2; group 2: all 4, big {8} = 1;
+  // group 3: all 5, big {7,9} = 2.
+  EXPECT_EQ(sorted.Get(0, 1), Value(3));
+  EXPECT_EQ(sorted.Get(0, 2), Value(2));
+  EXPECT_EQ(sorted.Get(1, 1), Value(4));
+  EXPECT_EQ(sorted.Get(1, 2), Value(1));
+  EXPECT_EQ(sorted.Get(2, 1), Value(5));
+  EXPECT_EQ(sorted.Get(2, 2), Value(2));
+}
+
+TEST(GmdjLocalTest, UntouchedGroupsGetIdentityAggregates) {
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(1)});
+  base.AddRow({Value(999)});  // matches nothing
+
+  const Table detail = MakeTinyTable();
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+                AggSpec::Avg("v", "av")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(std::move(block));
+
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"g"}));
+  EXPECT_EQ(sorted.Get(1, 0), Value(999));
+  EXPECT_EQ(sorted.Get(1, 1), Value(int64_t{0}));  // COUNT → 0
+  EXPECT_TRUE(sorted.Get(1, 2).is_null());         // SUM → NULL
+  EXPECT_TRUE(sorted.Get(1, 3).is_null());         // AVG → NULL
+}
+
+TEST(GmdjLocalTest, TouchedOnlyDropsUntouchedGroups) {
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(1)});
+  base.AddRow({Value(999)});
+
+  const Table detail = MakeTinyTable();
+  const GmdjOp op = SimpleCountOp("B.g = R.g");
+  LocalGmdjOptions options;
+  options.touched_only = true;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_EQ(result.num_rows(), 1);
+  EXPECT_EQ(result.Get(0, 0), Value(1));
+}
+
+TEST(GmdjLocalTest, TouchedIsUnionAcrossBlocks) {
+  // Group 999 untouched by block 1 but touched by block 2's looser θ must
+  // be kept (|RNG| over θ₁ ∨ θ₂ is what matters — Prop. 1).
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(999)});
+
+  const Table detail = MakeTinyTable();
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock strict;
+  strict.aggs = {AggSpec::Count("c1")};
+  strict.theta = MustParse("B.g = R.g");
+  GmdjBlock loose;
+  loose.aggs = {AggSpec::Count("c2")};
+  loose.theta = MustParse("R.v > B.g - 1000");
+  op.blocks = {strict, loose};
+
+  LocalGmdjOptions options;
+  options.touched_only = true;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_EQ(result.num_rows(), 1);
+  EXPECT_EQ(result.Get(0, 1), Value(int64_t{0}));
+  EXPECT_EQ(result.Get(0, 2), Value(12));
+}
+
+TEST(GmdjLocalTest, SubModeEmitsAvgAsSumAndCount) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g"}));
+
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Avg("v", "av")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(std::move(block));
+
+  LocalGmdjOptions options;
+  options.mode = AggMode::kSub;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  EXPECT_EQ(result.schema().ToString(), "g:int64, av__sum:int64, av__cnt:int64");
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"g"}));
+  EXPECT_EQ(sorted.Get(0, 1), Value(21));
+  EXPECT_EQ(sorted.Get(0, 2), Value(3));
+}
+
+TEST(GmdjLocalTest, CarryColsControlOutputPrefix) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g", "h"}));
+
+  const GmdjOp op = SimpleCountOp("B.g = R.g && B.h = R.h");
+  LocalGmdjOptions options;
+  options.carry_cols = {"h"};
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  EXPECT_EQ(result.schema().ToString(), "h:int64, cnt:int64");
+}
+
+TEST(GmdjLocalTest, CountColumnSkipsNulls) {
+  Table detail(MakeSchema({{"g", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  detail.AddRow({Value(1), Value(10)});
+  detail.AddRow({Value(1), Value::Null()});
+  detail.AddRow({Value(1), Value(20)});
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(1)});
+
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("stars"), AggSpec::CountCol("v", "vals")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(std::move(block));
+
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  EXPECT_EQ(result.Get(0, 1), Value(3));
+  EXPECT_EQ(result.Get(0, 2), Value(2));
+}
+
+TEST(GmdjLocalTest, EmptyDetailRelation) {
+  Table detail(MakeTinyTable().schema_ptr());
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(1)});
+  const GmdjOp op = SimpleCountOp("B.g = R.g");
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_EQ(result.num_rows(), 1);
+  EXPECT_EQ(result.Get(0, 1), Value(int64_t{0}));
+}
+
+TEST(GmdjLocalTest, EmptyBaseRelation) {
+  const Table detail = MakeTinyTable();
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  const GmdjOp op = SimpleCountOp("B.g = R.g");
+  LocalGmdjOptions options;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  EXPECT_EQ(result.num_rows(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Centralized chain evaluation (the oracle itself).
+// ---------------------------------------------------------------------------
+
+TEST(CentralEvalTest, Example1ShapeOnTinyData) {
+  Catalog catalog;
+  catalog.PutTable("T", std::make_shared<const Table>(MakeTinyTable()));
+
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  GmdjOp md1;
+  md1.detail_table = "T";
+  GmdjBlock b1;
+  b1.aggs = {AggSpec::Count("cnt1"), AggSpec::Sum("v", "sum1")};
+  b1.theta = MustParse("B.g = R.g");
+  md1.blocks.push_back(b1);
+  expr.ops.push_back(md1);
+  GmdjOp md2;
+  md2.detail_table = "T";
+  GmdjBlock b2;
+  b2.aggs = {AggSpec::Count("cnt2")};
+  b2.theta = MustParse("B.g = R.g && R.v >= B.sum1 / B.cnt1");
+  md2.blocks.push_back(b2);
+  expr.ops.push_back(md2);
+
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjExprCentralized(expr, catalog));
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"g"}));
+  ASSERT_EQ(sorted.num_rows(), 3);
+  // g=1: v {5,7,9} avg 7 → above-or-equal {7,9} = 2.
+  EXPECT_EQ(sorted.Get(0, 1), Value(3));
+  EXPECT_EQ(sorted.Get(0, 2), Value(21));
+  EXPECT_EQ(sorted.Get(0, 3), Value(2));
+  // g=2: v {4,6,8,2} avg 5 → {6,8} = 2.
+  EXPECT_EQ(sorted.Get(1, 3), Value(2));
+  // g=3: v {1,3,5,7,9} avg 5 → {5,7,9} = 3.
+  EXPECT_EQ(sorted.Get(2, 3), Value(3));
+}
+
+TEST(CentralEvalTest, BaseQueryWithFilter) {
+  Catalog catalog;
+  catalog.PutTable("T", std::make_shared<const Table>(MakeTinyTable()));
+
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  expr.base.filter = MustParse("v >= 7");
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(block);
+  expr.ops.push_back(op);
+
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjExprCentralized(expr, catalog));
+  // Only groups with some v >= 7 appear (g=1 has 7,9; g=2 has 8; g=3 has
+  // 7,9) — all three survive here, but counts cover ALL tuples per group.
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(result, {"g"}));
+  ASSERT_EQ(sorted.num_rows(), 3);
+  EXPECT_EQ(sorted.Get(0, 1), Value(3));
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  ValidationTest() {
+    schemas_["T"] = MakeTinyTable().schema_ptr();
+    expr_.base.source_table = "T";
+    expr_.base.project_cols = {"g"};
+    GmdjOp op;
+    op.detail_table = "T";
+    GmdjBlock block;
+    block.aggs = {AggSpec::Count("cnt")};
+    block.theta = MustParse("B.g = R.g");
+    op.blocks.push_back(block);
+    expr_.ops.push_back(op);
+  }
+
+  SchemaMap schemas_;
+  GmdjExpr expr_;
+};
+
+TEST_F(ValidationTest, ValidExpressionPasses) {
+  EXPECT_OK(ValidateGmdjExpr(expr_, schemas_));
+}
+
+TEST_F(ValidationTest, UnknownDetailTable) {
+  expr_.ops[0].detail_table = "missing";
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, UnknownProjectionColumn) {
+  expr_.base.project_cols = {"nope"};
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, DuplicateOutputName) {
+  expr_.ops[0].blocks[0].aggs.push_back(AggSpec::Sum("v", "cnt"));
+  auto status = ValidateGmdjExpr(expr_, schemas_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ValidationTest, OutputCollidingWithKeyRejected) {
+  expr_.ops[0].blocks[0].aggs[0].output = "g";
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, ThetaReferencingFutureOutputRejected) {
+  expr_.ops[0].blocks[0].theta = MustParse("B.g = R.g && B.cnt > 0");
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, ThetaReferencingPastOutputAccepted) {
+  GmdjOp op2;
+  op2.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt2")};
+  block.theta = MustParse("B.g = R.g && R.v > B.cnt");
+  op2.blocks.push_back(block);
+  expr_.ops.push_back(op2);
+  EXPECT_OK(ValidateGmdjExpr(expr_, schemas_));
+}
+
+TEST_F(ValidationTest, SumOverStringRejected) {
+  expr_.ops[0].blocks[0].aggs.push_back(AggSpec::Sum("s", "bad"));
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, EmptyBlocksRejected) {
+  expr_.ops[0].blocks.clear();
+  EXPECT_FALSE(ValidateGmdjExpr(expr_, schemas_).ok());
+}
+
+TEST_F(ValidationTest, BaseResultSchemaGrowsPerRound) {
+  ASSERT_OK_AND_ASSIGN(SchemaPtr s0, BaseResultSchema(expr_, schemas_, 0));
+  EXPECT_EQ(s0->num_fields(), 1);
+  ASSERT_OK_AND_ASSIGN(SchemaPtr s1, BaseResultSchema(expr_, schemas_, 1));
+  EXPECT_EQ(s1->num_fields(), 2);
+  EXPECT_FALSE(BaseResultSchema(expr_, schemas_, 2).ok());
+}
+
+TEST_F(ValidationTest, PrinterMentionsStructure) {
+  const std::string s = GmdjExprToString(expr_);
+  EXPECT_NE(s.find("MD("), std::string::npos);
+  EXPECT_NE(s.find("pi_{g}"), std::string::npos);
+  EXPECT_NE(s.find("count(*) -> cnt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skalla

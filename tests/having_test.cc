@@ -1,0 +1,110 @@
+// HAVING: coordinator-side filtering of the finished base-result structure.
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "sql/olap_parser.h"
+#include "sql/olap_printer.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+class HavingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcConfig config;
+    config.num_rows = 3000;
+    config.num_customers = 250;
+    warehouse_ = std::make_unique<Warehouse>(4);
+    Table tpcr = GenerateTpcr(config);
+    ASSERT_OK(warehouse_->LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                                      {"CustKey"}));
+  }
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(HavingTest, FiltersFinishedGroups) {
+  GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  auto having = ParseExpr("B.cnt1 >= 20");
+  ASSERT_TRUE(having.ok());
+  query.having = *having;
+
+  ASSERT_OK_AND_ASSIGN(Table expected, warehouse_->ExecuteCentralized(query));
+  for (const Row& row : expected.rows()) {
+    EXPECT_GE(row[1].AsInt64(), 20);
+  }
+  GmdjExpr unfiltered = query;
+  unfiltered.having = nullptr;
+  ASSERT_OK_AND_ASSIGN(Table all, warehouse_->ExecuteCentralized(unfiltered));
+  EXPECT_LT(expected.num_rows(), all.num_rows());
+  EXPECT_GT(expected.num_rows(), 0);
+
+  for (const auto& options :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result,
+                         warehouse_->Execute(query, options));
+    ExpectSameRows(result.table, expected);
+  }
+  // Tree coordinator too.
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       warehouse_->Plan(query, OptimizerOptions::None()));
+  ASSERT_OK_AND_ASSIGN(QueryResult tree, warehouse_->ExecutePlanTree(plan, 2));
+  ExpectSameRows(tree.table, expected);
+}
+
+TEST_F(HavingTest, DialectParsesAndPrintsHaving) {
+  ASSERT_OK_AND_ASSIGN(
+      GmdjExpr query,
+      ParseOlapQuery("SELECT NationKey, COUNT(*) AS n, AVG(Quantity) AS aq "
+                     "FROM TPCR GROUP BY NationKey "
+                     "EXTEND COUNT(*) AS big WHERE Quantity > aq "
+                     "HAVING n >= 50 && aq < 30"));
+  ASSERT_NE(query.having, nullptr);
+  EXPECT_EQ(query.having->ToString(), "((B.n >= 50) && (B.aq < 30))");
+
+  ASSERT_OK_AND_ASSIGN(std::string text, OlapQueryToString(query));
+  ASSERT_OK_AND_ASSIGN(GmdjExpr reparsed, ParseOlapQuery(text));
+  ASSERT_NE(reparsed.having, nullptr);
+  EXPECT_TRUE(reparsed.having->Equals(*query.having));
+
+  ASSERT_OK_AND_ASSIGN(Table expected, warehouse_->ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+}
+
+TEST_F(HavingTest, ValidationErrors) {
+  // Unknown name in HAVING.
+  EXPECT_FALSE(ParseOlapQuery("SELECT NationKey, COUNT(*) AS n FROM TPCR "
+                              "GROUP BY NationKey HAVING nope > 1")
+                   .ok());
+  // Empty HAVING expression.
+  EXPECT_FALSE(ParseOlapQuery("SELECT NationKey, COUNT(*) AS n FROM TPCR "
+                              "GROUP BY NationKey HAVING")
+                   .ok());
+  // Detail-side reference rejected by the algebra validator.
+  GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  auto bad = ParseExpr("R.Quantity > 1");
+  ASSERT_TRUE(bad.ok());
+  query.having = *bad;
+  auto result = warehouse_->Execute(query, OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("HAVING"), std::string::npos);
+}
+
+TEST_F(HavingTest, HavingThatDropsEverything) {
+  GmdjExpr query = queries::CoalescingQuery("ClerkKey");
+  auto having = ParseExpr("B.cnt1 < 0");
+  ASSERT_TRUE(having.ok());
+  query.having = *having;
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  EXPECT_EQ(result.table.num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,219 @@
+#include "expr/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+#include "expr/rewriter.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(IntervalTest, Arithmetic) {
+  const Interval a{1, 3};
+  const Interval b{-2, 4};
+  EXPECT_EQ(a.Add(b).lo, -1);
+  EXPECT_EQ(a.Add(b).hi, 7);
+  EXPECT_EQ(a.Sub(b).lo, -3);
+  EXPECT_EQ(a.Sub(b).hi, 5);
+  EXPECT_EQ(a.Mul(b).lo, -6);
+  EXPECT_EQ(a.Mul(b).hi, 12);
+  EXPECT_EQ(a.Negate().lo, -3);
+  EXPECT_EQ(a.Negate().hi, -1);
+}
+
+TEST(IntervalTest, DivisionAvoidingZero) {
+  const Interval a{2, 6};
+  const Interval b{1, 2};
+  EXPECT_EQ(a.Div(b).lo, 1);
+  EXPECT_EQ(a.Div(b).hi, 6);
+}
+
+TEST(IntervalTest, DivisionThroughZeroIsUnbounded) {
+  const Interval a{2, 6};
+  const Interval b{-1, 1};
+  EXPECT_EQ(a.Div(b).lo, -kInf);
+  EXPECT_EQ(a.Div(b).hi, kInf);
+}
+
+TEST(IntervalTest, MulWithInfinityStaysSound) {
+  const Interval a{0, 0};
+  const Interval b = Interval::All();
+  const Interval product = a.Mul(b);
+  EXPECT_LE(product.lo, 0);
+  EXPECT_GE(product.hi, 0);
+}
+
+class DetailIntervalTest : public ::testing::Test {
+ protected:
+  DetailIntervalTest() {
+    site_.SetDomain("SourceAS", AttrDomain::Range(Value(1), Value(25)));
+    site_.SetDomain("Small", AttrDomain::Set({Value(2), Value(4), Value(6)}));
+  }
+  PartitionInfo site_;
+};
+
+TEST_F(DetailIntervalTest, ColumnFromRange) {
+  auto iv = DetailInterval(MustParse("R.SourceAS"), site_);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->lo, 1);
+  EXPECT_EQ(iv->hi, 25);
+}
+
+TEST_F(DetailIntervalTest, ColumnFromValueSet) {
+  auto iv = DetailInterval(MustParse("R.Small"), site_);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->lo, 2);
+  EXPECT_EQ(iv->hi, 6);
+}
+
+TEST_F(DetailIntervalTest, ArithmeticOverDomain) {
+  // The paper's example: Flow.SourceAS * 2 with SourceAS in [1, 25].
+  auto iv = DetailInterval(MustParse("R.SourceAS * 2"), site_);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->lo, 2);
+  EXPECT_EQ(iv->hi, 50);
+}
+
+TEST_F(DetailIntervalTest, UnknownColumnHasNoInterval) {
+  EXPECT_FALSE(DetailInterval(MustParse("R.Unknown"), site_).has_value());
+}
+
+TEST_F(DetailIntervalTest, BaseColumnHasNoInterval) {
+  EXPECT_FALSE(DetailInterval(MustParse("B.SourceAS"), site_).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// DeriveShipPredicate: the ¬ψ_i derivation of Theorem 4.
+// ---------------------------------------------------------------------------
+
+class ShipPredicateTest : public ::testing::Test {
+ protected:
+  ShipPredicateTest() {
+    site_.SetDomain("SourceAS", AttrDomain::Range(Value(1), Value(25)));
+  }
+
+  /// Evaluates a derived base-only predicate against one base row with the
+  /// given SourceAS/DestAS values.
+  bool Matches(const ExprPtr& pred, int64_t source_as, int64_t dest_as) {
+    const Schema base({{"SourceAS", ValueType::kInt64},
+                       {"DestAS", ValueType::kInt64}});
+    auto compiled = CompiledExpr::Compile(pred, &base, nullptr);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const Row row = {Value(source_as), Value(dest_as)};
+    return compiled->EvalBool(&row, nullptr);
+  }
+
+  PartitionInfo site_;
+};
+
+TEST_F(ShipPredicateTest, PaperExample2EqualityRange) {
+  // θ contains Flow.SourceAS = B.SourceAS and site 1 handles SourceAS in
+  // [1, 25]; ¬ψ must keep exactly b.SourceAS ∈ [1, 25].
+  const ExprPtr theta = MustParse("B.SourceAS = R.SourceAS");
+  const ExprPtr pred = SimplifyConstants(DeriveShipPredicate({theta}, site_));
+  EXPECT_TRUE(Matches(pred, 1, 0));
+  EXPECT_TRUE(Matches(pred, 25, 0));
+  EXPECT_FALSE(Matches(pred, 0, 0));
+  EXPECT_FALSE(Matches(pred, 26, 0));
+}
+
+TEST_F(ShipPredicateTest, PaperLinearArithmeticExample) {
+  // Revised θ of Sect. 4.1: B.DestAS + B.SourceAS < Flow.SourceAS * 2
+  // with SourceAS ≤ 25 at the site relaxes to DestAS + SourceAS < 50.
+  const ExprPtr theta = MustParse("B.DestAS + B.SourceAS < R.SourceAS * 2");
+  const ExprPtr pred = SimplifyConstants(DeriveShipPredicate({theta}, site_));
+  EXPECT_TRUE(Matches(pred, 20, 29));   // 49 < 50
+  EXPECT_FALSE(Matches(pred, 20, 30));  // 50 not < 50
+}
+
+TEST_F(ShipPredicateTest, ValueSetBecomesMembership) {
+  PartitionInfo site;
+  site.SetDomain("g", AttrDomain::Set({Value(3), Value(9)}));
+  const ExprPtr theta = MustParse("B.SourceAS = R.g");
+  const ExprPtr pred = SimplifyConstants(DeriveShipPredicate({theta}, site));
+  EXPECT_TRUE(Matches(pred, 3, 0));
+  EXPECT_TRUE(Matches(pred, 9, 0));
+  // Exact membership, not just the [3, 9] hull.
+  EXPECT_FALSE(Matches(pred, 5, 0));
+}
+
+TEST_F(ShipPredicateTest, DisjunctionOfThetasIsUnionOfMatches) {
+  const ExprPtr theta1 = MustParse("B.SourceAS = R.SourceAS");
+  const ExprPtr theta2 = MustParse("B.DestAS < R.SourceAS");
+  const ExprPtr pred =
+      SimplifyConstants(DeriveShipPredicate({theta1, theta2}, site_));
+  // Matches θ1's relaxation...
+  EXPECT_TRUE(Matches(pred, 10, 999));
+  // ...or θ2's (DestAS < 25).
+  EXPECT_TRUE(Matches(pred, 999, 10));
+  EXPECT_FALSE(Matches(pred, 999, 999));
+}
+
+TEST_F(ShipPredicateTest, UnknownDomainRelaxesToTrue) {
+  PartitionInfo empty_site;
+  const ExprPtr theta = MustParse("B.SourceAS = R.SourceAS");
+  const ExprPtr pred =
+      SimplifyConstants(DeriveShipPredicate({theta}, empty_site));
+  EXPECT_TRUE(IsLiteralTrue(pred));
+}
+
+TEST_F(ShipPredicateTest, InequalityRelaxations) {
+  // B.x < R.SourceAS with SourceAS ≤ 25 → B.x < 25.
+  const ExprPtr lt = SimplifyConstants(
+      DeriveShipPredicate({MustParse("B.SourceAS < R.SourceAS")}, site_));
+  EXPECT_TRUE(Matches(lt, 24, 0));
+  EXPECT_FALSE(Matches(lt, 25, 0));
+
+  // B.x > R.SourceAS with SourceAS ≥ 1 → B.x > 1.
+  const ExprPtr gt = SimplifyConstants(
+      DeriveShipPredicate({MustParse("B.SourceAS > R.SourceAS")}, site_));
+  EXPECT_TRUE(Matches(gt, 2, 0));
+  EXPECT_FALSE(Matches(gt, 1, 0));
+}
+
+TEST_F(ShipPredicateTest, FlippedOperandOrder) {
+  // R.SourceAS >= B.SourceAS ⇔ B.SourceAS <= R.SourceAS → B.SourceAS ≤ 25.
+  const ExprPtr pred = SimplifyConstants(
+      DeriveShipPredicate({MustParse("R.SourceAS >= B.SourceAS")}, site_));
+  EXPECT_TRUE(Matches(pred, 25, 0));
+  EXPECT_FALSE(Matches(pred, 26, 0));
+}
+
+TEST_F(ShipPredicateTest, PureDetailAtomRefutation) {
+  // θ = (R.SourceAS > 30 && B.DestAS = R.SourceAS): the site's range makes
+  // the pure-detail conjunct unsatisfiable, so nothing ships.
+  const ExprPtr theta =
+      MustParse("R.SourceAS > 30 && B.DestAS = R.SourceAS");
+  const ExprPtr pred = SimplifyConstants(DeriveShipPredicate({theta}, site_));
+  EXPECT_TRUE(IsLiteralFalse(pred));
+}
+
+TEST_F(ShipPredicateTest, NotEqualsGivesNoReduction) {
+  const ExprPtr pred = SimplifyConstants(
+      DeriveShipPredicate({MustParse("B.SourceAS != R.SourceAS")}, site_));
+  EXPECT_TRUE(IsLiteralTrue(pred));
+}
+
+TEST_F(ShipPredicateTest, PureBaseConjunctsKept) {
+  const ExprPtr theta =
+      MustParse("B.DestAS > 100 && B.SourceAS = R.SourceAS");
+  const ExprPtr pred = SimplifyConstants(DeriveShipPredicate({theta}, site_));
+  EXPECT_TRUE(Matches(pred, 10, 101));
+  EXPECT_FALSE(Matches(pred, 10, 100));  // fails the pure-base conjunct
+  EXPECT_FALSE(Matches(pred, 30, 101));  // fails the relaxed range
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "expr/parser.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/star.h"
+
+namespace skalla {
+namespace {
+
+Table LeftTable() {
+  Table t(MakeSchema({{"k", ValueType::kInt64}, {"a", ValueType::kString}}));
+  t.AddRow({Value(1), Value("x")});
+  t.AddRow({Value(2), Value("y")});
+  t.AddRow({Value(2), Value("z")});
+  t.AddRow({Value::Null(), Value("n")});
+  t.AddRow({Value(9), Value("m")});  // no match
+  return t;
+}
+
+Table RightTable() {
+  Table t(MakeSchema({{"k", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  t.AddRow({Value(1), Value(10)});
+  t.AddRow({Value(2), Value(20)});
+  t.AddRow({Value(2), Value(21)});
+  t.AddRow({Value::Null(), Value(30)});
+  return t;
+}
+
+TEST(HashJoinTest, InnerJoinWithDuplicates) {
+  ASSERT_OK_AND_ASSIGN(Table joined,
+                       HashJoin(LeftTable(), RightTable(), {"k"}, {"k"}));
+  // 1×1 + 2 left dups × 2 right dups = 1 + 4 = 5 rows; NULLs and the
+  // unmatched key contribute nothing.
+  EXPECT_EQ(joined.num_rows(), 5);
+  EXPECT_EQ(joined.schema().ToString(),
+            "k:int64, a:string, r_k:int64, b:int64");
+  for (const Row& row : joined.rows()) {
+    EXPECT_EQ(row[0], row[2]);  // join keys agree
+  }
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  ASSERT_OK_AND_ASSIGN(Table joined,
+                       HashJoin(LeftTable(), RightTable(), {"k"}, {"k"}));
+  for (const Row& row : joined.rows()) {
+    EXPECT_FALSE(row[0].is_null());
+  }
+}
+
+TEST(HashJoinTest, DifferentKeyNamesNoCollision) {
+  Table left(MakeSchema({{"x", ValueType::kInt64}}));
+  left.AddRow({Value(1)});
+  Table right(MakeSchema({{"y", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  right.AddRow({Value(1), Value(7)});
+  ASSERT_OK_AND_ASSIGN(Table joined, HashJoin(left, right, {"x"}, {"y"}));
+  EXPECT_EQ(joined.schema().ToString(), "x:int64, y:int64, v:int64");
+  EXPECT_EQ(joined.num_rows(), 1);
+}
+
+TEST(HashJoinTest, CollisionWithoutPrefixRejected) {
+  EXPECT_FALSE(
+      HashJoin(LeftTable(), RightTable(), {"k"}, {"k"}, "").ok());
+}
+
+TEST(HashJoinTest, CompositeKeys) {
+  Table left(MakeSchema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  left.AddRow({Value(1), Value(1)});
+  left.AddRow({Value(1), Value(2)});
+  Table right(
+      MakeSchema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64},
+                  {"v", ValueType::kString}}));
+  right.AddRow({Value(1), Value(1), Value("match")});
+  right.AddRow({Value(1), Value(3), Value("no")});
+  ASSERT_OK_AND_ASSIGN(Table joined,
+                       HashJoin(left, right, {"a", "b"}, {"a", "b"}));
+  ASSERT_EQ(joined.num_rows(), 1);
+  EXPECT_EQ(joined.Get(0, 4), Value("match"));
+}
+
+TEST(HashJoinTest, EmptyInputs) {
+  Table empty_left(LeftTable().schema_ptr());
+  ASSERT_OK_AND_ASSIGN(Table a,
+                       HashJoin(empty_left, RightTable(), {"k"}, {"k"}));
+  EXPECT_EQ(a.num_rows(), 0);
+  Table empty_right(RightTable().schema_ptr());
+  ASSERT_OK_AND_ASSIGN(Table b,
+                       HashJoin(LeftTable(), empty_right, {"k"}, {"k"}));
+  EXPECT_EQ(b.num_rows(), 0);
+}
+
+TEST(HashJoinTest, BadArguments) {
+  EXPECT_FALSE(HashJoin(LeftTable(), RightTable(), {}, {}).ok());
+  EXPECT_FALSE(HashJoin(LeftTable(), RightTable(), {"k"}, {"k", "b"}).ok());
+  EXPECT_FALSE(HashJoin(LeftTable(), RightTable(), {"nope"}, {"k"}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Star schema → denormalized fact pipeline.
+// ---------------------------------------------------------------------------
+
+class StarSchemaTest : public ::testing::Test {
+ protected:
+  StarSchemaTest() {
+    config_.num_rows = 2000;
+    config_.num_customers = 150;
+    config_.num_clerks = 25;
+    star_ = GenerateTpcrStar(config_);
+  }
+  TpcConfig config_;
+  StarSchema star_;
+};
+
+TEST_F(StarSchemaTest, CardinalityInvariants) {
+  EXPECT_EQ(star_.nation.num_rows(), config_.num_nations);
+  EXPECT_EQ(star_.customer.num_rows(), config_.num_customers);
+  EXPECT_EQ(star_.lineitem.num_rows(), config_.num_rows);
+  EXPECT_GT(star_.orders.num_rows(), 0);
+  EXPECT_LE(star_.orders.num_rows(), star_.lineitem.num_rows());
+}
+
+TEST_F(StarSchemaTest, DenormalizePreservesLineItemCount) {
+  // Every line item has exactly one order, customer, and nation, so the
+  // inner joins neither drop nor duplicate rows.
+  ASSERT_OK_AND_ASSIGN(Table flat, DenormalizeStar(star_));
+  EXPECT_EQ(flat.num_rows(), star_.lineitem.num_rows());
+  for (const char* col :
+       {"OrderKey", "LineNumber", "Quantity", "ExtendedPrice", "CustKey",
+        "CustName", "NationKey", "MktSegment", "RegionKey", "NationName",
+        "OrderPriority", "ClerkKey"}) {
+    EXPECT_TRUE(flat.schema().Contains(col)) << col;
+  }
+}
+
+TEST_F(StarSchemaTest, BlockMappingSurvivesDenormalization) {
+  ASSERT_OK_AND_ASSIGN(Table flat, DenormalizeStar(star_));
+  const int cust = *flat.schema().IndexOf("CustKey");
+  const int nation = *flat.schema().IndexOf("NationKey");
+  for (int64_t r = 0; r < flat.num_rows(); ++r) {
+    EXPECT_EQ(flat.Get(r, nation).AsInt64(),
+              NationOfCustomer(flat.Get(r, cust).AsInt64(), config_));
+  }
+}
+
+TEST_F(StarSchemaTest, DistributedQueryOverDenormalizedStar) {
+  ASSERT_OK_AND_ASSIGN(Table flat, DenormalizeStar(star_));
+  Warehouse wh(4);
+  ASSERT_OK(wh.LoadByRange("TPCR", flat, "NationKey", 0,
+                           config_.num_nations - 1, {"CustKey"}));
+
+  GmdjExpr query;
+  query.base.source_table = "TPCR";
+  query.base.project_cols = {"NationName"};
+  GmdjOp op;
+  op.detail_table = "TPCR";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("items"), AggSpec::Avg("Quantity", "aq")};
+  auto theta = ParseExpr("B.NationName = R.NationName");
+  ASSERT_TRUE(theta.ok());
+  block.theta = *theta;
+  op.blocks.push_back(block);
+  query.ops.push_back(op);
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+  // Item counts across nations must cover every line item.
+  int64_t total = 0;
+  const int items_idx = *result.table.schema().IndexOf("items");
+  for (const Row& row : result.table.rows()) {
+    total += row[static_cast<size_t>(items_idx)].AsInt64();
+  }
+  EXPECT_EQ(total, star_.lineitem.num_rows());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,169 @@
+// Multi-feature and marginal-distribution queries: the other OLAP classes
+// the paper cites (Ross et al. [18]; Graefe et al.'s unpivot [11]),
+// exercised through the GMDJ machinery end to end.
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+TEST(MultiFeatureTest, MatchesHandComputedOracle) {
+  // Oracle computed by composing plain operators: per NationKey, min
+  // ShipDate; then filter tuples at that min and group again.
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 3000;
+  config.num_customers = 100;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24, {"CustKey"}));
+
+  const GmdjExpr query = queries::MultiFeatureQuery("NationKey");
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::All()));
+  ASSERT_OK_AND_ASSIGN(Table centralized, wh.ExecuteCentralized(query));
+  ExpectSameRows(result.table, centralized);
+
+  // Independent oracle: min per group via HashGroupBy, then per-group
+  // verification of the second level.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  ASSERT_OK_AND_ASSIGN(
+      Table mins,
+      HashGroupBy(*full, {"NationKey"},
+                  {AggSpec::Min("ShipDate", "first_ship")}));
+  ASSERT_OK_AND_ASSIGN(Table sorted_result,
+                       SortedBy(result.table, {"NationKey"}));
+  ASSERT_OK_AND_ASSIGN(Table sorted_mins, SortedBy(mins, {"NationKey"}));
+  ASSERT_EQ(sorted_result.num_rows(), sorted_mins.num_rows());
+
+  const int nation_idx = *full->schema().IndexOf("NationKey");
+  const int ship_idx = *full->schema().IndexOf("ShipDate");
+  const int price_idx = *full->schema().IndexOf("ExtendedPrice");
+  for (int64_t r = 0; r < sorted_result.num_rows(); ++r) {
+    EXPECT_EQ(sorted_result.Get(r, 0), sorted_mins.Get(r, 0));
+    const Value& min_ship = sorted_mins.Get(r, 1);
+    EXPECT_EQ(sorted_result.Get(r, 1), min_ship);
+    // Count and average among tuples at the minimum.
+    int64_t count = 0;
+    double price_sum = 0;
+    for (int64_t i = 0; i < full->num_rows(); ++i) {
+      if (full->Get(i, nation_idx) == sorted_result.Get(r, 0) &&
+          full->Get(i, ship_idx) == min_ship) {
+        ++count;
+        price_sum += full->Get(i, price_idx).AsDouble();
+      }
+    }
+    EXPECT_EQ(sorted_result.Get(r, 2), Value(count));
+    ASSERT_GT(count, 0);
+    EXPECT_DOUBLE_EQ(sorted_result.Get(r, 3).AsDouble(),
+                     price_sum / static_cast<double>(count));
+  }
+}
+
+TEST(MultiFeatureTest, AllOptimizerSubsetsAgree) {
+  Warehouse wh(3);
+  TpcConfig config;
+  config.num_rows = 1500;
+  config.num_customers = 80;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                           {"CustKey", "NationKey"}));
+  const GmdjExpr query = queries::MultiFeatureQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  for (int mask = 0; mask < 16; ++mask) {
+    OptimizerOptions options;
+    options.coalesce = (mask & 1) != 0;
+    options.independent_group_reduction = (mask & 2) != 0;
+    options.aware_group_reduction = (mask & 4) != 0;
+    options.sync_reduction = (mask & 8) != 0;
+    ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+    ExpectSameRows(result.table, expected);
+  }
+}
+
+TEST(MarginalDistributionTest, UnpivotThenAggregate) {
+  // Graefe et al.'s sufficient-statistics pattern: unpivot the measure
+  // columns into (measure-name, value) rows, then aggregate per measure —
+  // the marginal distribution of each measure in one query.
+  Table t(MakeSchema({{"id", ValueType::kInt64},
+                      {"m1", ValueType::kInt64},
+                      {"m2", ValueType::kInt64},
+                      {"m3", ValueType::kInt64}}));
+  t.AddRow({Value(1), Value(10), Value(100), Value::Null()});
+  t.AddRow({Value(2), Value(20), Value(200), Value(5)});
+  t.AddRow({Value(3), Value(30), Value::Null(), Value(7)});
+
+  ASSERT_OK_AND_ASSIGN(Table unpivoted,
+                       Unpivot(t, {"m1", "m2", "m3"}, "measure", "value"));
+  // 9 potential rows minus 2 NULLs.
+  EXPECT_EQ(unpivoted.num_rows(), 7);
+  EXPECT_EQ(unpivoted.schema().ToString(),
+            "id:int64, measure:string, value:int64");
+
+  ASSERT_OK_AND_ASSIGN(
+      Table marginals,
+      HashGroupBy(unpivoted, {"measure"},
+                  {AggSpec::Count("n"), AggSpec::Avg("value", "mean"),
+                   AggSpec::Min("value", "lo"), AggSpec::Max("value", "hi")}));
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(marginals, {"measure"}));
+  ASSERT_EQ(sorted.num_rows(), 3);
+  // m1: {10,20,30}.
+  EXPECT_EQ(sorted.Get(0, 1), Value(3));
+  EXPECT_DOUBLE_EQ(sorted.Get(0, 2).AsDouble(), 20.0);
+  // m2: {100,200}.
+  EXPECT_EQ(sorted.Get(1, 1), Value(2));
+  EXPECT_EQ(sorted.Get(1, 4), Value(200));
+  // m3: {5,7}.
+  EXPECT_EQ(sorted.Get(2, 1), Value(2));
+  EXPECT_EQ(sorted.Get(2, 3), Value(5));
+}
+
+TEST(MarginalDistributionTest, UnpivotErrors) {
+  const Table t = MakeTinyTable();
+  EXPECT_FALSE(Unpivot(t, {}, "n", "v").ok());
+  EXPECT_FALSE(Unpivot(t, {"nope"}, "n", "v").ok());
+  // v is int64, w is double → mixed measure types rejected.
+  EXPECT_FALSE(Unpivot(t, {"v", "w"}, "n", "v2").ok());
+}
+
+TEST(MarginalDistributionTest, UnpivotDistributedRoundTrip) {
+  // Unpivot at load time, then run a distributed GMDJ over the long form.
+  Table t(MakeSchema({{"g", ValueType::kInt64},
+                      {"m1", ValueType::kInt64},
+                      {"m2", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 60; ++i) {
+    t.AddRow({Value(i % 5), Value(i), Value(i * 2)});
+  }
+  ASSERT_OK_AND_ASSIGN(Table long_form,
+                       Unpivot(t, {"m1", "m2"}, "measure", "value"));
+
+  Warehouse wh(3);
+  ASSERT_OK(wh.LoadByRange("M", long_form, "g", 0, 4, {"g"}));
+
+  GmdjExpr query;
+  query.base.source_table = "M";
+  query.base.project_cols = {"g", "measure"};
+  GmdjOp op;
+  op.detail_table = "M";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("n"), AggSpec::Avg("value", "mean")};
+  block.theta = And(Eq(BCol("g"), RCol("g")),
+                    Eq(BCol("measure"), RCol("measure")));
+  op.blocks.push_back(block);
+  query.ops.push_back(op);
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+  EXPECT_EQ(result.table.num_rows(), 10);  // 5 groups × 2 measures
+}
+
+}  // namespace
+}  // namespace skalla

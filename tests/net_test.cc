@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "dist/metrics.h"
+#include "net/sim_network.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+TEST(CostModelTest, TransferTimeIsLatencyPlusBandwidth) {
+  NetworkConfig config;
+  config.bandwidth_bytes_per_sec = 1000.0;
+  config.latency_sec = 0.5;
+  EXPECT_DOUBLE_EQ(config.TransferSeconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(config.TransferSeconds(2000), 2.5);
+}
+
+TEST(SimNetworkTest, RecordsTransfersByDirection) {
+  SimNetwork net;
+  net.BeginRound("r0");
+  net.Transfer(kCoordinatorId, 0, 100, 2, "to site 0");
+  net.Transfer(kCoordinatorId, 1, 150, 3, "to site 1");
+  net.Transfer(0, kCoordinatorId, 70, 1, "from site 0");
+
+  EXPECT_EQ(net.TotalBytes(), 320u);
+  EXPECT_EQ(net.BytesFromCoordinator(), 250u);
+  EXPECT_EQ(net.BytesToCoordinator(), 70u);
+  EXPECT_EQ(net.RowsFromCoordinator(), 5);
+  EXPECT_EQ(net.RowsToCoordinator(), 1);
+  ASSERT_EQ(net.transfers().size(), 3u);
+  EXPECT_EQ(net.transfers()[0].round, 0);
+}
+
+TEST(SimNetworkTest, TransferReturnsModelledSeconds) {
+  NetworkConfig config;
+  config.bandwidth_bytes_per_sec = 100.0;
+  config.latency_sec = 1.0;
+  SimNetwork net(config);
+  net.BeginRound("r");
+  EXPECT_DOUBLE_EQ(net.Transfer(kCoordinatorId, 0, 200, 0, "x"), 3.0);
+}
+
+TEST(SimNetworkTest, ResetClearsEverything) {
+  SimNetwork net;
+  net.BeginRound("r");
+  net.Transfer(0, kCoordinatorId, 10, 1, "x");
+  net.Reset();
+  EXPECT_EQ(net.TotalBytes(), 0u);
+  EXPECT_TRUE(net.transfers().empty());
+}
+
+TEST(SimNetworkTest, ReportMentionsRounds) {
+  SimNetwork net;
+  net.BeginRound("base");
+  net.Transfer(0, kCoordinatorId, 1024, 1, "x");
+  const std::string report = net.Report();
+  EXPECT_NE(report.find("base"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(MetricsTest, AggregatesAcrossRounds) {
+  ExecutionMetrics m;
+  RoundMetrics r1;
+  r1.bytes_to_sites = 100;
+  r1.bytes_to_coord = 50;
+  r1.groups_to_sites = 10;
+  r1.groups_to_coord = 5;
+  r1.site_cpu_max_sec = 0.5;
+  r1.coord_cpu_sec = 0.1;
+  r1.comm_sec = 0.2;
+  RoundMetrics r2 = r1;
+  r2.bytes_to_sites = 200;
+  m.rounds = {r1, r2};
+
+  EXPECT_EQ(m.NumRounds(), 2);
+  EXPECT_EQ(m.BytesToSites(), 300u);
+  EXPECT_EQ(m.BytesToCoord(), 100u);
+  EXPECT_EQ(m.TotalBytes(), 400u);
+  EXPECT_EQ(m.GroupsToSites(), 20);
+  EXPECT_EQ(m.GroupsToCoord(), 10);
+  EXPECT_DOUBLE_EQ(m.SiteCpuSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ(m.CoordCpuSeconds(), 0.2);
+  EXPECT_DOUBLE_EQ(m.CommSeconds(), 0.4);
+  EXPECT_DOUBLE_EQ(m.ResponseSeconds(), 1.6);
+  EXPECT_DOUBLE_EQ(r1.ResponseSeconds(), 0.8);
+}
+
+TEST(MetricsTest, ToStringIsReadable) {
+  ExecutionMetrics m;
+  RoundMetrics r;
+  r.label = "gmdj round 1";
+  r.sites = 4;
+  m.rounds = {r};
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("gmdj round 1"), std::string::npos);
+  EXPECT_NE(s.find("1 round"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,159 @@
+#include "sql/olap_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "skalla/queries.h"
+#include "sql/olap_parser.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+/// Structural equality of two GMDJ expressions.
+void ExpectSameExpr(const GmdjExpr& a, const GmdjExpr& b) {
+  EXPECT_EQ(a.base.source_table, b.base.source_table);
+  EXPECT_EQ(a.base.project_cols, b.base.project_cols);
+  if (a.base.filter == nullptr || b.base.filter == nullptr) {
+    EXPECT_EQ(a.base.filter == nullptr, b.base.filter == nullptr);
+  } else {
+    EXPECT_TRUE(a.base.filter->Equals(*b.base.filter))
+        << a.base.filter->ToString() << " vs " << b.base.filter->ToString();
+  }
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t k = 0; k < a.ops.size(); ++k) {
+    ASSERT_EQ(a.ops[k].blocks.size(), b.ops[k].blocks.size());
+    for (size_t blk = 0; blk < a.ops[k].blocks.size(); ++blk) {
+      const GmdjBlock& ba = a.ops[k].blocks[blk];
+      const GmdjBlock& bb = b.ops[k].blocks[blk];
+      EXPECT_TRUE(ba.theta->Equals(*bb.theta))
+          << ba.theta->ToString() << " vs " << bb.theta->ToString();
+      ASSERT_EQ(ba.aggs.size(), bb.aggs.size());
+      for (size_t i = 0; i < ba.aggs.size(); ++i) {
+        EXPECT_EQ(ba.aggs[i].func, bb.aggs[i].func);
+        EXPECT_EQ(ba.aggs[i].input, bb.aggs[i].input);
+        EXPECT_EQ(ba.aggs[i].output, bb.aggs[i].output);
+      }
+    }
+  }
+}
+
+TEST(OlapPrinterTest, CanonicalQueriesRoundTrip) {
+  for (const auto& [name, expr] :
+       std::vector<std::pair<std::string, GmdjExpr>>{
+           {"example1", queries::FlowExample1()},
+           {"group", queries::GroupReductionQuery("CustKey")},
+           {"sync", queries::SyncReductionQuery("CustKey")},
+           {"coalesce", queries::CoalescingQuery("ClerkKey")},
+           {"combined", queries::CombinedQuery("CustKey")},
+           {"multifeature", queries::MultiFeatureQuery("NationKey")}}) {
+    SCOPED_TRACE(name);
+    ASSERT_OK_AND_ASSIGN(std::string text, OlapQueryToString(expr));
+    ASSERT_OK_AND_ASSIGN(GmdjExpr reparsed, ParseOlapQuery(text));
+    ExpectSameExpr(reparsed, expr);
+  }
+}
+
+TEST(OlapPrinterTest, PrintsReadableText) {
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       OlapQueryToString(queries::FlowExample1()));
+  EXPECT_NE(text.find("SELECT SourceAS, DestAS, COUNT(*) AS cnt1"),
+            std::string::npos);
+  EXPECT_NE(text.find("GROUP BY SourceAS, DestAS"), std::string::npos);
+  EXPECT_NE(text.find("EXTEND COUNT(*) AS cnt2 WHERE"), std::string::npos);
+}
+
+TEST(OlapPrinterTest, RejectsUnshapedExpressions) {
+  // Multi-block operator.
+  GmdjExpr multi_block = queries::GroupReductionQuery("CustKey");
+  multi_block.ops[0].blocks.push_back(multi_block.ops[0].blocks[0]);
+  EXPECT_FALSE(OlapQueryToString(multi_block).ok());
+
+  // Operator over a different relation.
+  GmdjExpr cross = queries::GroupReductionQuery("CustKey");
+  cross.ops[1].detail_table = "Other";
+  EXPECT_FALSE(OlapQueryToString(cross).ok());
+
+  // θ missing the key equality.
+  GmdjExpr no_key = queries::GroupReductionQuery("CustKey");
+  no_key.ops[0].blocks[0].theta = Ge(RCol("Quantity"), Lit(Value(1)));
+  EXPECT_FALSE(OlapQueryToString(no_key).ok());
+
+  // Empty expression.
+  GmdjExpr empty;
+  empty.base.source_table = "T";
+  empty.base.project_cols = {"g"};
+  EXPECT_FALSE(OlapQueryToString(empty).ok());
+}
+
+TEST(OlapPrinterTest, FuzzRoundTrip) {
+  // Random dialect-shaped expressions must survive print → parse.
+  Rng rng(2024);
+  const std::vector<std::string> keys_pool = {"g1", "g2", "region"};
+  const std::vector<std::string> measures = {"v1", "v2", "w"};
+  for (int trial = 0; trial < 40; ++trial) {
+    GmdjExpr expr;
+    expr.base.source_table = "T";
+    for (const std::string& key : keys_pool) {
+      if (rng.Chance(0.5)) expr.base.project_cols.push_back(key);
+    }
+    if (expr.base.project_cols.empty()) {
+      expr.base.project_cols.push_back("g1");
+    }
+    if (rng.Chance(0.3)) {
+      expr.base.filter = Lt(RCol(rng.Pick(measures)),
+                            Lit(Value(rng.Uniform(0, 50))));
+    }
+
+    std::vector<ExprPtr> key_eqs;
+    for (const std::string& key : expr.base.project_cols) {
+      key_eqs.push_back(Eq(BCol(key), RCol(key)));
+    }
+
+    int counter = 0;
+    std::vector<std::string> outputs;
+    const int num_ops = static_cast<int>(rng.Uniform(1, 3));
+    for (int k = 0; k < num_ops; ++k) {
+      GmdjOp op;
+      op.detail_table = "T";
+      GmdjBlock block;
+      const int num_aggs = static_cast<int>(rng.Uniform(1, 2));
+      for (int a = 0; a < num_aggs; ++a) {
+        const std::string out_name = "o" + std::to_string(counter++);
+        switch (rng.Uniform(0, 3)) {
+          case 0:
+            block.aggs.push_back(AggSpec::Count(out_name));
+            break;
+          case 1:
+            block.aggs.push_back(AggSpec::Sum(rng.Pick(measures), out_name));
+            break;
+          case 2:
+            block.aggs.push_back(AggSpec::Avg(rng.Pick(measures), out_name));
+            break;
+          default:
+            block.aggs.push_back(AggSpec::Max(rng.Pick(measures), out_name));
+        }
+      }
+      ExprPtr theta = AndAll(key_eqs);
+      if (k > 0 && rng.Chance(0.7)) {
+        ExprPtr rhs = outputs.empty() || rng.Chance(0.4)
+                          ? Lit(Value(rng.Uniform(-5, 5)))
+                          : Add(BCol(rng.Pick(outputs)),
+                                Lit(Value(rng.Uniform(0, 3))));
+        theta = And(theta, Ge(RCol(rng.Pick(measures)), std::move(rhs)));
+      }
+      block.theta = std::move(theta);
+      for (const AggSpec& spec : block.aggs) outputs.push_back(spec.output);
+      op.blocks.push_back(std::move(block));
+      expr.ops.push_back(std::move(op));
+    }
+
+    SCOPED_TRACE(GmdjExprToString(expr));
+    ASSERT_OK_AND_ASSIGN(std::string text, OlapQueryToString(expr));
+    ASSERT_OK_AND_ASSIGN(GmdjExpr reparsed, ParseOlapQuery(text));
+    ExpectSameExpr(reparsed, expr);
+  }
+}
+
+}  // namespace
+}  // namespace skalla

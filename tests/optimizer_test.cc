@@ -1,0 +1,295 @@
+#include "opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "expr/rewriter.h"
+#include "skalla/queries.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+std::vector<PartitionInfo> RangeSites(const std::string& attr, int n,
+                                      int64_t per_site) {
+  std::vector<PartitionInfo> sites(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sites[static_cast<size_t>(i)].SetDomain(
+        attr, AttrDomain::Range(Value(i * per_site),
+                                Value((i + 1) * per_site - 1)));
+  }
+  return sites;
+}
+
+TEST(CoalesceTest, MergesWholeIndependentChain) {
+  // Three ops, none referencing earlier outputs: all coalesce into one.
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  for (int i = 0; i < 3; ++i) {
+    GmdjOp op;
+    op.detail_table = "T";
+    GmdjBlock block;
+    block.aggs = {AggSpec::Count("c" + std::to_string(i))};
+    block.theta = MustParse("B.g = R.g && R.v > " + std::to_string(i));
+    op.blocks.push_back(block);
+    expr.ops.push_back(op);
+  }
+  Optimizer optimizer;
+  const GmdjExpr coalesced = optimizer.Coalesce(expr);
+  ASSERT_EQ(coalesced.ops.size(), 1u);
+  EXPECT_EQ(coalesced.ops[0].blocks.size(), 3u);
+}
+
+TEST(CoalesceTest, StopsAtCorrelation) {
+  // op2 references op1's output; op3 is independent of op2's outputs →
+  // expect [op1, op2+op3].
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  GmdjOp op1;
+  op1.detail_table = "T";
+  op1.blocks.push_back(
+      GmdjBlock{{AggSpec::Avg("v", "a1")}, MustParse("B.g = R.g")});
+  GmdjOp op2;
+  op2.detail_table = "T";
+  op2.blocks.push_back(GmdjBlock{{AggSpec::Count("c2")},
+                                 MustParse("B.g = R.g && R.v > B.a1")});
+  GmdjOp op3;
+  op3.detail_table = "T";
+  op3.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c3")}, MustParse("B.g = R.g && R.v > 5")});
+  expr.ops = {op1, op2, op3};
+
+  Optimizer optimizer;
+  const GmdjExpr coalesced = optimizer.Coalesce(expr);
+  ASSERT_EQ(coalesced.ops.size(), 2u);
+  EXPECT_EQ(coalesced.ops[0].blocks.size(), 1u);
+  EXPECT_EQ(coalesced.ops[1].blocks.size(), 2u);
+}
+
+TEST(CoalesceTest, DifferentDetailTablesDoNotMerge) {
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  GmdjOp op1;
+  op1.detail_table = "T";
+  op1.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c1")}, MustParse("B.g = R.g")});
+  GmdjOp op2;
+  op2.detail_table = "U";
+  op2.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c2")}, MustParse("B.g = R.g")});
+  expr.ops = {op1, op2};
+
+  Optimizer optimizer;
+  EXPECT_EQ(optimizer.Coalesce(expr).ops.size(), 2u);
+}
+
+TEST(CoalesceTest, MergedLaterOutputsDoNotBlockFurtherMerges) {
+  // op3 references op2's output → op2 and op3 may NOT merge even after
+  // op1+op2 merged.
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  GmdjOp op1;
+  op1.detail_table = "T";
+  op1.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c1")}, MustParse("B.g = R.g")});
+  GmdjOp op2;
+  op2.detail_table = "T";
+  op2.blocks.push_back(
+      GmdjBlock{{AggSpec::Avg("v", "a2")}, MustParse("B.g = R.g")});
+  GmdjOp op3;
+  op3.detail_table = "T";
+  op3.blocks.push_back(GmdjBlock{{AggSpec::Count("c3")},
+                                 MustParse("B.g = R.g && R.v > B.a2")});
+  expr.ops = {op1, op2, op3};
+
+  Optimizer optimizer;
+  const GmdjExpr coalesced = optimizer.Coalesce(expr);
+  ASSERT_EQ(coalesced.ops.size(), 2u);
+  EXPECT_EQ(coalesced.ops[0].blocks.size(), 2u);  // op1 + op2
+  EXPECT_EQ(coalesced.ops[1].blocks.size(), 1u);  // op3 alone
+}
+
+TEST(SyncAnalysisTest, DetectsPartitionAttributeAndFusibility) {
+  Optimizer optimizer(RangeSites("g", 4, 100));
+  const GmdjExpr expr = [] {
+    GmdjExpr e;
+    e.base.source_table = "T";
+    e.base.project_cols = {"g"};
+    GmdjOp op1;
+    op1.detail_table = "T";
+    op1.blocks.push_back(
+        GmdjBlock{{AggSpec::Avg("v", "a1")}, MustParse("B.g = R.g")});
+    GmdjOp op2;
+    op2.detail_table = "T";
+    op2.blocks.push_back(GmdjBlock{{AggSpec::Count("c2")},
+                                   MustParse("B.g = R.g && R.v > B.a1")});
+    e.ops = {op1, op2};
+    return e;
+  }();
+
+  const SyncAnalysis analysis = optimizer.AnalyzeSync(expr);
+  EXPECT_EQ(analysis.partition_attrs, std::vector<std::string>{"g"});
+  EXPECT_TRUE(analysis.base_fusable);
+  ASSERT_EQ(analysis.pair_fusable.size(), 1u);
+  EXPECT_TRUE(analysis.pair_fusable[0]);
+}
+
+TEST(SyncAnalysisTest, NonKeyEqualityBlocksBaseFusion) {
+  Optimizer optimizer(RangeSites("g", 4, 100));
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g", "h"};
+  GmdjOp op;
+  op.detail_table = "T";
+  // Only g pinned; key is (g, h) → θ does not entail θ_K.
+  op.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c1")}, MustParse("B.g = R.g")});
+  expr.ops = {op};
+  EXPECT_FALSE(optimizer.AnalyzeSync(expr).base_fusable);
+}
+
+TEST(SyncAnalysisTest, DifferentBaseSourceBlocksBaseFusion) {
+  Optimizer optimizer(RangeSites("g", 4, 100));
+  GmdjExpr expr;
+  expr.base.source_table = "Other";
+  expr.base.project_cols = {"g"};
+  GmdjOp op;
+  op.detail_table = "T";
+  op.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c1")}, MustParse("B.g = R.g")});
+  expr.ops = {op};
+  EXPECT_FALSE(optimizer.AnalyzeSync(expr).base_fusable);
+}
+
+TEST(SyncAnalysisTest, NonPartitionAttributeBlocksPairFusion) {
+  // Sites have knowledge about "g" but the query groups on "h".
+  Optimizer optimizer(RangeSites("g", 4, 100));
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"h"};
+  GmdjOp op1;
+  op1.detail_table = "T";
+  op1.blocks.push_back(
+      GmdjBlock{{AggSpec::Avg("v", "a1")}, MustParse("B.h = R.h")});
+  GmdjOp op2;
+  op2.detail_table = "T";
+  op2.blocks.push_back(GmdjBlock{{AggSpec::Count("c2")},
+                                 MustParse("B.h = R.h && R.v > B.a1")});
+  expr.ops = {op1, op2};
+  const SyncAnalysis analysis = optimizer.AnalyzeSync(expr);
+  EXPECT_TRUE(analysis.partition_attrs.empty());
+  ASSERT_EQ(analysis.pair_fusable.size(), 1u);
+  EXPECT_FALSE(analysis.pair_fusable[0]);
+}
+
+TEST(OptShipPredicateTest, OutOfRangeSiteGivesNull) {
+  Optimizer optimizer(RangeSites("g", 2, 10));
+  EXPECT_EQ(optimizer.ShipPredicateForSite({MustParse("B.g = R.g")}, 5),
+            nullptr);
+  EXPECT_EQ(optimizer.ShipPredicateForSite({MustParse("B.g = R.g")}, -1),
+            nullptr);
+}
+
+TEST(OptShipPredicateTest, NoKnowledgeGivesNull) {
+  Optimizer optimizer(std::vector<PartitionInfo>(2));
+  EXPECT_EQ(optimizer.ShipPredicateForSite({MustParse("B.g = R.g")}, 0),
+            nullptr);
+}
+
+TEST(OptShipPredicateTest, RangeKnowledgeGivesBounds) {
+  Optimizer optimizer(RangeSites("g", 2, 10));
+  const ExprPtr pred =
+      optimizer.ShipPredicateForSite({MustParse("B.g = R.g")}, 1);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->ToString(), "((B.g >= 10) && (B.g <= 19))");
+}
+
+TEST(BuildPlanTest, OptionFactories) {
+  const OptimizerOptions none = OptimizerOptions::None();
+  EXPECT_FALSE(none.coalesce || none.independent_group_reduction ||
+               none.aware_group_reduction || none.sync_reduction);
+  const OptimizerOptions all = OptimizerOptions::All();
+  EXPECT_TRUE(all.coalesce && all.independent_group_reduction &&
+              all.aware_group_reduction && all.sync_reduction);
+}
+
+TEST(BuildPlanTest, EmptyExpressionRejected) {
+  Optimizer optimizer;
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  EXPECT_FALSE(optimizer.BuildPlan(expr, OptimizerOptions::All()).ok());
+}
+
+TEST(BuildPlanTest, CombinedQueryFullyFusesUnderAllOptimizations) {
+  // With range partitioning knowledge on the grouping attribute, the
+  // combined query collapses to a single fused round with no base sync
+  // (Example 5 of the paper: "the entire query evaluated locally, with a
+  // single synchronization at the coordinator").
+  Optimizer optimizer(RangeSites("CustKey", 4, 100));
+  const GmdjExpr expr = queries::CombinedQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       optimizer.BuildPlan(expr, OptimizerOptions::All()));
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].ops.size(), 2u);  // md1+md2 coalesced, md3 fused
+  EXPECT_TRUE(plan.fuse_base);
+  EXPECT_TRUE(plan.rounds[0].flags.independent_group_reduction);
+}
+
+TEST(BuildPlanTest, ExplainMentionsOptimizations) {
+  Optimizer optimizer(RangeSites("CustKey", 2, 100));
+  // Sync reduction off: with it on, the whole query fuses into one local
+  // round and there is nothing left to ship-reduce.
+  OptimizerOptions options;
+  options.independent_group_reduction = true;
+  options.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(
+      DistributedPlan plan,
+      optimizer.BuildPlan(queries::GroupReductionQuery("CustKey"), options));
+  const std::string explain = plan.Explain();
+  EXPECT_NE(explain.find("indep-group-reduction"), std::string::npos);
+  EXPECT_NE(explain.find("ship to site"), std::string::npos);
+}
+
+TEST(BuildPlanTest, NoFuseBaseWhenFirstRoundNotKeyEquality) {
+  Optimizer optimizer(RangeSites("g", 4, 100));
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  GmdjOp op;
+  op.detail_table = "T";
+  // θ is a pure inequality — never entails key equality.
+  op.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("c1")}, MustParse("R.v <= B.g")});
+  expr.ops = {op};
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       optimizer.BuildPlan(expr, OptimizerOptions::All()));
+  EXPECT_FALSE(plan.fuse_base);
+  EXPECT_EQ(plan.rounds.size(), 1u);
+}
+
+TEST(BuildPlanTest, ToExprRoundTripsOperators) {
+  Optimizer optimizer;
+  const GmdjExpr expr = queries::CombinedQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       optimizer.BuildPlan(expr, OptimizerOptions::None()));
+  const GmdjExpr round_trip = plan.ToExpr();
+  ASSERT_EQ(round_trip.ops.size(), expr.ops.size());
+  for (size_t i = 0; i < expr.ops.size(); ++i) {
+    EXPECT_EQ(round_trip.ops[i].detail_table, expr.ops[i].detail_table);
+    EXPECT_EQ(round_trip.ops[i].blocks.size(), expr.ops[i].blocks.size());
+  }
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,132 @@
+#include "skalla/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "skalla/queries.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(PersistenceTest, SaveLoadRoundTripPreservesQueries) {
+  Warehouse original(4);
+  TpcConfig config;
+  config.num_rows = 2500;
+  config.num_customers = 200;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(original.LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                                 {"CustKey", "ClerkKey"}));
+
+  const std::string dir = TempDir("skalla_wh_roundtrip");
+  ASSERT_OK(SaveWarehouse(original, dir));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Warehouse> restored,
+                       LoadWarehouse(dir));
+
+  ASSERT_EQ(restored->num_sites(), 4);
+  // Fragments identical.
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> a,
+                         original.site(s).catalog().GetTable("TPCR"));
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> b,
+                         restored->site(s).catalog().GetTable("TPCR"));
+    ExpectSameRows(*b, *a);
+  }
+
+  // Partition metadata restored → the optimizer reaches the same plan and
+  // the same results under full optimization.
+  const GmdjExpr query = queries::SyncReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(DistributedPlan original_plan,
+                       original.Plan(query, OptimizerOptions::All()));
+  ASSERT_OK_AND_ASSIGN(DistributedPlan restored_plan,
+                       restored->Plan(query, OptimizerOptions::All()));
+  EXPECT_EQ(original_plan.fuse_base, restored_plan.fuse_base);
+  EXPECT_EQ(original_plan.rounds.size(), restored_plan.rounds.size());
+
+  ASSERT_OK_AND_ASSIGN(QueryResult original_result,
+                       original.Execute(query, OptimizerOptions::All()));
+  ASSERT_OK_AND_ASSIGN(QueryResult restored_result,
+                       restored->Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(restored_result.table, original_result.table);
+}
+
+TEST(PersistenceTest, RoundTripsValueSetAndStringDomains) {
+  Warehouse original(2);
+  Table t(MakeSchema({{"g", ValueType::kInt64}, {"s", ValueType::kString}}));
+  t.AddRow({Value(1), Value("hello world")});  // space must survive hex
+  t.AddRow({Value(2), Value("x,\"y\n")});
+  ASSERT_OK(original.LoadByHash("T", t, "g"));
+  original.site(0).mutable_partition_info().SetDomain(
+      "g", AttrDomain::Set({Value(1), Value(3)}));
+  original.site(0).mutable_partition_info().SetDomain(
+      "s", AttrDomain::Range(Value("a b"), Value::Null()));
+  original.site(1).mutable_partition_info().SetDomain(
+      "w", AttrDomain::Range(Value(0.5), Value(2.5)));
+
+  const std::string dir = TempDir("skalla_wh_domains");
+  ASSERT_OK(SaveWarehouse(original, dir));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Warehouse> restored,
+                       LoadWarehouse(dir));
+
+  const AttrDomain& g_dom = restored->site(0).partition_info().Domain("g");
+  ASSERT_EQ(g_dom.kind, AttrDomain::Kind::kValueSet);
+  ASSERT_EQ(g_dom.values.size(), 2u);
+  EXPECT_EQ(g_dom.values[0], Value(1));
+  EXPECT_EQ(g_dom.values[1], Value(3));
+
+  const AttrDomain& s_dom = restored->site(0).partition_info().Domain("s");
+  ASSERT_EQ(s_dom.kind, AttrDomain::Kind::kRange);
+  EXPECT_EQ(s_dom.lo, Value("a b"));
+  EXPECT_TRUE(s_dom.hi.is_null());
+
+  const AttrDomain& w_dom = restored->site(1).partition_info().Domain("w");
+  EXPECT_EQ(w_dom.lo, Value(0.5));
+  EXPECT_EQ(w_dom.hi, Value(2.5));
+
+  // Data with embedded quotes/newlines survives the binary format.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       restored->central_catalog().GetTable("T"));
+  EXPECT_EQ(full->num_rows(), 2);
+}
+
+TEST(PersistenceTest, MultipleTables) {
+  Warehouse original(3);
+  TpcConfig config;
+  config.num_rows = 600;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(original.LoadByRange("TPCR", tpcr, "NationKey", 0, 24));
+  ASSERT_OK(original.LoadByHash("Copy", tpcr, "OrderKey"));
+
+  const std::string dir = TempDir("skalla_wh_multi");
+  ASSERT_OK(SaveWarehouse(original, dir));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Warehouse> restored,
+                       LoadWarehouse(dir));
+  EXPECT_TRUE(restored->central_catalog().HasTable("TPCR"));
+  EXPECT_TRUE(restored->central_catalog().HasTable("Copy"));
+}
+
+TEST(PersistenceTest, LoadErrors) {
+  EXPECT_FALSE(LoadWarehouse("/nonexistent/skalla").ok());
+
+  const std::string dir = TempDir("skalla_wh_badmagic");
+  {
+    std::ofstream out(dir + "/MANIFEST");
+    out << "not a manifest\n";
+  }
+  auto result = LoadWarehouse(dir);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,148 @@
+// ORDER BY / LIMIT presentation of query results, end to end.
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "sql/olap_parser.h"
+#include "sql/olap_printer.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+TEST(SortedByKeysTest, DirectionsAndTieBreak) {
+  const Table t = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(
+      Table sorted,
+      SortedByKeys(t, {{"g", true}, {"v", false}}));
+  // g descending, then v ascending within g.
+  EXPECT_EQ(sorted.Get(0, 0), Value(3));
+  EXPECT_EQ(sorted.Get(0, 2), Value(1));
+  int64_t last_g = 4;
+  for (int64_t r = 0; r < sorted.num_rows(); ++r) {
+    EXPECT_LE(sorted.Get(r, 0).AsInt64(), last_g);
+    last_g = sorted.Get(r, 0).AsInt64();
+  }
+}
+
+TEST(SortedByKeysTest, DeterministicUnderShuffledInput) {
+  Table shuffled = MakeTinyTable();
+  shuffled.SortAllColumns();  // a different input order
+  const Table original = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table a, SortedByKeys(original, {{"g", false}}));
+  ASSERT_OK_AND_ASSIGN(Table b, SortedByKeys(shuffled, {{"g", false}}));
+  // Full-row tie-break → identical order regardless of input order.
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.schema().num_fields(); ++c) {
+      EXPECT_EQ(a.Get(r, c), b.Get(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SortedByKeysTest, UnknownColumnRejected) {
+  EXPECT_FALSE(SortedByKeys(MakeTinyTable(), {{"nope", false}}).ok());
+}
+
+class PresentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcConfig config;
+    config.num_rows = 2500;
+    config.num_customers = 200;
+    warehouse_ = std::make_unique<Warehouse>(4);
+    Table tpcr = GenerateTpcr(config);
+    ASSERT_OK(warehouse_->LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                                      {"CustKey"}));
+  }
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(PresentationTest, TopKIdenticalAcrossExecutions) {
+  // Top-5 customers by order count: distributed (flat + tree, any
+  // optimization level) must return exactly the centralized rows, in
+  // order, despite ties — the deterministic tie-break guarantees it.
+  GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  query.order_by = {{"cnt1", true}, {"CustKey", false}};
+  query.limit = 5;
+
+  ASSERT_OK_AND_ASSIGN(Table expected, warehouse_->ExecuteCentralized(query));
+  ASSERT_EQ(expected.num_rows(), 5);
+  for (const auto& options :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result,
+                         warehouse_->Execute(query, options));
+    ASSERT_EQ(result.table.num_rows(), 5);
+    for (int64_t r = 0; r < 5; ++r) {
+      for (int c = 0; c < expected.schema().num_fields(); ++c) {
+        EXPECT_EQ(result.table.Get(r, c), expected.Get(r, c));
+      }
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       warehouse_->Plan(query, OptimizerOptions::None()));
+  ASSERT_OK_AND_ASSIGN(QueryResult tree, warehouse_->ExecutePlanTree(plan, 2));
+  for (int64_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(tree.table.Get(r, 0), expected.Get(r, 0));
+  }
+}
+
+TEST_F(PresentationTest, DialectOrderByLimitRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      GmdjExpr query,
+      ParseOlapQuery(
+          "SELECT NationKey, COUNT(*) AS n, AVG(Quantity) AS aq FROM TPCR "
+          "GROUP BY NationKey HAVING n > 10 "
+          "ORDER BY n DESC, NationKey LIMIT 3"));
+  ASSERT_EQ(query.order_by.size(), 2u);
+  EXPECT_TRUE(query.order_by[0].descending);
+  EXPECT_FALSE(query.order_by[1].descending);
+  EXPECT_EQ(query.limit, 3);
+
+  ASSERT_OK_AND_ASSIGN(std::string text, OlapQueryToString(query));
+  ASSERT_OK_AND_ASSIGN(GmdjExpr reparsed, ParseOlapQuery(text));
+  EXPECT_EQ(reparsed.limit, 3);
+  ASSERT_EQ(reparsed.order_by.size(), 2u);
+  EXPECT_EQ(reparsed.order_by[0].column, "n");
+
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  ASSERT_LE(result.table.num_rows(), 3);
+  // Descending by n.
+  for (int64_t r = 1; r < result.table.num_rows(); ++r) {
+    EXPECT_GE(result.table.Get(r - 1, 1).AsInt64(),
+              result.table.Get(r, 1).AsInt64());
+  }
+}
+
+TEST_F(PresentationTest, DialectErrors) {
+  EXPECT_FALSE(ParseOlapQuery("SELECT g, COUNT(*) AS n FROM T GROUP BY g "
+                              "ORDER BY nope")
+                   .ok());
+  EXPECT_FALSE(ParseOlapQuery("SELECT g, COUNT(*) AS n FROM T GROUP BY g "
+                              "LIMIT x")
+                   .ok());
+  // ORDER BY validation in the algebra too.
+  GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  query.order_by = {{"not_a_column", false}};
+  EXPECT_FALSE(
+      warehouse_->Execute(query, OptimizerOptions::None()).ok());
+}
+
+TEST_F(PresentationTest, LimitZeroAndOversized) {
+  GmdjExpr query = queries::CoalescingQuery("NationKey");
+  query.limit = 0;
+  ASSERT_OK_AND_ASSIGN(QueryResult empty,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  EXPECT_EQ(empty.table.num_rows(), 0);
+  query.limit = 1000000;
+  ASSERT_OK_AND_ASSIGN(QueryResult all,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  EXPECT_EQ(all.table.num_rows(), 25);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,174 @@
+// Regression tests for optimizer soundness bugs originally caught by the
+// randomized property tests (fuzz_property_test.cc). Each case pins the
+// exact interaction so it no longer depends on fuzz seeds.
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/partitioner.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+/// A 2-group table where group 5's rows all fail a v-filter at site 0 but
+/// exist at site 1 (and vice versa for group 6).
+Table SplitFilterTable() {
+  Table t(MakeSchema({{"g", ValueType::kInt64},
+                      {"v", ValueType::kInt64},
+                      {"x", ValueType::kInt64}}));
+  // Site assignment below is round-robin: even row index → site 0.
+  t.AddRow({Value(5), Value(1), Value(10)});   // site 0: g=5 fails v>=3
+  t.AddRow({Value(5), Value(4), Value(20)});   // site 1: g=5 passes
+  t.AddRow({Value(6), Value(4), Value(30)});   // site 0: g=6 passes
+  t.AddRow({Value(6), Value(1), Value(40)});   // site 1: g=6 fails
+  t.AddRow({Value(5), Value(1), Value(50)});   // site 0: more g=5 data
+  t.AddRow({Value(6), Value(1), Value(60)});   // site 1: more g=6 data
+  return t;
+}
+
+GmdjExpr FilteredBaseQuery() {
+  GmdjExpr expr;
+  expr.base.source_table = "T";
+  expr.base.project_cols = {"g"};
+  expr.base.filter = MustParse("v >= 3");  // non-key attribute!
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("x", "sx")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(block);
+  expr.ops.push_back(op);
+  return expr;
+}
+
+TEST(RegressionTest, Prop2MustNotFuseBaseWithNonKeyFilter) {
+  // A site holding detail tuples of a group whose base derivation fails
+  // locally must still contribute those tuples: fusing the base (Prop. 2)
+  // under a non-key filter would drop them.
+  Warehouse wh(2);
+  ASSERT_OK_AND_ASSIGN(PartitionedData parts,
+                       PartitionRoundRobin(SplitFilterTable(), 2));
+  ASSERT_OK(wh.LoadPartitioned("T", std::move(parts)));
+
+  const GmdjExpr query = FilteredBaseQuery();
+
+  // The planner must refuse to fuse.
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan, wh.Plan(query, options));
+  EXPECT_FALSE(plan.fuse_base);
+
+  // And the executed result must match the centralized evaluation: both
+  // groups present, each counting ALL 3 of its tuples.
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+  ExpectSameRows(result.table, expected);
+  EXPECT_EQ(expected.num_rows(), 2);
+  for (const Row& row : expected.rows()) {
+    EXPECT_EQ(row[1], Value(3));
+  }
+}
+
+TEST(RegressionTest, Prop2FusesWhenFilterIsOnKeyAttributes) {
+  // The same query with the filter rewritten over the key attribute is
+  // fusable — any matching detail tuple derives the group at its site.
+  Warehouse wh(2);
+  ASSERT_OK_AND_ASSIGN(PartitionedData parts,
+                       PartitionRoundRobin(SplitFilterTable(), 2));
+  ASSERT_OK(wh.LoadPartitioned("T", std::move(parts)));
+
+  GmdjExpr query = FilteredBaseQuery();
+  query.base.filter = MustParse("g >= 6");
+
+  OptimizerOptions options;
+  options.sync_reduction = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan, wh.Plan(query, options));
+  EXPECT_TRUE(plan.fuse_base);
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+  ExpectSameRows(result.table, expected);
+  EXPECT_EQ(expected.num_rows(), 1);  // only g=6
+}
+
+TEST(RegressionTest, GroupReductionMustNotDropGroupsInFusedBaseRound) {
+  // θ matches nothing, so every group is "untouched". With the base fused
+  // (Prop. 2) and independent group reduction requested, the groups must
+  // still appear in the result with identity aggregates (COUNT 0), as in
+  // the centralized evaluation.
+  Warehouse wh(2);
+  Table t(MakeSchema({{"g", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  t.AddRow({Value(1), Value(10)});
+  t.AddRow({Value(2), Value(20)});
+  t.AddRow({Value(3), Value(30)});
+  ASSERT_OK_AND_ASSIGN(PartitionedData parts, PartitionRoundRobin(t, 2));
+  ASSERT_OK(wh.LoadPartitioned("T", std::move(parts)));
+
+  GmdjExpr query;
+  query.base.source_table = "T";
+  query.base.project_cols = {"g"};
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv")};
+  block.theta = MustParse("B.g = R.g && R.v < 0");  // never true
+  op.blocks.push_back(block);
+  query.ops.push_back(op);
+
+  OptimizerOptions options;
+  options.sync_reduction = true;                // fuses the base
+  options.independent_group_reduction = true;   // must be suppressed
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan, wh.Plan(query, options));
+  ASSERT_TRUE(plan.fuse_base);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ExpectSameRows(result.table, expected);
+  EXPECT_EQ(result.table.num_rows(), 3);
+  for (const Row& row : result.table.rows()) {
+    EXPECT_EQ(row[1], Value(int64_t{0}));
+    EXPECT_TRUE(row[2].is_null());
+  }
+}
+
+TEST(RegressionTest, GroupReductionStillFiresInSynchronizedRounds) {
+  // Sanity: outside fused-base rounds, the reduction does drop untouched
+  // groups from the *shipped* H (traffic shrinks) without changing the
+  // result.
+  Warehouse wh(2);
+  Table t(MakeSchema({{"g", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 40; ++i) {
+    t.AddRow({Value(i % 10), Value(i)});
+  }
+  ASSERT_OK(wh.LoadByRange("T", t, "g", 0, 9, {"g"}));
+
+  GmdjExpr query;
+  query.base.source_table = "T";
+  query.base.project_cols = {"g"};
+  GmdjOp op;
+  op.detail_table = "T";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Count("cnt")};
+  block.theta = MustParse("B.g = R.g");
+  op.blocks.push_back(block);
+  query.ops.push_back(op);
+
+  OptimizerOptions reduced;
+  reduced.independent_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult with, wh.Execute(query, reduced));
+  ASSERT_OK_AND_ASSIGN(QueryResult without,
+                       wh.Execute(query, OptimizerOptions::None()));
+  ExpectSameRows(with.table, without.table);
+  EXPECT_LT(with.metrics.GroupsToCoord(), without.metrics.GroupsToCoord());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,37 @@
+#include "skalla/report.h"
+
+#include <gtest/gtest.h>
+
+#include "skalla/queries.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+TEST(ReportTest, ContainsPlanRoundsAndSummary) {
+  Warehouse wh(3);
+  TpcConfig config;
+  config.num_rows = 900;
+  config.num_customers = 60;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24, {"CustKey"}));
+
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      wh.Execute(queries::GroupReductionQuery("CustKey"),
+                 OptimizerOptions::None()));
+  const std::string report = FormatExecutionReport(result);
+  EXPECT_NE(report.find("=== plan ==="), std::string::npos);
+  EXPECT_NE(report.find("DistributedPlan"), std::string::npos);
+  EXPECT_NE(report.find("base query"), std::string::npos);
+  EXPECT_NE(report.find("gmdj round 1"), std::string::npos);
+  EXPECT_NE(report.find("gmdj round 2"), std::string::npos);
+  EXPECT_NE(report.find("result rows: " +
+                        std::to_string(result.table.num_rows())),
+            std::string::npos);
+  EXPECT_NE(report.find("rounds:      3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skalla

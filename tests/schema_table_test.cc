@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+TEST(SchemaTest, IndexOfFindsFields) {
+  Schema schema({{"a", ValueType::kInt64},
+                 {"b", ValueType::kString},
+                 {"c", ValueType::kDouble}});
+  EXPECT_EQ(schema.num_fields(), 3);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("c"), 2);
+  EXPECT_FALSE(schema.IndexOf("d").has_value());
+}
+
+TEST(SchemaTest, MustIndexOfErrorsNameTheColumn) {
+  Schema schema({{"a", ValueType::kInt64}});
+  auto result = schema.MustIndexOf("zz");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("zz"), std::string::npos);
+}
+
+TEST(SchemaTest, DuplicateNamesResolveToSomeIndex) {
+  // Aggregate renaming prevents duplicates in practice, but lookup must not
+  // crash if they occur.
+  Schema schema({{"x", ValueType::kInt64}, {"x", ValueType::kDouble}});
+  auto idx = schema.IndexOf("x");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_TRUE(*idx == 0 || *idx == 1);
+}
+
+TEST(SchemaTest, ToStringListsNameAndType) {
+  Schema schema({{"a", ValueType::kInt64}, {"s", ValueType::kString}});
+  EXPECT_EQ(schema.ToString(), "a:int64, s:string");
+}
+
+TEST(SchemaTest, EqualsComparesFieldsInOrder) {
+  Schema a({{"x", ValueType::kInt64}, {"y", ValueType::kDouble}});
+  Schema b({{"x", ValueType::kInt64}, {"y", ValueType::kDouble}});
+  Schema c({{"y", ValueType::kDouble}, {"x", ValueType::kInt64}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(TableTest, AddAndGet) {
+  Table t = MakeTinyTable();
+  EXPECT_EQ(t.num_rows(), 12);
+  EXPECT_EQ(t.Get(0, 0), Value(1));
+  EXPECT_EQ(t.Get(11, 4), Value("b"));
+}
+
+TEST(TableTest, AppendConcatenatesRows) {
+  Table a = MakeTinyTable();
+  Table b = MakeTinyTable();
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 24);
+}
+
+TEST(TableTest, SortByOrdersRows) {
+  Table t = MakeTinyTable();
+  t.SortBy({2});  // column v
+  for (int64_t i = 1; i < t.num_rows(); ++i) {
+    EXPECT_LE(t.Get(i - 1, 2).Compare(t.Get(i, 2)), 0);
+  }
+}
+
+TEST(TableTest, SortByIsStable) {
+  Table t(MakeSchema({{"k", ValueType::kInt64}, {"tag", ValueType::kInt64}}));
+  t.AddRow({Value(1), Value(0)});
+  t.AddRow({Value(0), Value(1)});
+  t.AddRow({Value(1), Value(2)});
+  t.AddRow({Value(0), Value(3)});
+  t.SortBy({0});
+  EXPECT_EQ(t.Get(0, 1), Value(1));
+  EXPECT_EQ(t.Get(1, 1), Value(3));
+  EXPECT_EQ(t.Get(2, 1), Value(0));
+  EXPECT_EQ(t.Get(3, 1), Value(2));
+}
+
+TEST(TableTest, SameRowMultisetIgnoresOrder) {
+  Table a = MakeTinyTable();
+  Table b = MakeTinyTable();
+  b.SortBy({2});
+  EXPECT_TRUE(a.SameRowMultiset(b));
+}
+
+TEST(TableTest, SameRowMultisetDetectsDifferences) {
+  Table a = MakeTinyTable();
+  Table b = MakeTinyTable();
+  b.mutable_row(0)[2] = Value(999);
+  EXPECT_FALSE(a.SameRowMultiset(b));
+}
+
+TEST(TableTest, SameRowMultisetDetectsMultiplicity) {
+  Table a(MakeSchema({{"x", ValueType::kInt64}}));
+  Table b(MakeSchema({{"x", ValueType::kInt64}}));
+  a.AddRow({Value(1)});
+  a.AddRow({Value(1)});
+  a.AddRow({Value(2)});
+  b.AddRow({Value(1)});
+  b.AddRow({Value(2)});
+  b.AddRow({Value(2)});
+  EXPECT_FALSE(a.SameRowMultiset(b));
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeTinyTable();
+  const std::string s = t.ToString(3);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableBasics) {
+  Table t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.schema().num_fields(), 0);
+  EXPECT_EQ(t.SerializedSize(), 0u);
+}
+
+}  // namespace
+}  // namespace skalla

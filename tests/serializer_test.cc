@@ -1,0 +1,164 @@
+#include "storage/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+TEST(SerializerTest, RoundTripTinyTable) {
+  const Table original = MakeTinyTable();
+  const std::string bytes = Serializer::SerializeTable(original);
+  ASSERT_OK_AND_ASSIGN(Table decoded, Serializer::DeserializeTable(bytes));
+  EXPECT_TRUE(decoded.schema().Equals(original.schema()));
+  ExpectSameRows(decoded, original);
+}
+
+TEST(SerializerTest, RoundTripEmptyTable) {
+  Table original(MakeSchema({{"a", ValueType::kInt64}}));
+  const std::string bytes = Serializer::SerializeTable(original);
+  ASSERT_OK_AND_ASSIGN(Table decoded, Serializer::DeserializeTable(bytes));
+  EXPECT_EQ(decoded.num_rows(), 0);
+  EXPECT_TRUE(decoded.schema().Equals(original.schema()));
+}
+
+TEST(SerializerTest, RoundTripNulls) {
+  Table original(MakeSchema(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kString}}));
+  original.AddRow({Value::Null(), Value::Null()});
+  original.AddRow({Value(1), Value("x")});
+  const std::string bytes = Serializer::SerializeTable(original);
+  ASSERT_OK_AND_ASSIGN(Table decoded, Serializer::DeserializeTable(bytes));
+  EXPECT_TRUE(decoded.Get(0, 0).is_null());
+  EXPECT_TRUE(decoded.Get(0, 1).is_null());
+  EXPECT_EQ(decoded.Get(1, 1), Value("x"));
+}
+
+TEST(SerializerTest, WireSizeMatchesActualBytes) {
+  const Table t = MakeTinyTable();
+  EXPECT_EQ(Serializer::WireSize(t), Serializer::SerializeTable(t).size());
+}
+
+TEST(SerializerTest, WireSizeMatchesForEmptyTable) {
+  Table t(MakeSchema({{"long_column_name", ValueType::kString}}));
+  EXPECT_EQ(Serializer::WireSize(t), Serializer::SerializeTable(t).size());
+}
+
+TEST(SerializerTest, RejectsBadMagic) {
+  std::string bytes = Serializer::SerializeTable(MakeTinyTable());
+  bytes[0] = 'X';
+  auto result = Serializer::DeserializeTable(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializerTest, RejectsTruncation) {
+  const std::string bytes = Serializer::SerializeTable(MakeTinyTable());
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    auto result =
+        Serializer::DeserializeTable(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializerTest, RejectsTrailingGarbage) {
+  std::string bytes = Serializer::SerializeTable(MakeTinyTable());
+  bytes += "junk";
+  auto result = Serializer::DeserializeTable(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(SerializerTest, RandomizedRoundTripProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int ncols = static_cast<int>(rng.Uniform(1, 6));
+    std::vector<Field> fields;
+    for (int c = 0; c < ncols; ++c) {
+      const int type = static_cast<int>(rng.Uniform(1, 3));
+      fields.push_back(Field{"c" + std::to_string(c),
+                             static_cast<ValueType>(type)});
+    }
+    Table t(MakeSchema(fields));
+    const int64_t nrows = rng.Uniform(0, 40);
+    for (int64_t r = 0; r < nrows; ++r) {
+      Row row;
+      for (int c = 0; c < ncols; ++c) {
+        if (rng.Chance(0.1)) {
+          row.push_back(Value::Null());
+          continue;
+        }
+        switch (fields[static_cast<size_t>(c)].type) {
+          case ValueType::kInt64:
+            row.push_back(Value(rng.Uniform(-1000000, 1000000)));
+            break;
+          case ValueType::kDouble:
+            row.push_back(Value(rng.UniformDouble(-10, 10)));
+            break;
+          default:
+            row.push_back(Value(rng.AlphaString(
+                static_cast<int>(rng.Uniform(0, 12)))));
+        }
+      }
+      t.AddRow(std::move(row));
+    }
+    const std::string bytes = Serializer::SerializeTable(t);
+    EXPECT_EQ(bytes.size(), Serializer::WireSize(t));
+    ASSERT_OK_AND_ASSIGN(Table decoded, Serializer::DeserializeTable(bytes));
+    ExpectSameRows(decoded, t);
+  }
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  const Table original = MakeTinyTable();
+  const std::string csv = CsvToString(original);
+  ASSERT_OK_AND_ASSIGN(Table decoded,
+                       CsvFromString(csv, original.schema_ptr()));
+  ExpectSameRows(decoded, original);
+}
+
+TEST(CsvTest, QuotingSpecialCharacters) {
+  Table t(MakeSchema({{"s", ValueType::kString}}));
+  t.AddRow({Value("plain")});
+  t.AddRow({Value("with,comma")});
+  t.AddRow({Value("with\"quote")});
+  const std::string csv = CsvToString(t);
+  ASSERT_OK_AND_ASSIGN(Table decoded, CsvFromString(csv, t.schema_ptr()));
+  ExpectSameRows(decoded, t);
+}
+
+TEST(CsvTest, EmptyFieldIsNull) {
+  auto schema = MakeSchema({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  ASSERT_OK_AND_ASSIGN(Table t, CsvFromString("a,b\n,x\n1,\n", schema));
+  EXPECT_TRUE(t.Get(0, 0).is_null());
+  EXPECT_EQ(t.Get(0, 1), Value("x"));
+  EXPECT_EQ(t.Get(1, 0), Value(1));
+  EXPECT_TRUE(t.Get(1, 1).is_null());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  auto schema = MakeSchema({{"a", ValueType::kInt64}});
+  auto result = CsvFromString("wrong\n1\n", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, BadIntegerRejectedWithLineInfo) {
+  auto schema = MakeSchema({{"a", ValueType::kInt64}});
+  auto result = CsvFromString("a\n1\nnot_a_number\n", schema);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Table original = MakeTinyTable();
+  const std::string path = ::testing::TempDir() + "/skalla_csv_test.csv";
+  ASSERT_OK(WriteCsv(original, path));
+  ASSERT_OK_AND_ASSIGN(Table decoded, ReadCsv(path, original.schema_ptr()));
+  ExpectSameRows(decoded, original);
+}
+
+}  // namespace
+}  // namespace skalla

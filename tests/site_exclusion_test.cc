@@ -1,0 +1,123 @@
+// Site exclusion: the paper's footnote 2 allows S_MDk ⊂ S_B — sites whose
+// partition provably cannot contribute to a round are left out entirely.
+// The optimizer derives this from ¬ψ_i ≡ FALSE (a pure-detail conjunct of
+// θ refuted by the site's φ_i).
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "skalla/queries.h"
+#include "skalla/warehouse.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+class SiteExclusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcConfig config;
+    config.num_rows = 2400;
+    config.num_customers = 200;
+    warehouse_ = std::make_unique<Warehouse>(4);
+    Table tpcr = GenerateTpcr(config);
+    // NationKey ranges per site: [0,6], [7,13], [14,20], [21,24].
+    ASSERT_OK(warehouse_->LoadByRange("TPCR", tpcr, "NationKey", 0, 24,
+                                      {"CustKey", "NationKey"}));
+  }
+
+  /// Groups by CustKey but aggregates only detail tuples from low nations;
+  /// sites 2 and 3 cannot contribute.
+  GmdjExpr SelectiveQuery() {
+    GmdjExpr query;
+    query.base.source_table = "TPCR";
+    query.base.project_cols = {"CustKey"};
+    GmdjOp op;
+    op.detail_table = "TPCR";
+    GmdjBlock block;
+    block.aggs = {AggSpec::Count("low_nation_cnt"),
+                  AggSpec::Avg("Quantity", "low_nation_aq")};
+    block.theta = MustParse("B.CustKey = R.CustKey && R.NationKey <= 10");
+    op.blocks.push_back(block);
+    query.ops.push_back(op);
+    return query;
+  }
+
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(SiteExclusionTest, OptimizerExcludesRefutedSites) {
+  OptimizerOptions options;
+  options.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       warehouse_->Plan(SelectiveQuery(), options));
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  // Sites 0 ([0,6]) and 1 ([7,13]) can hold NationKey ≤ 10; 2 and 3 not.
+  EXPECT_EQ(plan.rounds[0].participating_sites, (std::vector<int>{0, 1}));
+}
+
+TEST_F(SiteExclusionTest, ExcludedPlanMatchesCentralized) {
+  OptimizerOptions options;
+  options.aware_group_reduction = true;
+  const GmdjExpr query = SelectiveQuery();
+  ASSERT_OK_AND_ASSIGN(Table expected,
+                       warehouse_->ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, options));
+  ExpectSameRows(result.table, expected);
+  // Only the two relevant sites were contacted in the GMDJ round.
+  EXPECT_EQ(result.metrics.rounds.back().sites, 2);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                       warehouse_->Execute(query, OptimizerOptions::None()));
+  ExpectSameRows(baseline.table, expected);
+  EXPECT_LT(result.metrics.TotalBytes(), baseline.metrics.TotalBytes());
+}
+
+TEST_F(SiteExclusionTest, NoExclusionWithoutDetailSelectivity) {
+  OptimizerOptions options;
+  options.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(
+      DistributedPlan plan,
+      warehouse_->Plan(queries::GroupReductionQuery("CustKey"), options));
+  for (const PlanRound& round : plan.rounds) {
+    EXPECT_TRUE(round.participating_sites.empty());
+  }
+}
+
+TEST_F(SiteExclusionTest, AllSitesRefutedFallsBackGracefully) {
+  GmdjExpr query = SelectiveQuery();
+  query.ops[0].blocks[0].theta =
+      MustParse("B.CustKey = R.CustKey && R.NationKey > 100");
+  OptimizerOptions options;
+  options.aware_group_reduction = true;
+  ASSERT_OK_AND_ASSIGN(Table expected,
+                       warehouse_->ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, options));
+  ExpectSameRows(result.table, expected);
+  // Every group present with COUNT 0 / AVG NULL.
+  for (const Row& row : result.table.rows()) {
+    EXPECT_EQ(row[1], Value(int64_t{0}));
+    EXPECT_TRUE(row[2].is_null());
+  }
+}
+
+TEST_F(SiteExclusionTest, ExcludedSitesComposeWithOtherReductions) {
+  const GmdjExpr query = SelectiveQuery();
+  ASSERT_OK_AND_ASSIGN(Table expected,
+                       warehouse_->ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       warehouse_->Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/operators.h"
+#include "expr/parser.h"
+#include "gmdj/local_eval.h"
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto result = ParseExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+LocalGmdjOptions SortMerge() {
+  LocalGmdjOptions options;
+  options.join = JoinStrategy::kSortMerge;
+  return options;
+}
+
+TEST(SortMergeTest, AgreesWithHashOnTinyTable) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g"}));
+  GmdjOp op;
+  op.detail_table = "T";
+  op.blocks.push_back(GmdjBlock{
+      {AggSpec::Count("cnt"), AggSpec::Sum("v", "sv"),
+       AggSpec::Avg("w", "aw"), AggSpec::Min("s", "lo")},
+      MustParse("B.g = R.g")});
+
+  ASSERT_OK_AND_ASSIGN(Table hash,
+                       EvalGmdjOp(base, detail, op, LocalGmdjOptions()));
+  ASSERT_OK_AND_ASSIGN(Table merged, EvalGmdjOp(base, detail, op, SortMerge()));
+  ExpectSameRows(merged, hash);
+}
+
+TEST(SortMergeTest, ResidualAndCompositeKeys) {
+  const Table detail = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"g", "h"}));
+  GmdjOp op;
+  op.detail_table = "T";
+  op.blocks.push_back(
+      GmdjBlock{{AggSpec::Count("cnt")},
+                MustParse("B.g = R.g && B.h = R.h && R.v >= 5")});
+
+  ASSERT_OK_AND_ASSIGN(Table hash,
+                       EvalGmdjOp(base, detail, op, LocalGmdjOptions()));
+  ASSERT_OK_AND_ASSIGN(Table merged, EvalGmdjOp(base, detail, op, SortMerge()));
+  ExpectSameRows(merged, hash);
+}
+
+TEST(SortMergeTest, TouchedOnlyAndSubMode) {
+  Table base(MakeSchema({{"g", ValueType::kInt64}}));
+  base.AddRow({Value(1)});
+  base.AddRow({Value(999)});
+  const Table detail = MakeTinyTable();
+  GmdjOp op;
+  op.detail_table = "T";
+  op.blocks.push_back(
+      GmdjBlock{{AggSpec::Avg("v", "av")}, MustParse("B.g = R.g")});
+
+  LocalGmdjOptions options = SortMerge();
+  options.mode = AggMode::kSub;
+  options.touched_only = true;
+  ASSERT_OK_AND_ASSIGN(Table result, EvalGmdjOp(base, detail, op, options));
+  ASSERT_EQ(result.num_rows(), 1);
+  EXPECT_EQ(result.Get(0, 0), Value(1));
+  EXPECT_EQ(result.Get(0, 1), Value(21));  // sum
+  EXPECT_EQ(result.Get(0, 2), Value(3));   // count
+}
+
+TEST(SortMergeTest, RandomizedAgreementWithHash) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    Table detail(MakeSchema({{"k", ValueType::kInt64},
+                             {"k2", ValueType::kInt64},
+                             {"v", ValueType::kInt64}}));
+    const int64_t rows = rng.Uniform(0, 200);
+    for (int64_t i = 0; i < rows; ++i) {
+      detail.AddRow({rng.Chance(0.05) ? Value::Null()
+                                      : Value(rng.Uniform(0, 12)),
+                     Value(rng.Uniform(0, 3)), Value(rng.Uniform(-9, 9))});
+    }
+    ASSERT_OK_AND_ASSIGN(Table base, DistinctProject(detail, {"k", "k2"}));
+
+    GmdjOp op;
+    op.detail_table = "T";
+    op.blocks.push_back(
+        GmdjBlock{{AggSpec::Count("c"), AggSpec::Sum("v", "s")},
+                  MustParse("B.k = R.k && B.k2 = R.k2")});
+    op.blocks.push_back(GmdjBlock{{AggSpec::Max("v", "m")},
+                                  MustParse("B.k = R.k && R.v > 0")});
+
+    ASSERT_OK_AND_ASSIGN(Table hash,
+                         EvalGmdjOp(base, detail, op, LocalGmdjOptions()));
+    ASSERT_OK_AND_ASSIGN(Table merged,
+                         EvalGmdjOp(base, detail, op, SortMerge()));
+    ExpectSameRows(merged, hash);
+  }
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,30 @@
+#include "test_util.h"
+
+namespace skalla {
+
+Table MakeTinyTable() {
+  Table t(MakeSchema({{"g", ValueType::kInt64},
+                      {"h", ValueType::kInt64},
+                      {"v", ValueType::kInt64},
+                      {"w", ValueType::kDouble},
+                      {"s", ValueType::kString}}));
+  auto add = [&t](int64_t g, int64_t h, int64_t v, double w,
+                  const char* s) {
+    t.AddRow({Value(g), Value(h), Value(v), Value(w), Value(s)});
+  };
+  add(1, 10, 5, 0.5, "a");
+  add(1, 10, 7, 1.5, "b");
+  add(1, 20, 9, 2.5, "a");
+  add(2, 10, 4, 0.25, "c");
+  add(2, 20, 6, 1.25, "a");
+  add(2, 20, 8, 2.25, "b");
+  add(2, 30, 2, 3.25, "c");
+  add(3, 10, 1, 0.75, "a");
+  add(3, 30, 3, 1.75, "b");
+  add(3, 30, 5, 2.75, "c");
+  add(3, 30, 7, 3.75, "a");
+  add(3, 10, 9, 4.75, "b");
+  return t;
+}
+
+}  // namespace skalla

@@ -1,0 +1,93 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skalla {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64Basics) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 42.0);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntLiteralConstructor) {
+  Value v(7);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, DoubleBasics) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringBasics) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.ToString(), "hello");
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(int64_t{5}), Value(5.0));
+  EXPECT_EQ(Value(5.0), Value(int64_t{5}));
+  EXPECT_NE(Value(int64_t{5}), Value(5.5));
+}
+
+TEST(ValueTest, NullEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+  EXPECT_NE(Value(""), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeHashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value(int64_t{-3}).Hash(), Value(-3.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value(std::string("x")).Hash());
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // NULL < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{7}).Compare(Value("a")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(2.5).Compare(Value(int64_t{3})), 0);
+}
+
+TEST(ValueTest, CompareLargeInt64Exact) {
+  // Values distinguishable in int64 but not in double must compare exactly.
+  const int64_t a = (int64_t{1} << 62) + 1;
+  const int64_t b = (int64_t{1} << 62) + 2;
+  EXPECT_LT(Value(a).Compare(Value(b)), 0);
+  EXPECT_NE(Value(a), Value(b));
+}
+
+TEST(ValueTest, SerializedSize) {
+  EXPECT_EQ(Value::Null().SerializedSize(), 1u);
+  EXPECT_EQ(Value(int64_t{1}).SerializedSize(), 9u);
+  EXPECT_EQ(Value(1.0).SerializedSize(), 9u);
+  EXPECT_EQ(Value("abc").SerializedSize(), 1u + 4u + 3u);
+}
+
+TEST(ValueTest, NegativeZeroNormalizedInHash) {
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value(0.0), Value(-0.0));
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,144 @@
+// VAR / STDDEV: the three-carrier algebraic aggregates, end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cube/cube.h"
+#include "engine/operators.h"
+#include "sql/olap_parser.h"
+#include "sql/olap_printer.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+TEST(VarianceTest, KnownValues) {
+  AggState var(AggFunc::kVar);
+  AggState sd(AggFunc::kStdDev);
+  for (int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) {  // classic example: σ² = 4
+    var.Update(Value(v));
+    sd.Update(Value(v));
+  }
+  EXPECT_DOUBLE_EQ(var.Final().AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(sd.Final().AsDouble(), 2.0);
+}
+
+TEST(VarianceTest, SingleValueAndEmpty) {
+  AggState var(AggFunc::kVar);
+  EXPECT_TRUE(var.Final().is_null());
+  var.Update(Value(42));
+  EXPECT_DOUBLE_EQ(var.Final().AsDouble(), 0.0);
+}
+
+TEST(VarianceTest, GroupByVariance) {
+  const Table t = MakeTinyTable();
+  ASSERT_OK_AND_ASSIGN(
+      Table g, HashGroupBy(t, {"g"}, {AggSpec::Var("v", "var_v"),
+                                      AggSpec::StdDev("v", "sd_v")}));
+  ASSERT_OK_AND_ASSIGN(Table sorted, SortedBy(g, {"g"}));
+  // Group 1: v ∈ {5,7,9}, mean 7, σ² = (4+0+4)/3. The E[X²]−mean² formula
+  // is exact only up to rounding, hence NEAR (determinism across
+  // centralized/distributed is still exact: same formula, same sums).
+  EXPECT_NEAR(sorted.Get(0, 1).AsDouble(), 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sorted.Get(0, 2).AsDouble(), std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(VarianceTest, DistributedMatchesCentralized) {
+  Warehouse wh(4);
+  TpcConfig config;
+  config.num_rows = 3000;
+  config.num_customers = 150;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24, {"CustKey"}));
+
+  GmdjExpr query;
+  query.base.source_table = "TPCR";
+  query.base.project_cols = {"NationKey"};
+  GmdjOp op;
+  op.detail_table = "TPCR";
+  GmdjBlock block;
+  block.aggs = {AggSpec::Var("Quantity", "qty_var"),
+                AggSpec::StdDev("ExtendedPrice", "price_sd"),
+                AggSpec::Avg("Quantity", "qty_avg")};
+  block.theta = Eq(BCol("NationKey"), RCol("NationKey"));
+  op.blocks.push_back(block);
+  query.ops.push_back(op);
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  for (const auto& options :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+    ExpectSameRows(result.table, expected);
+  }
+  // Cross-check one group against HashGroupBy.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  ASSERT_OK_AND_ASSIGN(
+      Table reference,
+      HashGroupBy(*full, {"NationKey"},
+                  {AggSpec::Var("Quantity", "qty_var"),
+                   AggSpec::StdDev("ExtendedPrice", "price_sd"),
+                   AggSpec::Avg("Quantity", "qty_avg")}));
+  ExpectSameRows(expected, reference);
+}
+
+TEST(VarianceTest, DialectSupportsVarAndStdDev) {
+  ASSERT_OK_AND_ASSIGN(
+      GmdjExpr expr,
+      ParseOlapQuery("SELECT g, VAR(v) AS vv, STDDEV(w) AS sw FROM T "
+                     "GROUP BY g"));
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[0].func, AggFunc::kVar);
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[1].func, AggFunc::kStdDev);
+  // Round-trips through the printer.
+  ASSERT_OK_AND_ASSIGN(std::string text, OlapQueryToString(expr));
+  ASSERT_OK_AND_ASSIGN(GmdjExpr reparsed, ParseOlapQuery(text));
+  EXPECT_EQ(reparsed.ops[0].blocks[0].aggs[0].func, AggFunc::kVar);
+}
+
+TEST(VarianceTest, ThetaMayReferenceVarianceOutput) {
+  // Count tuples more than one standard deviation above the group mean —
+  // a classic outlier query, expressible as a correlated chain.
+  Warehouse wh(2);
+  TpcConfig config;
+  config.num_rows = 1200;
+  config.num_customers = 60;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24));
+
+  ASSERT_OK_AND_ASSIGN(
+      GmdjExpr query,
+      ParseOlapQuery(
+          "SELECT NationKey, AVG(Quantity) AS m, STDDEV(Quantity) AS sd "
+          "FROM TPCR GROUP BY NationKey "
+          "EXTEND COUNT(*) AS outliers WHERE Quantity > m + sd"));
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::All()));
+  ExpectSameRows(result.table, expected);
+  // Sanity: some outliers exist, but a minority.
+  int64_t total = 0;
+  int64_t outliers = 0;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  total = full->num_rows();
+  const int idx = *result.table.schema().IndexOf("outliers");
+  for (const Row& row : result.table.rows()) {
+    outliers += row[static_cast<size_t>(idx)].AsInt64();
+  }
+  EXPECT_GT(outliers, 0);
+  EXPECT_LT(outliers, total / 2);
+}
+
+TEST(VarianceTest, RejectedInCubeQueries) {
+  const Table t = MakeTinyTable();
+  CubeSpec spec;
+  spec.table = "T";
+  spec.dims = {"g"};
+  spec.aggs = {AggSpec::Var("v", "vv")};
+  EXPECT_FALSE(CubeCentralized(spec, t).ok());
+}
+
+}  // namespace
+}  // namespace skalla

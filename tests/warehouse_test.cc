@@ -1,0 +1,182 @@
+#include "skalla/warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "skalla/queries.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace {
+
+Table SmallTpcr(int64_t rows = 1500, uint64_t seed = 23) {
+  TpcConfig config;
+  config.num_rows = rows;
+  config.num_customers = 150;
+  config.seed = seed;
+  return GenerateTpcr(config);
+}
+
+TEST(WarehouseTest, LoadByRangeRegistersFragmentsAndUnion) {
+  Warehouse wh(4);
+  const Table tpcr = SmallTpcr();
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24));
+
+  int64_t total = 0;
+  for (int i = 0; i < wh.num_sites(); ++i) {
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> fragment,
+                         wh.site(i).catalog().GetTable("TPCR"));
+    total += fragment->num_rows();
+    EXPECT_TRUE(wh.site(i).partition_info().HasDomain("NationKey"));
+  }
+  EXPECT_EQ(total, tpcr.num_rows());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> full,
+                       wh.central_catalog().GetTable("TPCR"));
+  EXPECT_EQ(full->num_rows(), tpcr.num_rows());
+}
+
+TEST(WarehouseTest, DuplicateLoadRejected) {
+  Warehouse wh(2);
+  const Table tpcr = SmallTpcr();
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24));
+  EXPECT_FALSE(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24).ok());
+}
+
+TEST(WarehouseTest, QueryAgainstMissingTableFails) {
+  Warehouse wh(2);
+  auto result =
+      wh.Execute(queries::GroupReductionQuery("CustKey"),
+                 OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WarehouseTest, MultipleRelations) {
+  Warehouse wh(3);
+  ASSERT_OK(wh.LoadByRange("TPCR", SmallTpcr(), "NationKey", 0, 24));
+  ASSERT_OK(wh.LoadByHash("TPCR2", SmallTpcr(900, 99), "OrderKey"));
+  EXPECT_TRUE(wh.central_catalog().HasTable("TPCR"));
+  EXPECT_TRUE(wh.central_catalog().HasTable("TPCR2"));
+}
+
+TEST(WarehouseTest, NetworkConfigAffectsModelledTime) {
+  const GmdjExpr query = queries::CoalescingQuery("CustKey");
+
+  Warehouse fast(4);
+  ASSERT_OK(fast.LoadByRange("TPCR", SmallTpcr(), "NationKey", 0, 24));
+  NetworkConfig fast_net;
+  fast_net.bandwidth_bytes_per_sec = 1e9;
+  fast_net.latency_sec = 0.0;
+  fast.set_network_config(fast_net);
+  ASSERT_OK_AND_ASSIGN(QueryResult fast_result,
+                       fast.Execute(query, OptimizerOptions::None()));
+
+  Warehouse slow(4);
+  ASSERT_OK(slow.LoadByRange("TPCR", SmallTpcr(), "NationKey", 0, 24));
+  NetworkConfig slow_net;
+  slow_net.bandwidth_bytes_per_sec = 1e4;
+  slow_net.latency_sec = 0.1;
+  slow.set_network_config(slow_net);
+  ASSERT_OK_AND_ASSIGN(QueryResult slow_result,
+                       slow.Execute(query, OptimizerOptions::None()));
+
+  // Identical bytes, very different modelled time.
+  EXPECT_EQ(fast_result.metrics.TotalBytes(), slow_result.metrics.TotalBytes());
+  EXPECT_LT(fast_result.metrics.CommSeconds(),
+            slow_result.metrics.CommSeconds());
+  ExpectSameRows(fast_result.table, slow_result.table);
+}
+
+TEST(WarehouseTest, MetricsCountRoundsCorrectly) {
+  Warehouse wh(4);
+  ASSERT_OK(wh.LoadByRange("TPCR", SmallTpcr(), "NationKey", 0, 24,
+                           {"CustKey"}));
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+
+  ASSERT_OK_AND_ASSIGN(QueryResult naive,
+                       wh.Execute(query, OptimizerOptions::None()));
+  EXPECT_EQ(naive.metrics.NumRounds(), 4);  // base + 3 operators
+
+  ASSERT_OK_AND_ASSIGN(QueryResult optimized,
+                       wh.Execute(query, OptimizerOptions::All()));
+  EXPECT_EQ(optimized.metrics.NumRounds(), 1);  // fully fused
+  ExpectSameRows(naive.table, optimized.table);
+}
+
+TEST(WarehouseTest, EmptySiteParticipatesHarmlessly) {
+  // Partitioning by a narrow range leaves most sites empty; results must
+  // still match the centralized evaluation.
+  Warehouse wh(6);
+  TpcConfig config;
+  config.num_rows = 800;
+  config.num_customers = 60;
+  config.num_nations = 3;  // only 3 of 6 sites get data
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 5, {"CustKey"}));
+
+  const GmdjExpr query = queries::SyncReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(query));
+  for (const auto& options :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(query, options));
+    ExpectSameRows(result.table, expected);
+  }
+}
+
+TEST(WarehouseTest, ZeroRowRelation) {
+  Warehouse wh(2);
+  TpcConfig config;
+  config.num_rows = 0;
+  Table tpcr = GenerateTpcr(config);
+  ASSERT_OK(wh.LoadByRange("TPCR", tpcr, "NationKey", 0, 24));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      wh.Execute(queries::GroupReductionQuery("CustKey"),
+                 OptimizerOptions::All()));
+  EXPECT_EQ(result.table.num_rows(), 0);
+}
+
+TEST(WarehouseTest, ResultSchemaMatchesExpressionSchema) {
+  Warehouse wh(3);
+  ASSERT_OK(wh.LoadByRange("TPCR", SmallTpcr(), "NationKey", 0, 24));
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       wh.Execute(query, OptimizerOptions::None()));
+  EXPECT_EQ(result.table.schema().ToString(),
+            "CustKey:int64, cnt1:int64, avg1:double, cnt2:int64, "
+            "avg2:double");
+}
+
+TEST(CoordinatorTest, NoSitesRejected) {
+  Coordinator coordinator({});
+  DistributedPlan plan;
+  auto result = coordinator.Execute(plan, nullptr);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CoordinatorTest, FindSchemaSearchesSites) {
+  Site s0(0);
+  Site s1(1);
+  s1.catalog().PutTable("only_here",
+                        std::make_shared<const Table>(MakeTinyTable()));
+  Coordinator coordinator({&s0, &s1});
+  ASSERT_OK_AND_ASSIGN(SchemaPtr schema, coordinator.FindSchema("only_here"));
+  EXPECT_TRUE(schema->Contains("g"));
+  EXPECT_FALSE(coordinator.FindSchema("nowhere").ok());
+}
+
+TEST(SiteTest, EvalBaseMeasuresCpu) {
+  Site site(0);
+  site.catalog().PutTable("T", std::make_shared<const Table>(MakeTinyTable()));
+  BaseQuery base;
+  base.source_table = "T";
+  base.project_cols = {"g"};
+  double cpu = -1;
+  ASSERT_OK_AND_ASSIGN(Table b, site.EvalBase(base, &cpu));
+  EXPECT_EQ(b.num_rows(), 3);
+  EXPECT_GE(cpu, 0.0);
+}
+
+}  // namespace
+}  // namespace skalla
