@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_straggler.dir/bench_ablation_straggler.cc.o"
+  "CMakeFiles/bench_ablation_straggler.dir/bench_ablation_straggler.cc.o.d"
+  "bench_ablation_straggler"
+  "bench_ablation_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

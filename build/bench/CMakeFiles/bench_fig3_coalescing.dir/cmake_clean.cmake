@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_coalescing.dir/bench_fig3_coalescing.cc.o"
+  "CMakeFiles/bench_fig3_coalescing.dir/bench_fig3_coalescing.cc.o.d"
+  "bench_fig3_coalescing"
+  "bench_fig3_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

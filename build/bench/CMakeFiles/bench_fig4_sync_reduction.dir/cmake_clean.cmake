@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sync_reduction.dir/bench_fig4_sync_reduction.cc.o"
+  "CMakeFiles/bench_fig4_sync_reduction.dir/bench_fig4_sync_reduction.cc.o.d"
+  "bench_fig4_sync_reduction"
+  "bench_fig4_sync_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sync_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

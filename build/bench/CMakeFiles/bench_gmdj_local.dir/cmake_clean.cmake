@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmdj_local.dir/bench_gmdj_local.cc.o"
+  "CMakeFiles/bench_gmdj_local.dir/bench_gmdj_local.cc.o.d"
+  "bench_gmdj_local"
+  "bench_gmdj_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmdj_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_bound.dir/bench_traffic_bound.cc.o"
+  "CMakeFiles/bench_traffic_bound.dir/bench_traffic_bound.cc.o.d"
+  "bench_traffic_bound"
+  "bench_traffic_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_coordinator.dir/bench_tree_coordinator.cc.o"
+  "CMakeFiles/bench_tree_coordinator.dir/bench_tree_coordinator.cc.o.d"
+  "bench_tree_coordinator"
+  "bench_tree_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacube.dir/datacube.cc.o"
+  "CMakeFiles/example_datacube.dir/datacube.cc.o.d"
+  "example_datacube"
+  "example_datacube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_enterprise_marts.dir/enterprise_marts.cc.o"
+  "CMakeFiles/example_enterprise_marts.dir/enterprise_marts.cc.o.d"
+  "example_enterprise_marts"
+  "example_enterprise_marts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_enterprise_marts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_enterprise_marts.
+# This may be replaced when dependencies are built.

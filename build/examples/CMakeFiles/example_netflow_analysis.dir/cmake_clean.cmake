@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netflow_analysis.dir/netflow_analysis.cc.o"
+  "CMakeFiles/example_netflow_analysis.dir/netflow_analysis.cc.o.d"
+  "example_netflow_analysis"
+  "example_netflow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netflow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

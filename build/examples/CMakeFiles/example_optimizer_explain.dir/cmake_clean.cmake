@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optimizer_explain.dir/optimizer_explain.cc.o"
+  "CMakeFiles/example_optimizer_explain.dir/optimizer_explain.cc.o.d"
+  "example_optimizer_explain"
+  "example_optimizer_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optimizer_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skalla_shell.dir/skalla_shell.cc.o"
+  "CMakeFiles/example_skalla_shell.dir/skalla_shell.cc.o.d"
+  "example_skalla_shell"
+  "example_skalla_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skalla_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpcr_olap.dir/tpcr_olap.cc.o"
+  "CMakeFiles/example_tpcr_olap.dir/tpcr_olap.cc.o.d"
+  "example_tpcr_olap"
+  "example_tpcr_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpcr_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_tpcr_olap.
+# This may be replaced when dependencies are built.

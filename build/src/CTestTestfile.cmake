@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("expr")
+subdirs("agg")
+subdirs("engine")
+subdirs("gmdj")
+subdirs("net")
+subdirs("dist")
+subdirs("opt")
+subdirs("sql")
+subdirs("tpc")
+subdirs("flow")
+subdirs("skalla")
+subdirs("cube")

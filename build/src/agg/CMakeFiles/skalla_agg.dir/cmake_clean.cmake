@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_agg.dir/aggregate.cc.o"
+  "CMakeFiles/skalla_agg.dir/aggregate.cc.o.d"
+  "libskalla_agg.a"
+  "libskalla_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

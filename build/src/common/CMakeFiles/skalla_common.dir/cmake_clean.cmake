@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_common.dir/logging.cc.o"
+  "CMakeFiles/skalla_common.dir/logging.cc.o.d"
+  "CMakeFiles/skalla_common.dir/random.cc.o"
+  "CMakeFiles/skalla_common.dir/random.cc.o.d"
+  "CMakeFiles/skalla_common.dir/status.cc.o"
+  "CMakeFiles/skalla_common.dir/status.cc.o.d"
+  "CMakeFiles/skalla_common.dir/string_util.cc.o"
+  "CMakeFiles/skalla_common.dir/string_util.cc.o.d"
+  "libskalla_common.a"
+  "libskalla_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_cube.dir/cube.cc.o"
+  "CMakeFiles/skalla_cube.dir/cube.cc.o.d"
+  "libskalla_cube.a"
+  "libskalla_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

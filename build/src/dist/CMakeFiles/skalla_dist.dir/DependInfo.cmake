@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/coordinator.cc" "src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o.d"
+  "/root/repo/src/dist/metrics.cc" "src/dist/CMakeFiles/skalla_dist.dir/metrics.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/metrics.cc.o.d"
+  "/root/repo/src/dist/plan.cc" "src/dist/CMakeFiles/skalla_dist.dir/plan.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/plan.cc.o.d"
+  "/root/repo/src/dist/site.cc" "src/dist/CMakeFiles/skalla_dist.dir/site.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/site.cc.o.d"
+  "/root/repo/src/dist/sync.cc" "src/dist/CMakeFiles/skalla_dist.dir/sync.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/sync.cc.o.d"
+  "/root/repo/src/dist/tree_coordinator.cc" "src/dist/CMakeFiles/skalla_dist.dir/tree_coordinator.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/tree_coordinator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmdj/CMakeFiles/skalla_gmdj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skalla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/skalla_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/skalla_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/skalla_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skalla_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_dist.dir/coordinator.cc.o"
+  "CMakeFiles/skalla_dist.dir/coordinator.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/metrics.cc.o"
+  "CMakeFiles/skalla_dist.dir/metrics.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/plan.cc.o"
+  "CMakeFiles/skalla_dist.dir/plan.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/site.cc.o"
+  "CMakeFiles/skalla_dist.dir/site.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/sync.cc.o"
+  "CMakeFiles/skalla_dist.dir/sync.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/tree_coordinator.cc.o"
+  "CMakeFiles/skalla_dist.dir/tree_coordinator.cc.o.d"
+  "libskalla_dist.a"
+  "libskalla_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_engine.dir/operators.cc.o"
+  "CMakeFiles/skalla_engine.dir/operators.cc.o.d"
+  "libskalla_engine.a"
+  "libskalla_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

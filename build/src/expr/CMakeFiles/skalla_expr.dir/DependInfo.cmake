@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/analyzer.cc" "src/expr/CMakeFiles/skalla_expr.dir/analyzer.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/analyzer.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/expr/CMakeFiles/skalla_expr.dir/evaluator.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/skalla_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/interval.cc" "src/expr/CMakeFiles/skalla_expr.dir/interval.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/interval.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/expr/CMakeFiles/skalla_expr.dir/parser.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/parser.cc.o.d"
+  "/root/repo/src/expr/rewriter.cc" "src/expr/CMakeFiles/skalla_expr.dir/rewriter.cc.o" "gcc" "src/expr/CMakeFiles/skalla_expr.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/skalla_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_expr.dir/analyzer.cc.o"
+  "CMakeFiles/skalla_expr.dir/analyzer.cc.o.d"
+  "CMakeFiles/skalla_expr.dir/evaluator.cc.o"
+  "CMakeFiles/skalla_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/skalla_expr.dir/expr.cc.o"
+  "CMakeFiles/skalla_expr.dir/expr.cc.o.d"
+  "CMakeFiles/skalla_expr.dir/interval.cc.o"
+  "CMakeFiles/skalla_expr.dir/interval.cc.o.d"
+  "CMakeFiles/skalla_expr.dir/parser.cc.o"
+  "CMakeFiles/skalla_expr.dir/parser.cc.o.d"
+  "CMakeFiles/skalla_expr.dir/rewriter.cc.o"
+  "CMakeFiles/skalla_expr.dir/rewriter.cc.o.d"
+  "libskalla_expr.a"
+  "libskalla_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_flow.dir/flowgen.cc.o"
+  "CMakeFiles/skalla_flow.dir/flowgen.cc.o.d"
+  "libskalla_flow.a"
+  "libskalla_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_gmdj.dir/central_eval.cc.o"
+  "CMakeFiles/skalla_gmdj.dir/central_eval.cc.o.d"
+  "CMakeFiles/skalla_gmdj.dir/gmdj.cc.o"
+  "CMakeFiles/skalla_gmdj.dir/gmdj.cc.o.d"
+  "CMakeFiles/skalla_gmdj.dir/local_eval.cc.o"
+  "CMakeFiles/skalla_gmdj.dir/local_eval.cc.o.d"
+  "libskalla_gmdj.a"
+  "libskalla_gmdj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_gmdj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_net.dir/sim_network.cc.o"
+  "CMakeFiles/skalla_net.dir/sim_network.cc.o.d"
+  "libskalla_net.a"
+  "libskalla_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_opt.dir/cost_model.cc.o"
+  "CMakeFiles/skalla_opt.dir/cost_model.cc.o.d"
+  "CMakeFiles/skalla_opt.dir/optimizer.cc.o"
+  "CMakeFiles/skalla_opt.dir/optimizer.cc.o.d"
+  "libskalla_opt.a"
+  "libskalla_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

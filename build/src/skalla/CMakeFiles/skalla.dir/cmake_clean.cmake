@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla.dir/persistence.cc.o"
+  "CMakeFiles/skalla.dir/persistence.cc.o.d"
+  "CMakeFiles/skalla.dir/queries.cc.o"
+  "CMakeFiles/skalla.dir/queries.cc.o.d"
+  "CMakeFiles/skalla.dir/report.cc.o"
+  "CMakeFiles/skalla.dir/report.cc.o.d"
+  "CMakeFiles/skalla.dir/warehouse.cc.o"
+  "CMakeFiles/skalla.dir/warehouse.cc.o.d"
+  "libskalla.a"
+  "libskalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

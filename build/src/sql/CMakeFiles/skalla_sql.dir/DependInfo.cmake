@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/olap_parser.cc" "src/sql/CMakeFiles/skalla_sql.dir/olap_parser.cc.o" "gcc" "src/sql/CMakeFiles/skalla_sql.dir/olap_parser.cc.o.d"
+  "/root/repo/src/sql/olap_printer.cc" "src/sql/CMakeFiles/skalla_sql.dir/olap_printer.cc.o" "gcc" "src/sql/CMakeFiles/skalla_sql.dir/olap_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmdj/CMakeFiles/skalla_gmdj.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/skalla_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/skalla_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/skalla_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skalla_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

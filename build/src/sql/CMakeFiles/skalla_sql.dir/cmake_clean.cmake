@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_sql.dir/olap_parser.cc.o"
+  "CMakeFiles/skalla_sql.dir/olap_parser.cc.o.d"
+  "CMakeFiles/skalla_sql.dir/olap_printer.cc.o"
+  "CMakeFiles/skalla_sql.dir/olap_printer.cc.o.d"
+  "libskalla_sql.a"
+  "libskalla_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/skalla_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/skalla_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/storage/CMakeFiles/skalla_storage.dir/hash_index.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/hash_index.cc.o.d"
+  "/root/repo/src/storage/partition_info.cc" "src/storage/CMakeFiles/skalla_storage.dir/partition_info.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/partition_info.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/skalla_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/storage/CMakeFiles/skalla_storage.dir/serializer.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/serializer.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/skalla_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/skalla_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/skalla_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

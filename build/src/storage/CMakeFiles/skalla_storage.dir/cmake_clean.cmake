@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_storage.dir/catalog.cc.o"
+  "CMakeFiles/skalla_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/csv.cc.o"
+  "CMakeFiles/skalla_storage.dir/csv.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/hash_index.cc.o"
+  "CMakeFiles/skalla_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/partition_info.cc.o"
+  "CMakeFiles/skalla_storage.dir/partition_info.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/schema.cc.o"
+  "CMakeFiles/skalla_storage.dir/schema.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/serializer.cc.o"
+  "CMakeFiles/skalla_storage.dir/serializer.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/table.cc.o"
+  "CMakeFiles/skalla_storage.dir/table.cc.o.d"
+  "CMakeFiles/skalla_storage.dir/value.cc.o"
+  "CMakeFiles/skalla_storage.dir/value.cc.o.d"
+  "libskalla_storage.a"
+  "libskalla_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

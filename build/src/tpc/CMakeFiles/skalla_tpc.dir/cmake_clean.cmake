@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_tpc.dir/dbgen.cc.o"
+  "CMakeFiles/skalla_tpc.dir/dbgen.cc.o.d"
+  "CMakeFiles/skalla_tpc.dir/partitioner.cc.o"
+  "CMakeFiles/skalla_tpc.dir/partitioner.cc.o.d"
+  "CMakeFiles/skalla_tpc.dir/star.cc.o"
+  "CMakeFiles/skalla_tpc.dir/star.cc.o.d"
+  "libskalla_tpc.a"
+  "libskalla_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

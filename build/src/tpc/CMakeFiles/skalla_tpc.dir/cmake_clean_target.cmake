@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskalla_tpc.a"
+)

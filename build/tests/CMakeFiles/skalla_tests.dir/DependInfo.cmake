@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/skalla_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/skalla_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/column_pruning_test.cc" "tests/CMakeFiles/skalla_tests.dir/column_pruning_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/column_pruning_test.cc.o.d"
+  "/root/repo/tests/concurrent_queries_test.cc" "tests/CMakeFiles/skalla_tests.dir/concurrent_queries_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/concurrent_queries_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/skalla_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/cube_test.cc" "tests/CMakeFiles/skalla_tests.dir/cube_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/cube_test.cc.o.d"
+  "/root/repo/tests/distributed_test.cc" "tests/CMakeFiles/skalla_tests.dir/distributed_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/distributed_test.cc.o.d"
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/skalla_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/execute_auto_test.cc" "tests/CMakeFiles/skalla_tests.dir/execute_auto_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/execute_auto_test.cc.o.d"
+  "/root/repo/tests/fuzz_property_test.cc" "tests/CMakeFiles/skalla_tests.dir/fuzz_property_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/fuzz_property_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/skalla_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/gmdj_local_test.cc" "tests/CMakeFiles/skalla_tests.dir/gmdj_local_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/gmdj_local_test.cc.o.d"
+  "/root/repo/tests/grouping_sets_test.cc" "tests/CMakeFiles/skalla_tests.dir/grouping_sets_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/grouping_sets_test.cc.o.d"
+  "/root/repo/tests/having_test.cc" "tests/CMakeFiles/skalla_tests.dir/having_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/having_test.cc.o.d"
+  "/root/repo/tests/interval_test.cc" "tests/CMakeFiles/skalla_tests.dir/interval_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/interval_test.cc.o.d"
+  "/root/repo/tests/join_star_test.cc" "tests/CMakeFiles/skalla_tests.dir/join_star_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/join_star_test.cc.o.d"
+  "/root/repo/tests/multi_relation_test.cc" "tests/CMakeFiles/skalla_tests.dir/multi_relation_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/multi_relation_test.cc.o.d"
+  "/root/repo/tests/multifeature_test.cc" "tests/CMakeFiles/skalla_tests.dir/multifeature_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/multifeature_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/skalla_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/olap_parser_test.cc" "tests/CMakeFiles/skalla_tests.dir/olap_parser_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/olap_parser_test.cc.o.d"
+  "/root/repo/tests/olap_printer_test.cc" "tests/CMakeFiles/skalla_tests.dir/olap_printer_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/olap_printer_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/skalla_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/skalla_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parallel_sites_test.cc" "tests/CMakeFiles/skalla_tests.dir/parallel_sites_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/parallel_sites_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/skalla_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/skalla_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/presentation_test.cc" "tests/CMakeFiles/skalla_tests.dir/presentation_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/presentation_test.cc.o.d"
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/skalla_tests.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/regression_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/skalla_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/schema_table_test.cc" "tests/CMakeFiles/skalla_tests.dir/schema_table_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/schema_table_test.cc.o.d"
+  "/root/repo/tests/serializer_test.cc" "tests/CMakeFiles/skalla_tests.dir/serializer_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/serializer_test.cc.o.d"
+  "/root/repo/tests/site_exclusion_test.cc" "tests/CMakeFiles/skalla_tests.dir/site_exclusion_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/site_exclusion_test.cc.o.d"
+  "/root/repo/tests/sort_merge_test.cc" "tests/CMakeFiles/skalla_tests.dir/sort_merge_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/sort_merge_test.cc.o.d"
+  "/root/repo/tests/storage_misc_test.cc" "tests/CMakeFiles/skalla_tests.dir/storage_misc_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/storage_misc_test.cc.o.d"
+  "/root/repo/tests/streaming_test.cc" "tests/CMakeFiles/skalla_tests.dir/streaming_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/streaming_test.cc.o.d"
+  "/root/repo/tests/sync_test.cc" "tests/CMakeFiles/skalla_tests.dir/sync_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/sync_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/skalla_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/tree_coordinator_test.cc" "tests/CMakeFiles/skalla_tests.dir/tree_coordinator_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/tree_coordinator_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/skalla_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/variance_test.cc" "tests/CMakeFiles/skalla_tests.dir/variance_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/variance_test.cc.o.d"
+  "/root/repo/tests/warehouse_test.cc" "tests/CMakeFiles/skalla_tests.dir/warehouse_test.cc.o" "gcc" "tests/CMakeFiles/skalla_tests.dir/warehouse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/skalla/CMakeFiles/skalla.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/skalla_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/skalla_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/skalla_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/skalla_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmdj/CMakeFiles/skalla_gmdj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skalla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/skalla_tpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/skalla_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/skalla_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/skalla_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/skalla_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skalla_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
