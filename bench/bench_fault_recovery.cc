@@ -1,0 +1,74 @@
+// Fault-tolerance overhead: what does surviving a lossy WAN cost?
+//
+// Sweeps the per-message loss probability of the simulated network (losses
+// are recoverable: drops stop at attempt 2, the retry budget is 4) and
+// reports the modelled response time plus the retransmission surcharge
+// relative to the fault-free run of the same plan. The answer is
+// byte-identical across the whole sweep — only the cost moves — which is
+// the point of the retry design (docs/fault-model.md).
+//
+//   ./bench_fault_recovery
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "net/fault_injector.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::WarehouseSpec;
+
+WarehouseSpec DefaultSpec() {
+  WarehouseSpec spec;
+  spec.sites = 8;
+  spec.rows_per_site = 10000;
+  spec.groups_per_site = 800;
+  return spec;
+}
+
+const double kDropProbabilities[] = {0.0, 0.05, 0.15, 0.30, 0.50};
+
+void BM_FaultRecovery(benchmark::State& state) {
+  const double drop_p = kDropProbabilities[state.range(0)];
+  Warehouse& warehouse = GetWarehouse(DefaultSpec());
+  NetworkConfig net;
+  net.retry.max_attempts = 4;
+  warehouse.set_network_config(net);
+
+  FaultInjector injector(/*seed=*/42);
+  injector.set_random_drop(drop_p, /*max_attempt=*/2);
+  warehouse.set_fault_injector(&injector);
+
+  const GmdjExpr query = queries::CombinedQuery("CustKey");
+  QueryResult result;
+  for (auto _ : state) {
+    result = bench::MustExecute(warehouse, query, OptimizerOptions::All());
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+  }
+  warehouse.set_fault_injector(nullptr);
+
+  state.counters["sim_response_sec"] = result.metrics.ResponseSeconds();
+  state.counters["retries"] = static_cast<double>(result.metrics.Retries());
+  state.counters["drops"] = static_cast<double>(result.metrics.Drops());
+  state.counters["retx_kb"] =
+      static_cast<double>(result.metrics.BytesRetransmitted()) / 1024.0;
+  state.counters["total_kb"] =
+      static_cast<double>(result.metrics.TotalBytes()) / 1024.0;
+  state.SetLabel(std::to_string(static_cast<int>(drop_p * 100)) +
+                 "% message loss");
+}
+
+BENCHMARK(BM_FaultRecovery)
+    ->DenseRange(0, 4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

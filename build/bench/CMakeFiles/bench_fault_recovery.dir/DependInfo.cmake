@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_recovery.cc" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cc.o" "gcc" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/skalla/CMakeFiles/skalla.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/skalla_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/skalla_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/skalla_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/skalla_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmdj/CMakeFiles/skalla_gmdj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skalla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/skalla_tpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/skalla_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/skalla_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/skalla_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/skalla_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skalla_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skalla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

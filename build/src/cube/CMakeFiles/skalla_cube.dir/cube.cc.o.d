@@ -224,10 +224,10 @@ src/cube/CMakeFiles/skalla_cube.dir/cube.cc.o: \
  /root/repo/src/common/hash_util.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /usr/include/c++/12/cstddef /root/repo/src/dist/tree_coordinator.h \
- /root/repo/src/opt/cost_model.h /root/repo/src/opt/optimizer.h \
- /root/repo/src/tpc/partitioner.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/cstddef /root/repo/src/net/fault_injector.h \
+ /root/repo/src/dist/tree_coordinator.h /root/repo/src/opt/cost_model.h \
+ /root/repo/src/opt/optimizer.h /root/repo/src/tpc/partitioner.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

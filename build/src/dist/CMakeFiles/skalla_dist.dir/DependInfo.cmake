@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dist/coordinator.cc" "src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o.d"
+  "/root/repo/src/dist/fault_tolerance.cc" "src/dist/CMakeFiles/skalla_dist.dir/fault_tolerance.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/fault_tolerance.cc.o.d"
   "/root/repo/src/dist/metrics.cc" "src/dist/CMakeFiles/skalla_dist.dir/metrics.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/metrics.cc.o.d"
   "/root/repo/src/dist/plan.cc" "src/dist/CMakeFiles/skalla_dist.dir/plan.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/plan.cc.o.d"
   "/root/repo/src/dist/site.cc" "src/dist/CMakeFiles/skalla_dist.dir/site.cc.o" "gcc" "src/dist/CMakeFiles/skalla_dist.dir/site.cc.o.d"

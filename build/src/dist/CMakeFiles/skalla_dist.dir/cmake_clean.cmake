@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/skalla_dist.dir/coordinator.cc.o"
   "CMakeFiles/skalla_dist.dir/coordinator.cc.o.d"
+  "CMakeFiles/skalla_dist.dir/fault_tolerance.cc.o"
+  "CMakeFiles/skalla_dist.dir/fault_tolerance.cc.o.d"
   "CMakeFiles/skalla_dist.dir/metrics.cc.o"
   "CMakeFiles/skalla_dist.dir/metrics.cc.o.d"
   "CMakeFiles/skalla_dist.dir/plan.cc.o"

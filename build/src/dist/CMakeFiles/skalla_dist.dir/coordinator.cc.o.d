@@ -1,6 +1,7 @@
 src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /root/repo/src/dist/coordinator.cc /usr/include/stdc-predef.h \
- /root/repo/src/dist/coordinator.h /usr/include/c++/12/memory \
+ /root/repo/src/dist/coordinator.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
@@ -37,9 +38,19 @@ src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
  /usr/include/c++/12/bits/memoryfwd.h \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -51,11 +62,7 @@ src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/invoke.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
@@ -115,8 +122,6 @@ src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -163,7 +168,6 @@ src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -211,39 +215,26 @@ src/dist/CMakeFiles/skalla_dist.dir/coordinator.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/dist/plan.h /root/repo/src/gmdj/gmdj.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/agg/aggregate.h \
- /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/agg/aggregate.h /root/repo/src/storage/schema.h \
+ /root/repo/src/storage/value.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/engine/operators.h /root/repo/src/expr/expr.h \
  /root/repo/src/storage/table.h /root/repo/src/storage/row.h \
  /root/repo/src/common/hash_util.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/cstddef /root/repo/src/net/fault_injector.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/common/stopwatch.h /usr/include/c++/12/chrono \
- /root/repo/src/expr/evaluator.h /root/repo/src/storage/hash_index.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /root/repo/src/dist/fault_tolerance.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/storage/serializer.h
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/dist/sync.h /root/repo/src/expr/evaluator.h \
+ /root/repo/src/storage/hash_index.h /root/repo/src/storage/serializer.h

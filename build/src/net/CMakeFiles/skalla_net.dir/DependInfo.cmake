@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault_injector.cc" "src/net/CMakeFiles/skalla_net.dir/fault_injector.cc.o" "gcc" "src/net/CMakeFiles/skalla_net.dir/fault_injector.cc.o.d"
   "/root/repo/src/net/sim_network.cc" "src/net/CMakeFiles/skalla_net.dir/sim_network.cc.o" "gcc" "src/net/CMakeFiles/skalla_net.dir/sim_network.cc.o.d"
   )
 

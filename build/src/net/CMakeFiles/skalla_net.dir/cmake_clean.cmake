@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/skalla_net.dir/fault_injector.cc.o"
+  "CMakeFiles/skalla_net.dir/fault_injector.cc.o.d"
   "CMakeFiles/skalla_net.dir/sim_network.cc.o"
   "CMakeFiles/skalla_net.dir/sim_network.cc.o.d"
   "libskalla_net.a"

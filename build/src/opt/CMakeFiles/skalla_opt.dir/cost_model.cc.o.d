@@ -250,4 +250,5 @@ src/opt/CMakeFiles/skalla_opt.dir/cost_model.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/string_util.h \
  /root/repo/src/dist/tree_coordinator.h /root/repo/src/dist/metrics.h \
- /root/repo/src/dist/site.h /root/repo/src/storage/catalog.h
+ /root/repo/src/dist/site.h /root/repo/src/storage/catalog.h \
+ /root/repo/src/net/sim_network.h /root/repo/src/net/fault_injector.h

@@ -225,13 +225,13 @@ src/skalla/CMakeFiles/skalla.dir/persistence.cc.o: \
  /root/repo/src/common/hash_util.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /usr/include/c++/12/cstddef /root/repo/src/dist/tree_coordinator.h \
- /root/repo/src/opt/cost_model.h /root/repo/src/opt/optimizer.h \
- /root/repo/src/tpc/partitioner.h /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/locale \
+ /usr/include/c++/12/cstddef /root/repo/src/net/fault_injector.h \
+ /root/repo/src/dist/tree_coordinator.h /root/repo/src/opt/cost_model.h \
+ /root/repo/src/opt/optimizer.h /root/repo/src/tpc/partitioner.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

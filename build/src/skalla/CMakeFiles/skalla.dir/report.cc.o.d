@@ -226,8 +226,9 @@ src/skalla/CMakeFiles/skalla.dir/report.cc.o: \
  /root/repo/src/common/hash_util.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /usr/include/c++/12/cstddef /root/repo/src/dist/tree_coordinator.h \
- /root/repo/src/opt/cost_model.h /root/repo/src/opt/optimizer.h \
- /root/repo/src/tpc/partitioner.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/cstddef /root/repo/src/net/fault_injector.h \
+ /root/repo/src/dist/tree_coordinator.h /root/repo/src/opt/cost_model.h \
+ /root/repo/src/opt/optimizer.h /root/repo/src/tpc/partitioner.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/string_util.h

@@ -224,10 +224,11 @@ src/skalla/CMakeFiles/skalla.dir/warehouse.cc.o: \
  /root/repo/src/common/hash_util.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /usr/include/c++/12/cstddef /root/repo/src/dist/tree_coordinator.h \
- /root/repo/src/opt/cost_model.h /root/repo/src/opt/optimizer.h \
- /root/repo/src/tpc/partitioner.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/net/fault_injector.h \
+ /root/repo/src/dist/tree_coordinator.h /root/repo/src/opt/cost_model.h \
+ /root/repo/src/opt/optimizer.h /root/repo/src/tpc/partitioner.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

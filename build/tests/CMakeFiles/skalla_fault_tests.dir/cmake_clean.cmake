@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_fault_tests.dir/fault_injection_test.cc.o"
+  "CMakeFiles/skalla_fault_tests.dir/fault_injection_test.cc.o.d"
+  "CMakeFiles/skalla_fault_tests.dir/test_util.cc.o"
+  "CMakeFiles/skalla_fault_tests.dir/test_util.cc.o.d"
+  "skalla_fault_tests"
+  "skalla_fault_tests.pdb"
+  "skalla_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -308,6 +308,7 @@ tests/CMakeFiles/skalla_tests.dir/multi_relation_test.cc.o: \
  /root/repo/src/dist/plan.h /root/repo/src/dist/site.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/partition_info.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
+ /root/repo/src/net/fault_injector.h \
  /root/repo/src/dist/tree_coordinator.h /root/repo/src/opt/cost_model.h \
  /root/repo/src/opt/optimizer.h /root/repo/src/tpc/partitioner.h \
  /root/repo/tests/test_util.h /root/repo/src/tpc/dbgen.h

@@ -298,9 +298,10 @@ tests/CMakeFiles/skalla_tests.dir/net_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/net/sim_network.h /root/repo/src/net/cost_model.h \
- /root/repo/tests/test_util.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/gmdj/gmdj.h \
- /root/repo/src/agg/aggregate.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/value.h /root/repo/src/engine/operators.h \
- /root/repo/src/expr/expr.h /root/repo/src/storage/table.h \
- /root/repo/src/storage/row.h /root/repo/src/common/hash_util.h
+ /root/repo/src/net/fault_injector.h /root/repo/tests/test_util.h \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/gmdj/gmdj.h /root/repo/src/agg/aggregate.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
+ /root/repo/src/engine/operators.h /root/repo/src/expr/expr.h \
+ /root/repo/src/storage/table.h /root/repo/src/storage/row.h \
+ /root/repo/src/common/hash_util.h

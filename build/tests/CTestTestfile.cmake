@@ -5,3 +5,4 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/skalla_tests[1]_include.cmake")
+include("/root/repo/build/tests/skalla_fault_tests[1]_include.cmake")

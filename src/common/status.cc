@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kNotImplemented:
       return "not implemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

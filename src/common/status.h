@@ -22,6 +22,8 @@ enum class StatusCode {
   kIoError,           ///< File or (simulated) network transfer failed.
   kInternal,          ///< Invariant violation inside Skalla itself.
   kNotImplemented,    ///< Feature intentionally unsupported.
+  kUnavailable,       ///< A site stayed unreachable after retries/failover.
+  kDeadlineExceeded,  ///< A round's work exceeded its deadline after retries.
 };
 
 /// \brief Returns the canonical lower-case name of a status code.
@@ -64,6 +66,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,10 +1,11 @@
 #include "dist/coordinator.h"
 
-#include <future>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "dist/fault_tolerance.h"
+#include "dist/sync.h"
 #include "engine/operators.h"
 #include "expr/evaluator.h"
 #include "storage/hash_index.h"
@@ -13,15 +14,6 @@
 namespace skalla {
 
 namespace {
-
-/// Sub-aggregate layout of one round's H relation: after the K key columns,
-/// each aggregate occupies `arity` consecutive columns starting at `offset`.
-struct SubSlot {
-  AggFunc func;
-  int offset;  // within the sub-column region
-  int arity;
-  Field final_field;
-};
 
 std::vector<int> AllSiteIds(const std::vector<Site*>& sites) {
   std::vector<int> ids(sites.size());
@@ -65,6 +57,10 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   }
   network_.Reset();
   ExecutionMetrics local_metrics;
+  // Which physical site serves each slot; failover swaps are sticky for
+  // the rest of the query.
+  SiteRoster roster(sites_, replicas_);
+  const RetryPolicy& retry = network_.config().retry;
 
   SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas, CollectSchemas(plan));
   const GmdjExpr expr = plan.ToExpr();
@@ -90,21 +86,19 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
     const std::vector<int> base_sites =
         plan.base_sites.empty() ? AllSiteIds(sites_) : plan.base_sites;
     rm.sites = static_cast<int>(base_sites.size());
+    const std::vector<DownMessage> down(
+        base_sites.size(),
+        DownMessage{kCoordinatorId, kQueryPlanBytes, 0, "base query plan"});
+    const std::vector<int> reply_to(base_sites.size(), kCoordinatorId);
+    auto eval = [&plan](int /*p*/, Site* site, double* cpu) {
+      return site->EvalBase(plan.base, cpu);
+    };
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<std::string> replies,
+        DriveRoundWithRetries(&network_, retry, &rm, &roster, base_sites,
+                              down, reply_to, "B_i", eval, parallel_sites_));
     double coord_cpu = 0;
-    for (int sid : base_sites) {
-      Site* site = sites_[static_cast<size_t>(sid)];
-      rm.comm_sec += network_.Transfer(kCoordinatorId, sid, kQueryPlanBytes,
-                                       0, "base query plan");
-      rm.bytes_to_sites += kQueryPlanBytes;
-      double cpu = 0;
-      SKALLA_ASSIGN_OR_RETURN(Table b_i, site->EvalBase(plan.base, &cpu));
-      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpu);
-      rm.site_cpu_sum_sec += cpu;
-      const std::string payload = Serializer::SerializeTable(b_i);
-      rm.comm_sec += network_.Transfer(sid, kCoordinatorId, payload.size(),
-                                       b_i.num_rows(), "B_i");
-      rm.bytes_to_coord += payload.size();
-      rm.groups_to_coord += b_i.num_rows();
+    for (const std::string& payload : replies) {
       Stopwatch sw;
       SKALLA_ASSIGN_OR_RETURN(Table received,
                               Serializer::DeserializeTable(payload));
@@ -138,18 +132,9 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
     const bool fused_base_round = plan.fuse_base && r == 0;
 
     // Sub-aggregate layout of this round's H relations.
-    std::vector<SubSlot> slots;
     int sub_width = 0;
-    for (const GmdjOp& op : round.ops) {
-      const SchemaPtr& detail = schemas.at(op.detail_table);
-      for (const AggSpec& spec : op.AllAggs()) {
-        SKALLA_ASSIGN_OR_RETURN(Field final_field,
-                                FinalFieldFor(spec, *detail));
-        slots.push_back(
-            SubSlot{spec.func, sub_width, SubArity(spec.func), final_field});
-        sub_width += SubArity(spec.func);
-      }
-    }
+    SKALLA_ASSIGN_OR_RETURN(std::vector<SubSlot> slots,
+                            BuildSubSlots(round.ops, schemas, &sub_width));
 
     // Per-X-row sub-aggregate accumulators, initialized to the identities.
     std::vector<std::vector<Value>> acc(static_cast<size_t>(x.num_rows()));
@@ -178,15 +163,17 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
 
     double coord_cpu = 0;
 
-    // ---- Phase A (coordinator): reduce, prune, serialize, and "ship"
-    //      each site's view of X. ----
+    // ---- Phase A (coordinator): reduce, prune, and serialize each site's
+    //      view of X. Shipping — and any re-shipping under faults — is the
+    //      retry driver's job; a retried attempt re-sends the identical
+    //      fragment, which is what makes rounds idempotent. ----
     std::vector<Table> site_views(participants.size());
+    std::vector<DownMessage> down(participants.size());
     for (size_t p = 0; p < participants.size(); ++p) {
       const int sid = participants[p];
       if (fused_base_round) {
-        rm.comm_sec += network_.Transfer(kCoordinatorId, sid, kQueryPlanBytes,
-                                         0, "fused plan");
-        rm.bytes_to_sites += kQueryPlanBytes;
+        down[p] = DownMessage{kCoordinatorId, kQueryPlanBytes, 0,
+                              "fused plan"};
         continue;
       }
       // Coordinator-side group reduction (row filtering per Theorem 4)
@@ -211,59 +198,37 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
       const int64_t shipped_rows = to_ship->num_rows();
       const std::string payload = Serializer::SerializeTable(*to_ship);
       coord_cpu += filter_sw.ElapsedSeconds();
-      rm.comm_sec += network_.Transfer(kCoordinatorId, sid, payload.size(),
-                                       shipped_rows, "X fragment");
-      rm.bytes_to_sites += payload.size();
-      rm.groups_to_sites += shipped_rows;
+      down[p] = DownMessage{kCoordinatorId, payload.size(), shipped_rows,
+                            "X fragment"};
       SKALLA_ASSIGN_OR_RETURN(site_views[p],
                               Serializer::DeserializeTable(payload));
     }
 
-    // ---- Phase B (sites, in parallel when enabled): local evaluation. ----
-    struct SiteOutcome {
-      Result<Table> h = Status::Internal("not evaluated");
-      double cpu = 0;
-    };
-    std::vector<SiteOutcome> outcomes(participants.size());
-    auto eval_one = [&](size_t p) {
-      const int sid = participants[p];
+    // ---- Phase B: fault-tolerant per-site exchange (ship, evaluate in
+    //      parallel when enabled, reply), retried per RetryPolicy. ----
+    const std::vector<int> reply_to(participants.size(), kCoordinatorId);
+    auto eval = [&](int p, Site* site, double* cpu) {
       SiteRoundInput input;
-      input.x = fused_base_round ? nullptr : &site_views[p];
+      input.x = fused_base_round ? nullptr
+                                 : &site_views[static_cast<size_t>(p)];
       input.base = fused_base_round ? &plan.base : nullptr;
       input.ops = &round.ops;
       input.key_attrs = &plan.key_attrs;
       input.touched_only = round.flags.independent_group_reduction;
-      outcomes[p].h = sites_[static_cast<size_t>(sid)]->EvalRound(
-          input, &outcomes[p].cpu);
+      return site->EvalRound(input, cpu);
     };
-    if (parallel_sites_ && participants.size() > 1) {
-      std::vector<std::future<void>> futures;
-      futures.reserve(participants.size());
-      for (size_t p = 0; p < participants.size(); ++p) {
-        futures.push_back(
-            std::async(std::launch::async, eval_one, p));
-      }
-      for (std::future<void>& f : futures) f.get();
-    } else {
-      for (size_t p = 0; p < participants.size(); ++p) eval_one(p);
-    }
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<std::string> replies,
+        DriveRoundWithRetries(&network_, retry, &rm, &roster, participants,
+                              down, reply_to, "H_i", eval, parallel_sites_));
 
-    // ---- Phase C (coordinator): receive and synchronize (Theorem 1),
-    //      in deterministic site order. ----
+    // ---- Phase C (coordinator): synchronize (Theorem 1) in
+    //      deterministic site order. ----
     for (size_t p = 0; p < participants.size(); ++p) {
       const int sid = participants[p];
-      SKALLA_ASSIGN_OR_RETURN(Table h_i, std::move(outcomes[p].h));
-      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, outcomes[p].cpu);
-      rm.site_cpu_sum_sec += outcomes[p].cpu;
-
-      const std::string payload = Serializer::SerializeTable(h_i);
-      rm.comm_sec += network_.Transfer(sid, kCoordinatorId, payload.size(),
-                                       h_i.num_rows(), "H_i");
-      rm.bytes_to_coord += payload.size();
-      rm.groups_to_coord += h_i.num_rows();
-
       Stopwatch merge_sw;
-      SKALLA_ASSIGN_OR_RETURN(Table h, Serializer::DeserializeTable(payload));
+      SKALLA_ASSIGN_OR_RETURN(Table h,
+                              Serializer::DeserializeTable(replies[p]));
       for (const Row& h_row : h.rows()) {
         const std::vector<int64_t>* match = x_index.Lookup(h_row, key_cols);
         int64_t row_id;

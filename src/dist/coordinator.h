@@ -1,6 +1,7 @@
 #ifndef SKALLA_DIST_COORDINATOR_H_
 #define SKALLA_DIST_COORDINATOR_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,17 @@ class Coordinator {
   SimNetwork& network() { return network_; }
   const std::vector<Site*>& sites() const { return sites_; }
 
+  /// Registers `replica` as the failover target for primary slot
+  /// `site_id`. When the primary exhausts its retry budget during a query,
+  /// the slot fails over (at most once) to the replica — provided the
+  /// replica's partition predicate covers the primary's (see
+  /// CoversPartition); otherwise the query returns kUnavailable. The
+  /// replica is borrowed and must outlive the coordinator.
+  void AddReplica(int site_id, Site* replica) {
+    replicas_[site_id] = replica;
+  }
+  const std::map<int, Site*>& replicas() const { return replicas_; }
+
   /// Evaluates the sites of each round on real threads (one per site)
   /// instead of sequentially. Results are identical — synchronization
   /// happens in deterministic site order either way — only the wall-clock
@@ -54,6 +66,7 @@ class Coordinator {
 
  private:
   std::vector<Site*> sites_;
+  std::map<int, Site*> replicas_;
   SimNetwork network_;
   bool parallel_sites_ = false;
 };

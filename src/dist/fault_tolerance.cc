@@ -1,0 +1,199 @@
+#include "dist/fault_tolerance.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/string_util.h"
+#include "storage/partition_info.h"
+#include "storage/serializer.h"
+
+namespace skalla {
+
+Site* SiteRoster::Failover(int sid, std::string* why) {
+  if (failed_over_[static_cast<size_t>(sid)]) {
+    *why = "its replica is already serving the slot";
+    return nullptr;
+  }
+  auto it = replicas_.find(sid);
+  if (it == replicas_.end()) {
+    *why = "no replica is registered";
+    return nullptr;
+  }
+  Site* primary = active_[static_cast<size_t>(sid)];
+  if (!CoversPartition(it->second->partition_info(),
+                       primary->partition_info())) {
+    *why = "the replica's partition predicate does not cover the primary's";
+    return nullptr;
+  }
+  active_[static_cast<size_t>(sid)] = it->second;
+  failed_over_[static_cast<size_t>(sid)] = true;
+  return it->second;
+}
+
+namespace {
+
+enum class FailureKind { kNone, kUnreachable, kTimeout };
+
+}  // namespace
+
+Result<std::vector<std::string>> DriveRoundWithRetries(
+    SimNetwork* net, const RetryPolicy& retry, RoundMetrics* rm,
+    SiteRoster* roster, const std::vector<int>& participants,
+    const std::vector<DownMessage>& down, const std::vector<int>& reply_to,
+    const std::string& reply_label, const SiteEvalFn& eval, bool parallel,
+    LinkModel link_model) {
+  const size_t n = participants.size();
+  const int attempts_per_budget = std::max(1, retry.max_attempts);
+  std::vector<std::string> replies(n);
+  std::vector<int> budget(n, attempts_per_budget);
+  std::vector<FailureKind> last_failure(n, FailureKind::kNone);
+  std::vector<bool> done(n, false);
+  std::vector<size_t> pending(n);
+  for (size_t p = 0; p < n; ++p) pending[p] = p;
+  int attempt = 0;
+
+  while (!pending.empty()) {
+    // Per-slot link-time charge of this wave; folded into comm_sec at the
+    // end of the wave according to the link model.
+    std::vector<double> charge(n, 0.0);
+
+    // ---- Downstream wave (deterministic slot order). ----
+    std::vector<size_t> eligible;
+    std::vector<double> down_sec(n, 0.0);
+    for (size_t p : pending) {
+      const int sid = participants[p];
+      Site* site = roster->active(sid);
+      if (attempt > 0) {
+        rm->retries++;
+        charge[p] += retry.BackoffSeconds(attempt);
+      }
+      const DownMessage& msg = down[p];
+      const TransferOutcome out =
+          net->Transfer(msg.from, site->id(), msg.bytes, msg.rows, msg.label,
+                        attempt, TransferDirection::kToSite);
+      rm->bytes_to_sites += msg.bytes;
+      rm->groups_to_sites += msg.rows;
+      if (attempt > 0) {
+        rm->bytes_retransmitted += msg.bytes;
+        rm->groups_retry_to_sites += msg.rows;
+      }
+      if (!out.delivered) {
+        // Loss is detected at the attempt deadline (or, without deadlines,
+        // by an immediate negative acknowledgement).
+        rm->drops++;
+        last_failure[p] = FailureKind::kUnreachable;
+        charge[p] += retry.deadline_enabled() ? retry.DeadlineSeconds(attempt)
+                                              : out.seconds;
+        continue;
+      }
+      down_sec[p] = out.seconds;
+      eligible.push_back(p);
+    }
+
+    // ---- Local evaluation (parallel across sites when enabled). ----
+    std::vector<Result<Table>> outcomes(
+        n, Result<Table>(Status::Internal("not evaluated")));
+    std::vector<double> cpus(n, 0.0);
+    auto eval_one = [&](size_t p) {
+      outcomes[p] =
+          eval(static_cast<int>(p), roster->active(participants[p]), &cpus[p]);
+    };
+    if (parallel && eligible.size() > 1) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(eligible.size());
+      for (size_t p : eligible) {
+        futures.push_back(std::async(std::launch::async, eval_one, p));
+      }
+      for (std::future<void>& f : futures) f.get();
+    } else {
+      for (size_t p : eligible) eval_one(p);
+    }
+
+    // ---- Upstream wave + deadline check (deterministic slot order). ----
+    for (size_t p : eligible) {
+      const int sid = participants[p];
+      Site* site = roster->active(sid);
+      // Non-fault evaluation errors are logic bugs, not outages: propagate.
+      SKALLA_ASSIGN_OR_RETURN(Table reply_table, std::move(outcomes[p]));
+      std::string payload = Serializer::SerializeTable(reply_table);
+      const TransferOutcome out = net->Transfer(
+          site->id(), reply_to[p], payload.size(), reply_table.num_rows(),
+          reply_label, attempt, TransferDirection::kToCoordinator);
+      rm->bytes_to_coord += payload.size();
+      rm->groups_to_coord += reply_table.num_rows();
+      if (attempt > 0) {
+        rm->bytes_retransmitted += payload.size();
+        rm->groups_retry_to_coord += reply_table.num_rows();
+      }
+      const double deadline = retry.DeadlineSeconds(attempt);
+      if (!out.delivered) {
+        rm->drops++;
+        rm->site_cpu_sum_sec += cpus[p];  // the site did do the work
+        last_failure[p] = FailureKind::kUnreachable;
+        // The coordinator waited through the whole exchange before giving
+        // up on the reply.
+        charge[p] += retry.deadline_enabled() ? deadline
+                                              : down_sec[p] + out.seconds;
+        continue;
+      }
+      const double attempt_sec = down_sec[p] + cpus[p] + out.seconds;
+      if (retry.deadline_enabled() && attempt_sec > deadline) {
+        rm->timeouts++;
+        rm->site_cpu_sum_sec += cpus[p];
+        last_failure[p] = FailureKind::kTimeout;
+        charge[p] += deadline;
+        continue;
+      }
+      charge[p] += down_sec[p] + out.seconds;
+      rm->site_cpu_max_sec = std::max(rm->site_cpu_max_sec, cpus[p]);
+      rm->site_cpu_sum_sec += cpus[p];
+      replies[p] = std::move(payload);
+      done[p] = true;
+    }
+
+    // ---- Fold this wave's link time into the round. ----
+    if (link_model == LinkModel::kSharedLink) {
+      for (size_t p : pending) rm->comm_sec += charge[p];
+    } else {
+      std::map<int, double> per_parent;
+      for (size_t p : pending) per_parent[down[p].from] += charge[p];
+      double wave_comm = 0.0;
+      for (const auto& [parent, sum] : per_parent) {
+        (void)parent;
+        wave_comm = std::max(wave_comm, sum);
+      }
+      rm->comm_sec += wave_comm;
+    }
+
+    // ---- Cull finished slots; exhausted slots fail over or abort. ----
+    std::vector<size_t> next_pending;
+    for (size_t p : pending) {
+      if (done[p]) continue;
+      const int sid = participants[p];
+      if (attempt + 1 >= budget[p]) {
+        std::string why;
+        Site* replica = roster->Failover(sid, &why);
+        if (replica == nullptr) {
+          const int attempts_used = attempt + 1;
+          if (last_failure[p] == FailureKind::kTimeout) {
+            return Status::DeadlineExceeded(StrFormat(
+                "site %d missed the deadline in round '%s' after %d "
+                "attempt(s); %s",
+                sid, rm->label.c_str(), attempts_used, why.c_str()));
+          }
+          return Status::Unavailable(StrFormat(
+              "site %d unreachable in round '%s' after %d attempt(s); %s",
+              sid, rm->label.c_str(), attempts_used, why.c_str()));
+        }
+        rm->failovers++;
+        budget[p] += attempts_per_budget;
+      }
+      next_pending.push_back(p);
+    }
+    pending = std::move(next_pending);
+    ++attempt;
+  }
+  return replies;
+}
+
+}  // namespace skalla

@@ -1,0 +1,98 @@
+#ifndef SKALLA_DIST_FAULT_TOLERANCE_H_
+#define SKALLA_DIST_FAULT_TOLERANCE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/metrics.h"
+#include "dist/site.h"
+#include "net/sim_network.h"
+
+namespace skalla {
+
+/// \brief Per-query view of which physical site serves each site slot.
+///
+/// Slot `sid` starts out served by the primary site; when the primary is
+/// declared dead (its retry budget is exhausted) the coordinator may fail
+/// the slot over to a registered replica — validated against φ coverage
+/// (CoversPartition) so a replica that could silently lose groups is
+/// refused. A slot fails over at most once; the swap is sticky for the
+/// rest of the query.
+class SiteRoster {
+ public:
+  SiteRoster(const std::vector<Site*>& primaries,
+             const std::map<int, Site*>& replicas)
+      : active_(primaries),
+        replicas_(replicas),
+        failed_over_(primaries.size(), false) {}
+
+  Site* active(int sid) const { return active_[static_cast<size_t>(sid)]; }
+  bool failed_over(int sid) const {
+    return failed_over_[static_cast<size_t>(sid)];
+  }
+
+  /// Swaps slot `sid` to its replica when one is registered, unused, and
+  /// φ-covering; returns the replica or null (with an explanation in *why).
+  Site* Failover(int sid, std::string* why);
+
+ private:
+  std::vector<Site*> active_;
+  std::map<int, Site*> replicas_;
+  std::vector<bool> failed_over_;
+};
+
+/// The constant downstream half of one slot's per-round exchange.
+struct DownMessage {
+  int from = kCoordinatorId;  ///< sender endpoint (coordinator/aggregator)
+  size_t bytes = 0;
+  int64_t rows = 0;
+  std::string label;
+};
+
+/// Local evaluation callback: slot index, the site serving it (primary or
+/// replica), and an out-parameter for the site's CPU seconds.
+using SiteEvalFn =
+    std::function<Result<Table>(int p, Site* site, double* cpu_sec)>;
+
+/// How per-slot communication time composes into round time.
+enum class LinkModel {
+  /// Every exchange serializes on the coordinator's shared access link
+  /// (the flat coordinator): a wave costs the sum over slots.
+  kSharedLink,
+  /// Slots talking to the same parent endpoint share that parent's link;
+  /// distinct parents transfer in parallel (aggregation tree): a wave
+  /// costs the max over parents of the per-parent sum.
+  kPerParentLinks,
+};
+
+/// \brief Drives one round's per-site exchanges under faults.
+///
+/// For each participant slot, repeatedly performs the full idempotent
+/// exchange — downstream transfer, local evaluation, upstream reply — until
+/// it succeeds, retrying with exponential backoff on message loss, site
+/// outage, or deadline overrun, and failing over to a replica when the
+/// retry budget is exhausted. Returns the serialized successful reply per
+/// slot. Unrecoverable slots produce a typed kUnavailable or
+/// kDeadlineExceeded status — never a partial answer.
+///
+/// All transfers happen on the calling thread in deterministic slot order
+/// (wave by wave); only local evaluation is parallelized when `parallel`
+/// is set, so the network transfer/event logs are identical either way.
+///
+/// `reply_to[p]` is the endpoint the reply travels to (the coordinator, or
+/// an aggregation-tree parent). Retry, timeout, drop, failover, and
+/// retransmission counters are accumulated into `rm`; retransmitted bytes
+/// and groups are also counted as real traffic in the round totals.
+Result<std::vector<std::string>> DriveRoundWithRetries(
+    SimNetwork* net, const RetryPolicy& retry, RoundMetrics* rm,
+    SiteRoster* roster, const std::vector<int>& participants,
+    const std::vector<DownMessage>& down, const std::vector<int>& reply_to,
+    const std::string& reply_label, const SiteEvalFn& eval, bool parallel,
+    LinkModel link_model = LinkModel::kSharedLink);
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_FAULT_TOLERANCE_H_

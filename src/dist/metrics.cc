@@ -34,6 +34,48 @@ int64_t ExecutionMetrics::GroupsToCoord() const {
   return total;
 }
 
+int ExecutionMetrics::Retries() const {
+  int total = 0;
+  for (const RoundMetrics& r : rounds) total += r.retries;
+  return total;
+}
+
+int ExecutionMetrics::Timeouts() const {
+  int total = 0;
+  for (const RoundMetrics& r : rounds) total += r.timeouts;
+  return total;
+}
+
+int ExecutionMetrics::Drops() const {
+  int total = 0;
+  for (const RoundMetrics& r : rounds) total += r.drops;
+  return total;
+}
+
+int ExecutionMetrics::Failovers() const {
+  int total = 0;
+  for (const RoundMetrics& r : rounds) total += r.failovers;
+  return total;
+}
+
+size_t ExecutionMetrics::BytesRetransmitted() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_retransmitted;
+  return total;
+}
+
+int64_t ExecutionMetrics::RetryGroupsToSites() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_retry_to_sites;
+  return total;
+}
+
+int64_t ExecutionMetrics::RetryGroupsToCoord() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_retry_to_coord;
+  return total;
+}
+
 double ExecutionMetrics::SiteCpuSeconds() const {
   double total = 0;
   for (const RoundMetrics& r : rounds) total += r.site_cpu_max_sec;
@@ -69,6 +111,13 @@ std::string ExecutionMetrics::ToString() const {
                   HumanBytes(static_cast<double>(BytesToCoord())).c_str(),
                   static_cast<long long>(GroupsToSites()),
                   static_cast<long long>(GroupsToCoord()));
+  if (Retries() > 0 || Timeouts() > 0 || Drops() > 0 || Failovers() > 0) {
+    os << StrFormat(
+        "faults survived: %d retry(ies), %d timeout(s), %d drop(s), "
+        "%d failover(s), %s retransmitted\n",
+        Retries(), Timeouts(), Drops(), Failovers(),
+        HumanBytes(static_cast<double>(BytesRetransmitted())).c_str());
+  }
   for (const RoundMetrics& r : rounds) {
     os << StrFormat(
         "  %-28s sites=%d  out=%s in=%s  site_cpu(max)=%.4fs "

@@ -24,6 +24,20 @@ struct RoundMetrics {
   /// overlaps receiving, so the round pays max(coord, comm), not the sum.
   bool streaming = false;
 
+  // ---- Fault-tolerance accounting (docs/fault-model.md). ----
+  int retries = 0;    ///< re-driven per-site attempts beyond the first
+  int timeouts = 0;   ///< attempts abandoned at their deadline
+  int drops = 0;      ///< messages the network lost this round
+  int failovers = 0;  ///< sites replaced by their replica this round
+  /// Bytes of retransmissions (counted in bytes_to_* as real traffic too).
+  size_t bytes_retransmitted = 0;
+  /// Groups shipped beyond the first transmission per site and direction —
+  /// the retry surcharge over the fault-free logical traffic. Theorem-2
+  /// bound checks compare (groups_to_* - groups_retry_to_*) against the
+  /// fault-free bound.
+  int64_t groups_retry_to_sites = 0;
+  int64_t groups_retry_to_coord = 0;
+
   double ResponseSeconds() const {
     return site_cpu_max_sec + (streaming
                                    ? std::max(coord_cpu_sec, comm_sec)
@@ -47,6 +61,13 @@ struct ExecutionMetrics {
   size_t BytesToCoord() const;
   int64_t GroupsToSites() const;
   int64_t GroupsToCoord() const;
+  int Retries() const;
+  int Timeouts() const;
+  int Drops() const;
+  int Failovers() const;
+  size_t BytesRetransmitted() const;
+  int64_t RetryGroupsToSites() const;
+  int64_t RetryGroupsToCoord() const;
   double SiteCpuSeconds() const;       ///< Σ per-round max (parallel model)
   double CoordCpuSeconds() const;
   double CommSeconds() const;

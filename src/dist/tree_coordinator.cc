@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <functional>
-#include <future>
 #include <numeric>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "dist/coordinator.h"
+#include "dist/fault_tolerance.h"
 #include "dist/sync.h"
 #include "engine/operators.h"
 #include "expr/evaluator.h"
@@ -83,16 +83,7 @@ TreeCoordinator::TreeCoordinator(std::vector<Site*> sites, int fan_in,
     : sites_(std::move(sites)),
       topology_(TreeTopology::Build(
           std::max<int>(1, static_cast<int>(sites_.size())), fan_in)),
-      config_(config) {}
-
-namespace {
-
-/// Result of propagating relations up one subtree level: per-node table.
-struct LevelState {
-  std::vector<Table> tables;  // indexed by node id (sparse; empty elsewhere)
-};
-
-}  // namespace
+      network_(config) {}
 
 Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
                                        ExecutionMetrics* metrics) {
@@ -109,10 +100,13 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
           "tree coordinator requires full site participation");
     }
   }
+  network_.Reset();
   ExecutionMetrics local_metrics;
+  SiteRoster roster(sites_, replicas_);
+  const RetryPolicy& retry = network_.config().retry;
 
   // Schema map via a throwaway flat coordinator helper.
-  Coordinator schema_helper(sites_, config_);
+  Coordinator schema_helper(sites_, network_.config());
   SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas,
                           schema_helper.CollectSchemas(plan));
   const GmdjExpr expr = plan.ToExpr();
@@ -126,12 +120,74 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
                           BaseResultSchema(expr, schemas, 0));
   Table x(x_schema);
 
+  // The tree endpoint each leaf exchanges with: its parent aggregator, or
+  // the coordinator itself in a single-node tree.
+  std::vector<int> participants(sites_.size());
+  std::iota(participants.begin(), participants.end(), 0);
+  std::vector<int> leaf_parent(sites_.size(), kCoordinatorId);
+  for (const TreeTopology::Node& node : topology_.nodes) {
+    if (node.site_index >= 0 && node.parent >= 0) {
+      leaf_parent[static_cast<size_t>(node.site_index)] =
+          EncodeAggregatorId(node.parent);
+    }
+  }
+
+  // Charges one message of `bytes` down every aggregator-internal edge
+  // (sender level >= 2); leaf edges are driven fault-aware by the wave
+  // driver instead. Sibling subtrees transfer in parallel, so a level
+  // costs the max over senders of their serialized outbound volume.
+  auto broadcast_internal = [&](size_t bytes, int64_t rows,
+                                const std::string& label, RoundMetrics* rm) {
+    for (int level = topology_.num_levels - 1; level >= 2; --level) {
+      double level_comm = 0;
+      for (int node_id : topology_.NodesAtLevel(level)) {
+        const TreeTopology::Node& node =
+            topology_.nodes[static_cast<size_t>(node_id)];
+        double outbound = 0;
+        for (int child : node.children) {
+          const TransferOutcome out = network_.Transfer(
+              EncodeAggregatorId(node_id), EncodeAggregatorId(child), bytes,
+              rows, label, 0, TransferDirection::kToSite);
+          rm->bytes_to_sites += bytes;
+          rm->groups_to_sites += rows;
+          outbound += out.seconds;
+        }
+        level_comm = std::max(level_comm, outbound);
+      }
+      rm->comm_sec += level_comm;
+    }
+  };
+
+  // Runs the fault-tolerant leaf exchange of one round: ships each leaf's
+  // down message from its parent, evaluates (in parallel when enabled),
+  // and collects the replies at the parents, retrying per RetryPolicy.
+  auto drive_leaves = [&](const std::vector<DownMessage>& down,
+                          const std::string& reply_label,
+                          const SiteEvalFn& eval,
+                          RoundMetrics* rm) -> Result<std::vector<Table>> {
+    std::vector<int> reply_to(sites_.size());
+    for (size_t s = 0; s < sites_.size(); ++s) reply_to[s] = leaf_parent[s];
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<std::string> replies,
+        DriveRoundWithRetries(&network_, retry, rm, &roster, participants,
+                              down, reply_to, reply_label, eval,
+                              parallel_sites_, LinkModel::kPerParentLinks));
+    std::vector<Table> tables(replies.size());
+    for (size_t s = 0; s < replies.size(); ++s) {
+      SKALLA_ASSIGN_OR_RETURN(tables[s],
+                              Serializer::DeserializeTable(replies[s]));
+    }
+    return tables;
+  };
+
   // Propagates per-leaf tables up the tree, combining at each internal
-  // node, and returns the root's table. Charges hop transfer times (per
-  // level: max over parents of the serialized inbound volume) and merge
-  // CPU into the round metrics.
+  // node, and returns the root's table. Leaf->parent hops were already
+  // transferred (and charged, possibly with retries) by the wave driver;
+  // internal hops are charged here (per level: max over parents of the
+  // serialized inbound volume) along with merge CPU.
   auto propagate_up =
       [&](std::vector<Table> leaf_tables, RoundMetrics* rm,
+          const std::string& label,
           const std::function<Result<Table>(
               const std::vector<const Table*>&)>& combine) -> Result<Table> {
     std::vector<Table> by_node(topology_.nodes.size());
@@ -150,10 +206,18 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
         double inbound = 0;
         std::vector<Table> received;
         for (int child : node.children) {
-          const Table& child_table = by_node[static_cast<size_t>(child)];
+          Table& child_table = by_node[static_cast<size_t>(child)];
+          if (topology_.nodes[static_cast<size_t>(child)].site_index >= 0) {
+            received.push_back(std::move(child_table));
+            continue;
+          }
           const std::string payload =
               Serializer::SerializeTable(child_table);
-          inbound += config_.TransferSeconds(payload.size());
+          const TransferOutcome out = network_.Transfer(
+              EncodeAggregatorId(child), EncodeAggregatorId(node_id),
+              payload.size(), child_table.num_rows(), label, 0,
+              TransferDirection::kToCoordinator);
+          inbound += out.seconds;
           rm->bytes_to_coord += payload.size();
           rm->groups_to_coord += child_table.num_rows();
           SKALLA_ASSIGN_OR_RETURN(Table decoded,
@@ -175,51 +239,28 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     return std::move(by_node[static_cast<size_t>(topology_.root)]);
   };
 
-  // Sends `table` from the root to every leaf, charging per-level hop
-  // costs (each node's outbound link serializes over its children).
-  auto broadcast_down = [&](const Table& table, RoundMetrics* rm) {
-    const std::string payload = Serializer::SerializeTable(table);
-    for (int level = topology_.num_levels - 1; level >= 1; --level) {
-      double level_comm = 0;
-      for (int node_id : topology_.NodesAtLevel(level)) {
-        const TreeTopology::Node& node =
-            topology_.nodes[static_cast<size_t>(node_id)];
-        double outbound = 0;
-        for (int child : node.children) {
-          (void)child;
-          outbound += config_.TransferSeconds(payload.size());
-          rm->bytes_to_sites += payload.size();
-          rm->groups_to_sites += table.num_rows();
-        }
-        level_comm = std::max(level_comm, outbound);
-      }
-      rm->comm_sec += level_comm;
-    }
-  };
-
   // ---- Base round. ----
   if (!plan.fuse_base) {
+    network_.BeginRound("base (tree)");
     RoundMetrics rm;
     rm.label = "base query (tree)";
-    rm.streaming = config_.streaming_sync;
+    rm.streaming = network_.config().streaming_sync;
     rm.sites = static_cast<int>(sites_.size());
-    // The plan itself travels down the tree (control message per edge).
-    for (const TreeTopology::Node& node : topology_.nodes) {
-      if (node.parent >= 0) {
-        rm.bytes_to_sites += kQueryPlanBytes;
-      }
-    }
-    std::vector<Table> leaf_results(sites_.size());
+    // The plan travels down the tree (one control message per edge).
+    broadcast_internal(kQueryPlanBytes, 0, "base query plan", &rm);
+    std::vector<DownMessage> down(sites_.size());
     for (size_t s = 0; s < sites_.size(); ++s) {
-      double cpu = 0;
-      SKALLA_ASSIGN_OR_RETURN(leaf_results[s],
-                              sites_[s]->EvalBase(plan.base, &cpu));
-      rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpu);
-      rm.site_cpu_sum_sec += cpu;
+      down[s] = DownMessage{leaf_parent[s], kQueryPlanBytes, 0,
+                            "base query plan"};
     }
+    auto eval = [&plan](int /*p*/, Site* site, double* cpu) {
+      return site->EvalBase(plan.base, cpu);
+    };
+    SKALLA_ASSIGN_OR_RETURN(std::vector<Table> leaf_results,
+                            drive_leaves(down, "B_i", eval, &rm));
     SKALLA_ASSIGN_OR_RETURN(
         Table merged,
-        propagate_up(std::move(leaf_results), &rm, DistinctUnion));
+        propagate_up(std::move(leaf_results), &rm, "B_i", DistinctUnion));
     Stopwatch apply_sw;
     x = Table(x_schema);
     for (const Row& row : merged.rows()) x.AddRow(row);
@@ -231,9 +272,10 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
   for (size_t r = 0; r < plan.rounds.size(); ++r) {
     const PlanRound& round = plan.rounds[r];
     const bool fused_base_round = plan.fuse_base && r == 0;
+    network_.BeginRound("gmdj round " + std::to_string(r + 1) + " (tree)");
     RoundMetrics rm;
     rm.label = "gmdj round " + std::to_string(r + 1) + " (tree)";
-    rm.streaming = config_.streaming_sync;
+    rm.streaming = network_.config().streaming_sync;
     rm.sites = static_cast<int>(sites_.size());
 
     int sub_width = 0;
@@ -244,55 +286,45 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     // references; the same narrowed relation travels every hop.
     Table shipped_x;
     const Table* x_for_leaves = &x;
+    std::vector<DownMessage> down(sites_.size());
     if (!fused_base_round) {
       if (!round.ship_cols.empty() &&
           static_cast<int>(round.ship_cols.size()) < x.schema().num_fields()) {
         SKALLA_ASSIGN_OR_RETURN(shipped_x, Project(x, round.ship_cols));
         x_for_leaves = &shipped_x;
       }
-      broadcast_down(*x_for_leaves, &rm);
+      const std::string payload = Serializer::SerializeTable(*x_for_leaves);
+      broadcast_internal(payload.size(), x_for_leaves->num_rows(),
+                         "X broadcast", &rm);
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        down[s] = DownMessage{leaf_parent[s], payload.size(),
+                              x_for_leaves->num_rows(), "X broadcast"};
+      }
     } else {
-      // The fused plan itself travels down the tree (one control message
-      // per edge), mirroring the flat coordinator's accounting.
-      for (const TreeTopology::Node& node : topology_.nodes) {
-        if (node.parent >= 0) rm.bytes_to_sites += kQueryPlanBytes;
+      // The fused plan itself travels down the tree, one control message
+      // per edge, mirroring the flat coordinator's accounting.
+      broadcast_internal(kQueryPlanBytes, 0, "fused plan", &rm);
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        down[s] = DownMessage{leaf_parent[s], kQueryPlanBytes, 0,
+                              "fused plan"};
       }
     }
 
-    std::vector<Table> leaf_results(sites_.size());
-    {
-      std::vector<Result<Table>> outcomes(
-          sites_.size(), Result<Table>(Status::Internal("not evaluated")));
-      std::vector<double> cpus(sites_.size(), 0.0);
-      auto eval_one = [&](size_t s) {
-        SiteRoundInput input;
-        input.x = fused_base_round ? nullptr : x_for_leaves;
-        input.base = fused_base_round ? &plan.base : nullptr;
-        input.ops = &round.ops;
-        input.key_attrs = &plan.key_attrs;
-        input.touched_only = round.flags.independent_group_reduction;
-        outcomes[s] = sites_[s]->EvalRound(input, &cpus[s]);
-      };
-      if (parallel_sites_ && sites_.size() > 1) {
-        std::vector<std::future<void>> futures;
-        futures.reserve(sites_.size());
-        for (size_t s = 0; s < sites_.size(); ++s) {
-          futures.push_back(std::async(std::launch::async, eval_one, s));
-        }
-        for (std::future<void>& f : futures) f.get();
-      } else {
-        for (size_t s = 0; s < sites_.size(); ++s) eval_one(s);
-      }
-      for (size_t s = 0; s < sites_.size(); ++s) {
-        SKALLA_ASSIGN_OR_RETURN(leaf_results[s], std::move(outcomes[s]));
-        rm.site_cpu_max_sec = std::max(rm.site_cpu_max_sec, cpus[s]);
-        rm.site_cpu_sum_sec += cpus[s];
-      }
-    }
+    auto eval = [&](int /*p*/, Site* site, double* cpu) {
+      SiteRoundInput input;
+      input.x = fused_base_round ? nullptr : x_for_leaves;
+      input.base = fused_base_round ? &plan.base : nullptr;
+      input.ops = &round.ops;
+      input.key_attrs = &plan.key_attrs;
+      input.touched_only = round.flags.independent_group_reduction;
+      return site->EvalRound(input, cpu);
+    };
+    SKALLA_ASSIGN_OR_RETURN(std::vector<Table> leaf_results,
+                            drive_leaves(down, "H_i", eval, &rm));
 
     SKALLA_ASSIGN_OR_RETURN(
         Table h, propagate_up(
-                     std::move(leaf_results), &rm,
+                     std::move(leaf_results), &rm, "H_i",
                      [&](const std::vector<const Table*>& inputs) {
                        return CombineSubResults(inputs, num_key, slots);
                      }));

@@ -1,6 +1,7 @@
 #ifndef SKALLA_DIST_TREE_COORDINATOR_H_
 #define SKALLA_DIST_TREE_COORDINATOR_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "dist/plan.h"
 #include "dist/site.h"
 #include "net/cost_model.h"
+#include "net/sim_network.h"
 
 namespace skalla {
 
@@ -63,14 +65,27 @@ class TreeCoordinator {
 
   const TreeTopology& topology() const { return topology_; }
 
+  /// The simulated network all tree traffic is recorded on. Leaf edges
+  /// (site endpoints) are subject to an attached FaultInjector and retried
+  /// per NetworkConfig::retry; aggregator-internal hops are assumed
+  /// reliable (they are encoded with EncodeAggregatorId endpoints).
+  SimNetwork& network() { return network_; }
+
+  /// Registers a failover replica for leaf site `site_id`; see
+  /// Coordinator::AddReplica.
+  void AddReplica(int site_id, Site* replica) {
+    replicas_[site_id] = replica;
+  }
+
   /// Evaluates the leaves of each round on real threads (identical results,
   /// faster simulation wall-clock); see Coordinator::set_parallel_sites.
   void set_parallel_sites(bool parallel) { parallel_sites_ = parallel; }
 
  private:
   std::vector<Site*> sites_;
+  std::map<int, Site*> replicas_;
   TreeTopology topology_;
-  NetworkConfig config_;
+  SimNetwork network_;
   bool parallel_sites_ = false;
 };
 

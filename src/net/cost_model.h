@@ -6,6 +6,51 @@
 
 namespace skalla {
 
+/// \brief Retry behavior of the coordinators when a site misses a round.
+///
+/// A WAN loses messages and sites go down; Alg. GMDJDistribEval is
+/// naturally retry-friendly because every round is idempotent from the
+/// shipped base-result structure X (docs/fault-model.md). One *attempt* is
+/// the full per-site exchange of a round — ship X (or the plan), local
+/// evaluation, and the sub-result reply; a failed attempt is re-driven
+/// from scratch after an exponential backoff.
+struct RetryPolicy {
+  /// Attempts per site per round (counting the first); when exhausted the
+  /// coordinator fails over to a registered replica or returns a typed
+  /// kUnavailable / kDeadlineExceeded status.
+  int max_attempts = 3;
+
+  /// Per-attempt deadline in simulated seconds covering the whole exchange
+  /// (ship + site compute + reply). 0 disables deadlines: the coordinator
+  /// waits forever and only message loss triggers retries.
+  double timeout_sec = 0.0;
+
+  /// The deadline grows by this factor on every retry, so a straggler that
+  /// merely exceeds the base deadline still completes eventually.
+  double timeout_escalation = 2.0;
+
+  /// Simulated idle wait before retry k (k >= 1): backoff_base_sec·2^(k-1).
+  double backoff_base_sec = 0.01;
+
+  /// Backoff charged before attempt `attempt` (0 for the first attempt).
+  double BackoffSeconds(int attempt) const {
+    if (attempt <= 0) return 0.0;
+    double backoff = backoff_base_sec;
+    for (int i = 1; i < attempt; ++i) backoff *= 2.0;
+    return backoff;
+  }
+
+  /// Deadline for attempt `attempt`, or 0 when deadlines are disabled.
+  double DeadlineSeconds(int attempt) const {
+    if (timeout_sec <= 0.0) return 0.0;
+    double deadline = timeout_sec;
+    for (int i = 0; i < attempt; ++i) deadline *= timeout_escalation;
+    return deadline;
+  }
+
+  bool deadline_enabled() const { return timeout_sec > 0.0; }
+};
+
 /// \brief Parameters of the simulated wide-area network between the
 /// coordinator and the Skalla sites.
 ///
@@ -31,6 +76,9 @@ struct NetworkConfig {
   /// communication time instead of adding to it (see
   /// RoundMetrics::ResponseSeconds); traffic is unchanged.
   bool streaming_sync = false;
+
+  /// How the coordinators retry per-site round work under faults.
+  RetryPolicy retry;
 
   /// Simulated seconds for one message of `bytes` payload.
   double TransferSeconds(size_t bytes) const {

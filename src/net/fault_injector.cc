@@ -1,0 +1,180 @@
+#include "net/fault_injector.h"
+
+#include <climits>
+#include <sstream>
+
+#include "common/hash_util.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+const char* TransferDirectionToString(TransferDirection dir) {
+  switch (dir) {
+    case TransferDirection::kToSite:
+      return "to-site";
+    case TransferDirection::kToCoordinator:
+      return "to-coord";
+  }
+  return "?";
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kSiteDown:
+      return "site-down";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  std::string out = StrFormat("%s site=%d round=%d attempt=%d %s",
+                              FaultKindToString(kind), site, round, attempt,
+                              TransferDirectionToString(dir));
+  if (delay_sec > 0.0) out += StrFormat(" +%.6fs", delay_sec);
+  if (!label.empty()) out += " [" + label + "]";
+  return out;
+}
+
+void FaultInjector::DropOnce(int site, int round, TransferDirection dir,
+                             int attempt) {
+  once_rules_.push_back(OnceRule{site, round, dir, attempt, true, 0.0});
+}
+
+void FaultInjector::FailSite(int site, int first_round, int last_round,
+                             int failed_attempts_per_round) {
+  outage_rules_.push_back(
+      OutageRule{site, first_round, last_round, failed_attempts_per_round});
+}
+
+void FaultInjector::KillSite(int site, int from_round) {
+  outage_rules_.push_back(OutageRule{site, from_round, INT_MAX, INT_MAX});
+}
+
+void FaultInjector::DelayOnce(int site, int round, TransferDirection dir,
+                              int attempt, double extra_sec) {
+  once_rules_.push_back(OnceRule{site, round, dir, attempt, false, extra_sec});
+}
+
+void FaultInjector::SlowSite(int site, double factor) {
+  slow_factors_[site] = factor;
+}
+
+void FaultInjector::set_random_drop(double probability, int max_attempt) {
+  random_drop_p_ = probability;
+  random_drop_max_attempt_ = max_attempt;
+}
+
+bool FaultInjector::SiteKilled(int site, int round) const {
+  for (const OutageRule& rule : outage_rules_) {
+    if (rule.site == site && rule.attempts == INT_MAX &&
+        round >= rule.first_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::SlowFactor(int site) const {
+  auto it = slow_factors_.find(site);
+  return it == slow_factors_.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+/// Order-independent uniform draw in [0, 1) from the decision key.
+double KeyedUniform(uint64_t seed, int site, int round, TransferDirection dir,
+                    int attempt) {
+  uint64_t key = HashCombine(seed, static_cast<uint64_t>(site));
+  key = HashCombine(key, static_cast<uint64_t>(round) + 1);
+  key = HashCombine(key, static_cast<uint64_t>(dir) + 7);
+  key = HashCombine(key, static_cast<uint64_t>(attempt) + 31);
+  return static_cast<double>(HashInt64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TransferFate FaultInjector::Decide(int site, int round, TransferDirection dir,
+                                   int attempt, double base_seconds,
+                                   const std::string& label) {
+  auto record = [&](FaultKind kind, double delay_sec) {
+    FaultEvent event;
+    event.kind = kind;
+    event.site = site;
+    event.round = round;
+    event.attempt = attempt;
+    event.dir = dir;
+    event.delay_sec = delay_sec;
+    event.label = label;
+    events_.push_back(std::move(event));
+  };
+
+  for (const OutageRule& rule : outage_rules_) {
+    if (rule.site != site) continue;
+    if (round < rule.first_round || round > rule.last_round) continue;
+    if (attempt >= rule.attempts) continue;
+    record(FaultKind::kSiteDown, 0.0);
+    return TransferFate{false, 0.0};
+  }
+  for (const OnceRule& rule : once_rules_) {
+    if (!rule.drop) continue;
+    if (rule.site == site && rule.round == round && rule.dir == dir &&
+        rule.attempt == attempt) {
+      record(FaultKind::kDrop, 0.0);
+      return TransferFate{false, 0.0};
+    }
+  }
+  if (random_drop_p_ > 0.0 && attempt < random_drop_max_attempt_ &&
+      KeyedUniform(seed_, site, round, dir, attempt) < random_drop_p_) {
+    record(FaultKind::kDrop, 0.0);
+    return TransferFate{false, 0.0};
+  }
+
+  // Delivered; accumulate injected slowdowns.
+  double extra = 0.0;
+  for (const OnceRule& rule : once_rules_) {
+    if (rule.drop) continue;
+    if (rule.site == site && rule.round == round && rule.dir == dir &&
+        rule.attempt == attempt) {
+      record(FaultKind::kDelay, rule.delay_sec);
+      extra += rule.delay_sec;
+    }
+  }
+  const double factor = SlowFactor(site);
+  if (factor != 1.0) {
+    const double stretch = base_seconds * (factor - 1.0);
+    record(FaultKind::kStraggler, stretch);
+    extra += stretch;
+  }
+  return TransferFate{true, extra};
+}
+
+std::string FaultInjector::EventLogToString() const {
+  std::ostringstream os;
+  for (const FaultEvent& event : events_) os << event.ToString() << "\n";
+  return os.str();
+}
+
+std::string FaultInjector::Summary() const {
+  int counts[4] = {0, 0, 0, 0};
+  for (const FaultEvent& event : events_) {
+    counts[static_cast<int>(event.kind)]++;
+  }
+  std::vector<std::string> parts;
+  static const FaultKind kKinds[] = {FaultKind::kDrop, FaultKind::kSiteDown,
+                                     FaultKind::kDelay, FaultKind::kStraggler};
+  for (FaultKind kind : kKinds) {
+    const int n = counts[static_cast<int>(kind)];
+    if (n > 0) {
+      parts.push_back(std::to_string(n) + " " + FaultKindToString(kind));
+    }
+  }
+  return parts.empty() ? "faults: none" : "faults: " + Join(parts, ", ");
+}
+
+}  // namespace skalla

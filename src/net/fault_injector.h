@@ -1,0 +1,164 @@
+#ifndef SKALLA_NET_FAULT_INJECTOR_H_
+#define SKALLA_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace skalla {
+
+/// Direction of a simulated message relative to the coordinator (or, on an
+/// aggregation tree, relative to the root: downstream messages travel
+/// toward the sites, upstream messages toward the root).
+enum class TransferDirection {
+  kToSite,         ///< coordinator/aggregator -> site (X fragments, plans)
+  kToCoordinator,  ///< site/aggregator -> coordinator (B_i, H_i replies)
+};
+
+const char* TransferDirectionToString(TransferDirection dir);
+
+/// Category of one injected fault.
+enum class FaultKind {
+  kDrop,      ///< a single message was lost in flight
+  kSiteDown,  ///< the site was unreachable (scheduled outage)
+  kDelay,     ///< a single message was delayed by extra seconds
+  kStraggler, ///< a slow-site multiplier stretched the transfer
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One injected fault, recorded at the moment it affected a transfer.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrop;
+  int site = -1;
+  int round = -1;
+  int attempt = 0;
+  TransferDirection dir = TransferDirection::kToSite;
+  double delay_sec = 0.0;  ///< extra seconds injected (kDelay/kStraggler)
+  std::string label;       ///< label of the affected message
+
+  std::string ToString() const;
+};
+
+/// What the injector decided for one offered transfer.
+struct TransferFate {
+  bool delivered = true;
+  double extra_delay_sec = 0.0;  ///< added to the modelled transfer time
+};
+
+/// \brief Deterministic, seedable fault source for the simulated WAN.
+///
+/// Attached to a SimNetwork, the injector is consulted for every message
+/// that has a site endpoint and decides whether the message is dropped,
+/// delayed, or slowed. Every decision is a *pure function* of
+/// (seed, site, round, direction, attempt) plus the configured schedule —
+/// never of wall-clock time or call order — so a fixed seed reproduces the
+/// identical fault pattern across runs and across sequential vs
+/// thread-parallel site evaluation. Every injected fault is appended to an
+/// event log for assertions and reports.
+///
+/// Attempt numbering is supplied by the coordinator: attempt k is the k-th
+/// time the coordinator re-drives the same per-site round exchange, which
+/// is what makes scheduled faults expressible as "fail the first k
+/// attempts" and therefore recoverable by retry.
+///
+/// Not thread-safe: coordinators call Decide (via SimNetwork::Transfer)
+/// from the coordinating thread only.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  // ---- Scheduled faults. ----
+
+  /// Drops the message matching (site, round, dir, attempt) exactly once
+  /// per occurrence; later attempts of the same exchange get through.
+  void DropOnce(int site, int round, TransferDirection dir, int attempt = 0);
+
+  /// Site outage over a round range: for every round in
+  /// [first_round, last_round], the site's messages (both directions) fail
+  /// while attempt < failed_attempts_per_round, then recover. Keep
+  /// failed_attempts_per_round below RetryPolicy::max_attempts to make the
+  /// outage recoverable.
+  void FailSite(int site, int first_round, int last_round,
+                int failed_attempts_per_round = 1);
+
+  /// Permanently kills the site from `from_round` on: no attempt ever
+  /// succeeds again. Only replica failover (or a typed error) gets the
+  /// query past this.
+  void KillSite(int site, int from_round = 0);
+
+  /// Delays the message matching (site, round, dir, attempt) by
+  /// `extra_sec` simulated seconds (it is still delivered).
+  void DelayOnce(int site, int round, TransferDirection dir, int attempt,
+                 double extra_sec);
+
+  /// Straggler model: every transfer to/from `site` takes `factor` times
+  /// as long (factor > 1 = slower link; per-site bandwidth/latency
+  /// multiplier). Recorded as a kStraggler event per affected message.
+  void SlowSite(int site, double factor);
+
+  /// Random recoverable loss: each message with attempt < max_attempt is
+  /// dropped with probability `probability`, decided by a deterministic
+  /// hash of (seed, site, round, dir, attempt). Attempts >= max_attempt
+  /// always deliver, so any retry policy with max_attempts > max_attempt
+  /// recovers.
+  void set_random_drop(double probability, int max_attempt = 1);
+
+  // ---- Decision API (called by SimNetwork::Transfer). ----
+
+  /// Decides the fate of one offered transfer and records any injected
+  /// fault. `base_seconds` is the fault-free modelled transfer time (used
+  /// to compute straggler stretching).
+  TransferFate Decide(int site, int round, TransferDirection dir, int attempt,
+                      double base_seconds, const std::string& label);
+
+  /// True when `site` is inside a KillSite window at `round`.
+  bool SiteKilled(int site, int round) const;
+
+  /// The straggler multiplier for `site` (1.0 when none configured).
+  double SlowFactor(int site) const;
+
+  // ---- Event log. ----
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Clears the recorded events, keeping the schedule (fresh query).
+  void ClearEvents() { events_.clear(); }
+
+  /// Canonical rendering of the whole event log (determinism assertions).
+  std::string EventLogToString() const;
+
+  /// Per-kind event counts, e.g. "faults: 3 drop, 1 site-down".
+  std::string Summary() const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct OnceRule {
+    int site;
+    int round;
+    TransferDirection dir;
+    int attempt;
+    bool drop;         ///< true: drop; false: delay by delay_sec
+    double delay_sec;
+  };
+  struct OutageRule {
+    int site;
+    int first_round;
+    int last_round;   ///< inclusive; INT_MAX for KillSite
+    int attempts;     ///< attempts that fail per round; INT_MAX for KillSite
+  };
+
+  uint64_t seed_;
+  std::vector<OnceRule> once_rules_;
+  std::vector<OutageRule> outage_rules_;
+  std::map<int, double> slow_factors_;
+  double random_drop_p_ = 0.0;
+  int random_drop_max_attempt_ = 1;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_NET_FAULT_INJECTOR_H_

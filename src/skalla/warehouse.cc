@@ -101,12 +101,40 @@ Result<QueryResult> Warehouse::Execute(const GmdjExpr& expr,
   return ExecutePlan(plan);
 }
 
+Result<Site*> Warehouse::AddReplica(int site_id) {
+  if (site_id < 0 || site_id >= num_sites()) {
+    return Status::InvalidArgument("no site " + std::to_string(site_id) +
+                                   " to replicate");
+  }
+  if (replicas_.count(site_id) > 0) {
+    return Status::AlreadyExists("site " + std::to_string(site_id) +
+                                 " already has a replica");
+  }
+  const Site& primary = *sites_[static_cast<size_t>(site_id)];
+  auto replica = std::make_unique<Site>(
+      num_sites() + static_cast<int>(replicas_.size()),
+      primary.partition_info());
+  replica->set_compute_scale(primary.compute_scale());
+  for (const std::string& name : primary.catalog().TableNames()) {
+    SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                            primary.catalog().GetTable(name));
+    replica->catalog().PutTable(name, table);
+  }
+  Site* out = replica.get();
+  replicas_.emplace(site_id, std::move(replica));
+  return out;
+}
+
 Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan) {
   std::vector<Site*> site_ptrs;
   site_ptrs.reserve(sites_.size());
   for (const auto& site : sites_) site_ptrs.push_back(site.get());
   Coordinator coordinator(std::move(site_ptrs), net_);
   coordinator.set_parallel_sites(parallel_sites_);
+  coordinator.network().set_fault_injector(injector_);
+  for (const auto& [sid, replica] : replicas_) {
+    coordinator.AddReplica(sid, replica.get());
+  }
   QueryResult result;
   result.plan = plan;
   SKALLA_ASSIGN_OR_RETURN(result.table,
@@ -121,6 +149,10 @@ Result<QueryResult> Warehouse::ExecutePlanTree(const DistributedPlan& plan,
   for (const auto& site : sites_) site_ptrs.push_back(site.get());
   TreeCoordinator coordinator(std::move(site_ptrs), fan_in, net_);
   coordinator.set_parallel_sites(parallel_sites_);
+  coordinator.network().set_fault_injector(injector_);
+  for (const auto& [sid, replica] : replicas_) {
+    coordinator.AddReplica(sid, replica.get());
+  }
   QueryResult result;
   result.plan = plan;
   SKALLA_ASSIGN_OR_RETURN(result.table,

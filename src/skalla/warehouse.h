@@ -14,6 +14,7 @@
 #include "dist/site.h"
 #include "gmdj/gmdj.h"
 #include "net/cost_model.h"
+#include "net/fault_injector.h"
 #include "opt/cost_model.h"
 #include "opt/optimizer.h"
 #include "tpc/partitioner.h"
@@ -108,6 +109,21 @@ class Warehouse {
   const NetworkConfig& network_config() const { return net_; }
   void set_network_config(NetworkConfig net) { net_ = net; }
 
+  /// Attaches a deterministic fault injector (borrowed, may be null) that
+  /// every subsequent ExecutePlan / ExecutePlanTree wires into its
+  /// simulated network. Recoverable schedules change only the metrics
+  /// (retries, retransmissions); results stay byte-identical to the
+  /// fault-free run. See docs/fault-model.md.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Creates a failover replica of `site_id`: a fresh site holding a copy
+  /// of every local partition and of φ_i, with its own site id
+  /// (num_sites + k, so fault schedules against the primary do not follow
+  /// the replica). Returns the replica so tests can perturb it; the
+  /// warehouse keeps ownership. At most one replica per primary.
+  Result<Site*> AddReplica(int site_id);
+
   /// Runs each round's site evaluations on real threads (see
   /// Coordinator::set_parallel_sites). Identical results, faster
   /// simulation wall-clock on multi-core machines.
@@ -117,8 +133,12 @@ class Warehouse {
 
  private:
   std::vector<std::unique_ptr<Site>> sites_;
+  /// Failover replicas keyed by primary site id (owned here, registered
+  /// with each coordinator at execution time).
+  std::map<int, std::unique_ptr<Site>> replicas_;
   Catalog central_;
   NetworkConfig net_;
+  FaultInjector* injector_ = nullptr;
   bool parallel_sites_ = false;
   /// Relation statistics cache for ExecuteAuto (profiled on first use).
   std::map<std::string, RelationStats> stats_cache_;

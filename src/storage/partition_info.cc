@@ -128,6 +128,38 @@ bool DomainsDisjoint(const AttrDomain& a, const AttrDomain& b) {
 
 }  // namespace
 
+bool DomainCovers(const AttrDomain& outer, const AttrDomain& inner) {
+  using Kind = AttrDomain::Kind;
+  if (outer.kind == Kind::kAny) return true;
+  if (inner.kind == Kind::kAny) return false;
+  if (inner.kind == Kind::kValueSet) {
+    for (const Value& v : inner.values) {
+      if (!outer.MayContain(v)) return false;
+    }
+    return true;
+  }
+  // inner is a range; only an outer range can provably contain it.
+  if (outer.kind != Kind::kRange) return false;
+  if (!outer.lo.is_null() &&
+      (inner.lo.is_null() || inner.lo.Compare(outer.lo) < 0)) {
+    return false;
+  }
+  if (!outer.hi.is_null() &&
+      (inner.hi.is_null() || inner.hi.Compare(outer.hi) > 0)) {
+    return false;
+  }
+  return true;
+}
+
+bool CoversPartition(const PartitionInfo& replica,
+                     const PartitionInfo& primary) {
+  for (const auto& [attr, domain] : replica.domains()) {
+    if (domain.kind == AttrDomain::Kind::kAny) continue;
+    if (!DomainCovers(domain, primary.Domain(attr))) return false;
+  }
+  return true;
+}
+
 bool IsPartitionAttribute(const std::string& attr,
                           const std::vector<PartitionInfo>& sites) {
   if (sites.size() < 2) return true;

@@ -75,6 +75,26 @@ class PartitionInfo {
   std::map<std::string, AttrDomain> domains_;
 };
 
+/// \brief True when `outer` provably contains every value `inner` can take.
+///
+/// Conservative: kAny outer covers everything; a non-kAny outer never
+/// covers a kAny inner (the inner side could hold anything); set/range
+/// containment otherwise, defaulting to false when containment cannot be
+/// established.
+bool DomainCovers(const AttrDomain& outer, const AttrDomain& inner);
+
+/// \brief True when a replica whose partition predicate is `replica` can
+/// stand in for a failed primary site with predicate `primary`.
+///
+/// Coverage requires that the replica's declared restrictions do not
+/// exclude anything the primary can hold: for every attribute the replica
+/// restricts, the primary must declare a domain contained in the
+/// replica's. Used by the coordinators to validate failover — a
+/// non-covering replica could silently drop groups, so the coordinator
+/// refuses it and returns kUnavailable instead (docs/fault-model.md).
+bool CoversPartition(const PartitionInfo& replica,
+                     const PartitionInfo& primary);
+
 /// \brief Checks Definition 2 of the paper: attribute A is a *partition
 /// attribute* iff the per-site declared domains for A are pairwise disjoint.
 ///

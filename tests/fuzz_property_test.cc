@@ -246,5 +246,75 @@ TEST_P(FuzzPropertyTest, DistributedMatchesCentralizedEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPropertyTest, ::testing::Range(0, 72));
 
+/// Fault-randomized variant: under an arbitrary *recoverable* fault
+/// schedule (random message loss bounded below the retry budget, plus a
+/// random straggler), every optimizer configuration must still reproduce
+/// the centralized evaluation exactly — faults may only change the cost
+/// metrics. Theorem 2's transfer bound is checked against the *logical*
+/// traffic, i.e. total groups minus the retry surcharge, because
+/// retransmissions are real wire traffic the theorem does not model.
+class FuzzFaultPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzFaultPropertyTest, FaultsNeverChangeAnswers) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+
+  const int num_sites = static_cast<int>(rng.Uniform(1, 5));
+  const int64_t rows = rng.Uniform(0, 400);
+  Table data = RandomTable(&rng, rows);
+
+  NetworkConfig net;
+  net.retry.max_attempts = 4;
+  Warehouse wh(num_sites, net);
+  if (rng.Chance(0.5)) {
+    ASSERT_OK(wh.LoadByRange("T", data, "g1", 0, 7, {"g1", "g2", "v2"}));
+  } else {
+    ASSERT_OK(wh.LoadByHash("T", data, "g2"));
+  }
+
+  const FuzzQuery q = RandomQuery(&rng);
+  SCOPED_TRACE(GmdjExprToString(q.expr));
+
+  ASSERT_OK_AND_ASSIGN(Table expected, wh.ExecuteCentralized(q.expr));
+
+  // Messages drop with up to 40% probability on the first two attempts of
+  // an exchange; attempts >= 2 always deliver, so a four-attempt policy
+  // always recovers. One random site is a straggler (no deadlines are
+  // configured, so it is merely slow).
+  FaultInjector injector(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  injector.set_random_drop(0.1 + 0.3 * rng.Chance(0.5), /*max_attempt=*/2);
+  injector.SlowSite(static_cast<int>(rng.Uniform(0, num_sites - 1)),
+                    /*factor=*/1.0 + rng.Uniform(0, 9));
+  wh.set_fault_injector(&injector);
+  wh.set_parallel_site_execution(rng.Chance(0.5));
+
+  for (const OptimizerOptions& options :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result, wh.Execute(q.expr, options));
+    ExpectSameRows(result.table, expected);
+
+    // Theorem 2 bounds the logical traffic; subtract the retry surcharge.
+    const int64_t bound = TheoremTwoGroupBound(result.plan, num_sites,
+                                               result.table.num_rows());
+    EXPECT_LE(result.metrics.GroupsToSites() + result.metrics.GroupsToCoord() -
+                  result.metrics.RetryGroupsToSites() -
+                  result.metrics.RetryGroupsToCoord(),
+              bound);
+  }
+
+  // Tree spot check under the same schedule.
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(q.expr, OptimizerOptions::None()));
+  bool full_participation = plan.base_sites.empty();
+  for (const PlanRound& round : plan.rounds) {
+    if (!round.participating_sites.empty()) full_participation = false;
+  }
+  if (full_participation) {
+    ASSERT_OK_AND_ASSIGN(QueryResult tree, wh.ExecutePlanTree(plan, 2));
+    ExpectSameRows(tree.table, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultPropertyTest, ::testing::Range(0, 24));
+
 }  // namespace
 }  // namespace skalla
