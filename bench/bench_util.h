@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "skalla/queries.h"
 #include "skalla/warehouse.h"
@@ -83,6 +85,74 @@ inline QueryResult MustExecute(Warehouse& warehouse, const GmdjExpr& query,
 inline void PrintSeriesHeader(const char* title, const char* cols) {
   std::printf("\n%s\n%s\n", title, cols);
 }
+
+/// \brief Machine-readable benchmark output: BENCH_<name>.json.
+///
+/// Every bench binary can attach one of these and Add() a record per
+/// measured configuration; the destructor writes the collected series as a
+/// single JSON document in the working directory, so experiment sweeps can
+/// be diffed and plotted without scraping stdout:
+///
+///   {"bench": "parallel_local",
+///    "results": [{"name": "hash/t4",
+///                 "params": {"threads": 4, "rows": 1048576},
+///                 "wall_ms": 812.4, "bytes_shipped": 0}, ...]}
+///
+/// `bytes_shipped` carries the simulated network volume for distributed
+/// benchmarks (ExecutionMetrics::TotalBytes()) and 0 for purely local ones.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { Write(); }
+
+  void Add(std::string name,
+           std::vector<std::pair<std::string, double>> params, double wall_ms,
+           int64_t bytes_shipped = 0) {
+    records_.push_back(
+        Record{std::move(name), std::move(params), wall_ms, bytes_shipped});
+  }
+
+  /// Writes BENCH_<bench_name>.json (idempotent; also run by ~JsonReport).
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\",\n \"results\": [", bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n  {\"name\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", r.name.c_str());
+      for (size_t p = 0; p < r.params.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %g", p == 0 ? "" : ", ",
+                     r.params[p].first.c_str(), r.params[p].second);
+      }
+      std::fprintf(f, "}, \"wall_ms\": %.3f, \"bytes_shipped\": %lld}",
+                   r.wall_ms, static_cast<long long>(r.bytes_shipped));
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu record(s))\n", path.c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> params;
+    double wall_ms;
+    int64_t bytes_shipped;
+  };
+  std::string bench_name_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace skalla

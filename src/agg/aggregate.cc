@@ -245,6 +245,29 @@ void AggState::Update(const Value& v) {
   }
 }
 
+void AggState::Merge(const AggState& other) {
+  count_ += other.count_;
+  switch (func_) {
+    case AggFunc::kCount:
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      acc_ = AddValues(acc_, other.acc_);
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      acc_ = AddValues(acc_, other.acc_);
+      acc_sq_ = AddValues(acc_sq_, other.acc_sq_);
+      return;
+    case AggFunc::kMin:
+      acc_ = MinValue(acc_, other.acc_);
+      return;
+    case AggFunc::kMax:
+      acc_ = MaxValue(acc_, other.acc_);
+      return;
+  }
+}
+
 void AggState::EmitSub(std::vector<Value>* out) const {
   switch (func_) {
     case AggFunc::kCount:

@@ -120,6 +120,14 @@ class AggState {
   /// implements the COUNT(*) vs COUNT(col) distinction by what it passes).
   void Update(const Value& v);
 
+  /// Folds another state of the same function into this one — the
+  /// super-aggregate step of Theorem 1 applied to in-memory partials. Used
+  /// by the morsel-parallel local evaluator to combine worker-private
+  /// accumulators; merging partials in a fixed order reproduces the
+  /// sequential result exactly whenever the accumulation arithmetic is
+  /// exact (int64, integral doubles).
+  void Merge(const AggState& other);
+
   /// Appends SubArity(func) sub-aggregate values.
   void EmitSub(std::vector<Value>* out) const;
 

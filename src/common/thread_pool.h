@@ -1,0 +1,76 @@
+#ifndef SKALLA_COMMON_THREAD_POOL_H_
+#define SKALLA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skalla {
+
+/// \brief A shared, lazily-started worker pool for intra-query parallelism.
+///
+/// One pool serves every parallel consumer in the process — the morsel-driven
+/// local GMDJ evaluator (gmdj/local_eval.cc) and the coordinators' per-site
+/// wave dispatch (dist/fault_tolerance.cc) — instead of each layer spawning
+/// its own OS threads. Tasks never block on other tasks, so arbitrary
+/// nesting (a site-evaluation task running a morsel ParallelFor on the same
+/// pool) cannot deadlock: ParallelFor's caller claims work items itself
+/// while it waits ("work-stealing-lite"), guaranteeing progress even when
+/// every worker is busy elsewhere.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 0; 0 means every
+  /// ParallelFor degenerates to the caller running all items inline).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Pending submitted tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task. The task must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) … fn(num_items - 1), distributing items dynamically over
+  /// `max_workers` lanes (the calling thread plus up to max_workers - 1
+  /// pool workers; <= 0 means num_threads() + 1). Blocks until every item
+  /// finished. Item *claiming* order is nondeterministic; callers needing
+  /// deterministic results must make items independent and combine them in
+  /// item order afterwards (see the morsel merge in gmdj/local_eval.cc).
+  ///
+  /// Safe to call from inside a pool task: the caller participates, so the
+  /// loop completes even if no worker ever picks up a helper task.
+  void ParallelFor(int64_t num_items, const std::function<void(int64_t)>& fn,
+                   int max_workers = 0);
+
+  /// The process-wide pool, started on first use with DefaultThreadCount()
+  /// workers. Never destroyed (workers are joined at process exit by the
+  /// OS), so it is safe to use from static-lifetime contexts.
+  static ThreadPool& Shared();
+
+  /// The SKALLA_THREADS environment knob, read once: >= 1 fixes the lane
+  /// count (1 = fully sequential evaluation, the pre-pool behavior);
+  /// unset/invalid falls back to std::thread::hardware_concurrency().
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_THREAD_POOL_H_

@@ -215,6 +215,7 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
       input.ops = &round.ops;
       input.key_attrs = &plan.key_attrs;
       input.touched_only = round.flags.independent_group_reduction;
+      input.num_threads = local_threads_;
       return site->EvalRound(input, cpu);
     };
     SKALLA_ASSIGN_OR_RETURN(

@@ -57,6 +57,13 @@ class Coordinator {
   void set_parallel_sites(bool parallel) { parallel_sites_ = parallel; }
   bool parallel_sites() const { return parallel_sites_; }
 
+  /// Lanes each site may use for its morsel-driven local GMDJ evaluation
+  /// (SiteRoundInput::num_threads): 0 = the SKALLA_THREADS default, 1 =
+  /// sequential local scans. Orthogonal to set_parallel_sites — both feed
+  /// the same shared pool (common/thread_pool.h).
+  void set_local_threads(int num_threads) { local_threads_ = num_threads; }
+  int local_threads() const { return local_threads_; }
+
   /// Looks up a relation schema from the first site that holds a partition
   /// of it (all sites share global relation schemas).
   Result<SchemaPtr> FindSchema(const std::string& table_name) const;
@@ -69,6 +76,7 @@ class Coordinator {
   std::map<int, Site*> replicas_;
   SimNetwork network_;
   bool parallel_sites_ = false;
+  int local_threads_ = 0;
 };
 
 /// Theorem 2's bound on groups transferred by Alg. GMDJDistribEval:

@@ -1,9 +1,9 @@
 #include "dist/fault_tolerance.h"
 
 #include <algorithm>
-#include <future>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "storage/partition_info.h"
 #include "storage/serializer.h"
 
@@ -99,12 +99,12 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
           eval(static_cast<int>(p), roster->active(participants[p]), &cpus[p]);
     };
     if (parallel && eligible.size() > 1) {
-      std::vector<std::future<void>> futures;
-      futures.reserve(eligible.size());
-      for (size_t p : eligible) {
-        futures.push_back(std::async(std::launch::async, eval_one, p));
-      }
-      for (std::future<void>& f : futures) f.get();
+      // Site tasks of a wave run on the shared pool (one task per slot,
+      // not one OS thread per site); each task's morsel-driven local
+      // evaluation subdivides further on the same pool.
+      ThreadPool::Shared().ParallelFor(
+          static_cast<int64_t>(eligible.size()),
+          [&](int64_t i) { eval_one(eligible[static_cast<size_t>(i)]); });
     } else {
       for (size_t p : eligible) eval_one(p);
     }

@@ -103,6 +103,7 @@ Result<Table> Site::EvalRound(const SiteRoundInput& input,
     // group reduction is suppressed when this site derived its own base.
     options.touched_only = input.touched_only && input.base == nullptr;
     options.carry_cols = key_attrs;
+    options.num_threads = input.num_threads;
     SKALLA_ASSIGN_OR_RETURN(Table h,
                             EvalGmdjOp(visible, *detail, ops[0], options));
     if (cpu_sec != nullptr) *cpu_sec = sw.ElapsedSeconds() / compute_scale_;
@@ -119,6 +120,7 @@ Result<Table> Site::EvalRound(const SiteRoundInput& input,
     LocalGmdjOptions options;
     options.mode = AggMode::kSub;
     options.touched_only = false;  // alignment required for chaining
+    options.num_threads = input.num_threads;
     SKALLA_ASSIGN_OR_RETURN(Table with_sub,
                             EvalGmdjOp(visible, *detail, op, options));
     SKALLA_ASSIGN_OR_RETURN(

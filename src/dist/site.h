@@ -27,6 +27,11 @@ struct SiteRoundInput {
   const std::vector<std::string>* key_attrs = nullptr;
   /// Distribution-independent group reduction: emit only touched groups.
   bool touched_only = false;
+  /// Lanes for the site's morsel-driven local evaluation
+  /// (LocalGmdjOptions::num_threads; 0 = the SKALLA_THREADS default, 1 =
+  /// sequential). All sites of a wave share one pool, so this bounds the
+  /// per-site fan-out, not the process-wide thread count.
+  int num_threads = 0;
 };
 
 /// \brief A local data warehouse adjacent to one collection point.

@@ -317,6 +317,7 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
       input.ops = &round.ops;
       input.key_attrs = &plan.key_attrs;
       input.touched_only = round.flags.independent_group_reduction;
+      input.num_threads = local_threads_;
       return site->EvalRound(input, cpu);
     };
     SKALLA_ASSIGN_OR_RETURN(std::vector<Table> leaf_results,

@@ -81,12 +81,17 @@ class TreeCoordinator {
   /// faster simulation wall-clock); see Coordinator::set_parallel_sites.
   void set_parallel_sites(bool parallel) { parallel_sites_ = parallel; }
 
+  /// Lanes per leaf's morsel-driven local evaluation; see
+  /// Coordinator::set_local_threads.
+  void set_local_threads(int num_threads) { local_threads_ = num_threads; }
+
  private:
   std::vector<Site*> sites_;
   std::map<int, Site*> replicas_;
   TreeTopology topology_;
   SimNetwork network_;
   bool parallel_sites_ = false;
+  int local_threads_ = 0;
 };
 
 }  // namespace skalla

@@ -20,7 +20,8 @@ Result<Table> EvalBaseQuery(const BaseQuery& base, const Table& source) {
 }
 
 Result<Table> EvalGmdjExprCentralized(const GmdjExpr& expr,
-                                      const Catalog& catalog) {
+                                      const Catalog& catalog,
+                                      int num_threads) {
   SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> source,
                           catalog.GetTable(expr.base.source_table));
   SKALLA_ASSIGN_OR_RETURN(Table x, EvalBaseQuery(expr.base, *source));
@@ -29,6 +30,7 @@ Result<Table> EvalGmdjExprCentralized(const GmdjExpr& expr,
                             catalog.GetTable(op.detail_table));
     LocalGmdjOptions options;
     options.mode = AggMode::kFinal;
+    options.num_threads = num_threads;
     SKALLA_ASSIGN_OR_RETURN(x, EvalGmdjOp(x, *detail, op, options));
   }
   if (expr.having != nullptr) {

@@ -16,8 +16,13 @@ Result<Table> EvalBaseQuery(const BaseQuery& base, const Table& source);
 /// all data lived in one warehouse). This is the correctness oracle for the
 /// distributed evaluator: by Theorems 1, 3, 4, 5 every distributed plan
 /// must produce exactly this result.
+///
+/// `num_threads` is forwarded to the morsel-driven local evaluator
+/// (LocalGmdjOptions::num_threads; 0 = the SKALLA_THREADS default, 1 =
+/// sequential).
 Result<Table> EvalGmdjExprCentralized(const GmdjExpr& expr,
-                                      const Catalog& catalog);
+                                      const Catalog& catalog,
+                                      int num_threads = 0);
 
 }  // namespace skalla
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "expr/analyzer.h"
 #include "expr/evaluator.h"
 #include "storage/hash_index.h"
@@ -23,6 +24,24 @@ struct BlockPlan {
   // Detail column index per aggregate; -1 for COUNT(*).
   std::vector<int> agg_inputs;
 };
+
+/// Where one scan lane accumulates matches: |B| × |aggs| states (one
+/// block's layout) plus the touched bitmap. Either the shared result
+/// arrays (sequential path) or a morsel-private partial (parallel path).
+struct ScanTarget {
+  AggState* states = nullptr;
+  char* touched = nullptr;
+};
+
+/// Upper bound on per-morsel accumulator memory: the morsel count is
+/// clamped so that Σ morsel partials ≤ this many AggStates per block. A
+/// function of the relation sizes only — never of the lane count — so the
+/// morsel grid (and with it the merge order) is reproducible.
+constexpr int64_t kPartialStateBudget = int64_t{1} << 20;
+
+/// Base rows per task of the parallel partial fold. Like the morsel grid,
+/// a function of |B| only, so the fold decomposition is reproducible.
+constexpr int64_t kMergeChunkRows = 4096;
 
 }  // namespace
 
@@ -111,18 +130,6 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
   std::vector<char> touched(num_base, 0);
 
   static const Value kOne(int64_t{1});
-  auto update_match = [&](size_t blk, int64_t base_row_id,
-                          const Row& detail_row) {
-    touched[static_cast<size_t>(base_row_id)] = 1;
-    const BlockPlan& plan = plans[blk];
-    const size_t num_aggs = op.blocks[blk].aggs.size();
-    AggState* row_states =
-        &states[blk][static_cast<size_t>(base_row_id) * num_aggs];
-    for (size_t a = 0; a < num_aggs; ++a) {
-      const int in = plan.agg_inputs[a];
-      row_states[a].Update(in < 0 ? kOne : detail_row[static_cast<size_t>(in)]);
-    }
-  };
 
   // Compares the projections of two rows onto (possibly different) key
   // column lists; used by the sort-merge path.
@@ -136,103 +143,234 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     return 0;
   };
 
-  // One detail scan per block. Blocks typically share the same equi-key
-  // over B (key equality appears in every θ), so hash indexes are built
-  // once per distinct key-column set and reused across blocks.
+  // Blocks typically share the same equi-key over B (key equality appears
+  // in every θ), so per-key-column-set artifacts — the hash index and the
+  // sort-merge orderings of both sides — are built once and reused across
+  // blocks.
   std::map<std::vector<int>, HashIndex> index_cache;
+  std::map<std::vector<int>, std::vector<int64_t>> base_order_cache;
+  std::map<std::vector<int>, std::vector<int64_t>> detail_order_cache;
+  auto sorted_ids = [&compare_keys](
+                        std::map<std::vector<int>, std::vector<int64_t>>* cache,
+                        const Table& table, const std::vector<int>& cols)
+      -> const std::vector<int64_t>& {
+    auto [it, inserted] = cache->try_emplace(cols);
+    if (inserted) {
+      it->second.resize(static_cast<size_t>(table.num_rows()));
+      std::iota(it->second.begin(), it->second.end(), 0);
+      std::sort(it->second.begin(), it->second.end(),
+                [&](int64_t a, int64_t b) {
+                  return compare_keys(table.row(a), cols, table.row(b),
+                                      cols) < 0;
+                });
+    }
+    return it->second;
+  };
+
+  // The lane count: 1 runs the exact sequential pre-pool scan; more lanes
+  // split the detail scan into morsels evaluated on the shared pool.
+  int lanes = options.num_threads > 0 ? options.num_threads
+                                      : ThreadPool::DefaultThreadCount();
+
+  // One detail scan per block, morsel-parallel when lanes > 1.
   for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
     const BlockPlan& plan = plans[blk];
-    if (!plan.base_key_cols.empty() &&
-        options.join == JoinStrategy::kSortMerge) {
-      // Sort row ids of both sides on the equi-key, then merge runs.
-      std::vector<int64_t> base_ids(static_cast<size_t>(base.num_rows()));
-      std::iota(base_ids.begin(), base_ids.end(), 0);
-      std::sort(base_ids.begin(), base_ids.end(),
-                [&](int64_t a, int64_t b) {
-                  return compare_keys(base.row(a), plan.base_key_cols,
-                                      base.row(b), plan.base_key_cols) < 0;
-                });
-      std::vector<int64_t> detail_ids(
-          static_cast<size_t>(detail.num_rows()));
-      std::iota(detail_ids.begin(), detail_ids.end(), 0);
-      std::sort(detail_ids.begin(), detail_ids.end(),
-                [&](int64_t a, int64_t b) {
-                  return compare_keys(detail.row(a), plan.detail_key_cols,
-                                      detail.row(b),
-                                      plan.detail_key_cols) < 0;
-                });
-      size_t b_pos = 0;
-      size_t d_pos = 0;
-      while (b_pos < base_ids.size() && d_pos < detail_ids.size()) {
-        const int cmp = compare_keys(
-            base.row(base_ids[b_pos]), plan.base_key_cols,
-            detail.row(detail_ids[d_pos]), plan.detail_key_cols);
-        if (cmp < 0) {
-          ++b_pos;
-          continue;
+    const size_t num_aggs = op.blocks[blk].aggs.size();
+
+    // Folds one matching (base row, detail row) pair into `target`.
+    auto update_match = [&](const ScanTarget& target, int64_t base_row_id,
+                            const Row& detail_row) {
+      target.touched[static_cast<size_t>(base_row_id)] = 1;
+      AggState* row_states =
+          &target.states[static_cast<size_t>(base_row_id) * num_aggs];
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const int in = plan.agg_inputs[a];
+        row_states[a].Update(in < 0 ? kOne
+                                    : detail_row[static_cast<size_t>(in)]);
+      }
+    };
+
+    // Path-specific shared read-only structures, built once per block.
+    const bool sort_merge_path = !plan.base_key_cols.empty() &&
+                                 options.join == JoinStrategy::kSortMerge;
+    const bool hash_path =
+        !plan.base_key_cols.empty() && !sort_merge_path;
+    const std::vector<int64_t>* base_ids = nullptr;
+    const std::vector<int64_t>* detail_ids = nullptr;
+    const HashIndex* index = nullptr;
+    if (sort_merge_path) {
+      base_ids = &sorted_ids(&base_order_cache, base, plan.base_key_cols);
+      detail_ids =
+          &sorted_ids(&detail_order_cache, detail, plan.detail_key_cols);
+    } else if (hash_path) {
+      auto [it, inserted] = index_cache.try_emplace(plan.base_key_cols);
+      if (inserted) it->second.Build(base, plan.base_key_cols);
+      index = &it->second;
+    }
+
+    // Scans detail positions [lo, hi) into `target`. Positions index the
+    // raw detail rows (hash / nested-loop paths) or the sorted detail
+    // ordering (sort-merge path). Match sets are position-independent, so
+    // any disjoint cover of [0, |R|) visits each match exactly once.
+    auto scan_range = [&](int64_t lo, int64_t hi, const ScanTarget& target) {
+      if (sort_merge_path) {
+        // Merge the (fully sorted) base ordering against the detail run
+        // [lo, hi). Starting mid-run is fine: the two-pointer advances the
+        // base cursor by key comparisons only.
+        size_t b_pos = 0;
+        size_t d_pos = static_cast<size_t>(lo);
+        const size_t d_limit = static_cast<size_t>(hi);
+        while (b_pos < base_ids->size() && d_pos < d_limit) {
+          const int cmp = compare_keys(
+              base.row((*base_ids)[b_pos]), plan.base_key_cols,
+              detail.row((*detail_ids)[d_pos]), plan.detail_key_cols);
+          if (cmp < 0) {
+            ++b_pos;
+            continue;
+          }
+          if (cmp > 0) {
+            ++d_pos;
+            continue;
+          }
+          // Runs of equal keys on both sides (the detail run is clipped to
+          // the morsel; the rest of it belongs to the next morsel).
+          size_t b_end = b_pos + 1;
+          while (b_end < base_ids->size() &&
+                 compare_keys(base.row((*base_ids)[b_end]),
+                              plan.base_key_cols,
+                              base.row((*base_ids)[b_pos]),
+                              plan.base_key_cols) == 0) {
+            ++b_end;
+          }
+          size_t d_end = d_pos + 1;
+          while (d_end < d_limit &&
+                 compare_keys(detail.row((*detail_ids)[d_end]),
+                              plan.detail_key_cols,
+                              detail.row((*detail_ids)[d_pos]),
+                              plan.detail_key_cols) == 0) {
+            ++d_end;
+          }
+          for (size_t d = d_pos; d < d_end; ++d) {
+            const Row& detail_row = detail.row((*detail_ids)[d]);
+            for (size_t b = b_pos; b < b_end; ++b) {
+              const int64_t base_row_id = (*base_ids)[b];
+              if (plan.predicate.has_value() &&
+                  !plan.predicate->EvalBool(&base.row(base_row_id),
+                                            &detail_row)) {
+                continue;
+              }
+              update_match(target, base_row_id, detail_row);
+            }
+          }
+          b_pos = b_end;
+          d_pos = d_end;
         }
-        if (cmp > 0) {
-          ++d_pos;
-          continue;
-        }
-        // Runs of equal keys on both sides.
-        size_t b_end = b_pos + 1;
-        while (b_end < base_ids.size() &&
-               compare_keys(base.row(base_ids[b_end]), plan.base_key_cols,
-                            base.row(base_ids[b_pos]),
-                            plan.base_key_cols) == 0) {
-          ++b_end;
-        }
-        size_t d_end = d_pos + 1;
-        while (d_end < detail_ids.size() &&
-               compare_keys(detail.row(detail_ids[d_end]),
-                            plan.detail_key_cols,
-                            detail.row(detail_ids[d_pos]),
-                            plan.detail_key_cols) == 0) {
-          ++d_end;
-        }
-        for (size_t d = d_pos; d < d_end; ++d) {
-          const Row& detail_row = detail.row(detail_ids[d]);
-          for (size_t b = b_pos; b < b_end; ++b) {
-            const int64_t base_row_id = base_ids[b];
+      } else if (hash_path) {
+        for (int64_t d = lo; d < hi; ++d) {
+          const Row& detail_row = detail.row(d);
+          const std::vector<int64_t>* matches =
+              index->Lookup(detail_row, plan.detail_key_cols);
+          if (matches == nullptr) continue;
+          for (int64_t base_row_id : *matches) {
             if (plan.predicate.has_value() &&
                 !plan.predicate->EvalBool(&base.row(base_row_id),
                                           &detail_row)) {
               continue;
             }
-            update_match(blk, base_row_id, detail_row);
+            update_match(target, base_row_id, detail_row);
           }
         }
-        b_pos = b_end;
-        d_pos = d_end;
-      }
-    } else if (!plan.base_key_cols.empty()) {
-      auto [it, inserted] = index_cache.try_emplace(plan.base_key_cols);
-      HashIndex& index = it->second;
-      if (inserted) index.Build(base, plan.base_key_cols);
-      for (const Row& detail_row : detail.rows()) {
-        const std::vector<int64_t>* matches =
-            index.Lookup(detail_row, plan.detail_key_cols);
-        if (matches == nullptr) continue;
-        for (int64_t base_row_id : *matches) {
-          if (plan.predicate.has_value() &&
-              !plan.predicate->EvalBool(&base.row(base_row_id), &detail_row)) {
-            continue;
+      } else {
+        for (int64_t d = lo; d < hi; ++d) {
+          const Row& detail_row = detail.row(d);
+          for (int64_t base_row_id = 0; base_row_id < base.num_rows();
+               ++base_row_id) {
+            if (!plan.predicate->EvalBool(&base.row(base_row_id),
+                                          &detail_row)) {
+              continue;
+            }
+            update_match(target, base_row_id, detail_row);
           }
-          update_match(blk, base_row_id, detail_row);
         }
       }
-    } else {
-      for (const Row& detail_row : detail.rows()) {
-        for (int64_t base_row_id = 0; base_row_id < base.num_rows();
-             ++base_row_id) {
-          if (!plan.predicate->EvalBool(&base.row(base_row_id), &detail_row)) {
-            continue;
-          }
-          update_match(blk, base_row_id, detail_row);
-        }
-      }
+    };
+
+    // The morsel grid depends only on the relation sizes and the
+    // morsel_rows option — not on the lane count — so the merge below
+    // always folds the same partials in the same order.
+    const int64_t scan_rows = detail.num_rows();
+    int64_t morsel =
+        options.morsel_rows > 0 ? options.morsel_rows : kDefaultMorselRows;
+    const int64_t states_per_morsel =
+        std::max<int64_t>(1, static_cast<int64_t>(num_base * num_aggs));
+    const int64_t max_morsels =
+        std::max<int64_t>(1, kPartialStateBudget / states_per_morsel);
+    int64_t num_morsels = (scan_rows + morsel - 1) / std::max<int64_t>(1,
+                                                                       morsel);
+    if (num_morsels > max_morsels) {
+      num_morsels = max_morsels;
+      morsel = (scan_rows + num_morsels - 1) / num_morsels;
+      num_morsels = (scan_rows + morsel - 1) / morsel;
     }
+
+    ScanTarget shared_target{states[blk].data(), touched.data()};
+    if (lanes <= 1 || num_morsels <= 1) {
+      // Sequential: one scan straight into the shared arrays, visiting
+      // detail rows in exactly the pre-pool order.
+      scan_range(0, scan_rows, shared_target);
+      continue;
+    }
+
+    // Parallel: every morsel accumulates into private states + touched,
+    // then the partials are folded into the shared arrays in ascending
+    // morsel order (deterministic; see docs/parallelism.md).
+    struct Partial {
+      std::vector<AggState> states;
+      std::vector<char> touched;
+    };
+    std::vector<Partial> partials(static_cast<size_t>(num_morsels));
+    const auto& aggs = op.blocks[blk].aggs;
+    ThreadPool::Shared().ParallelFor(
+        num_morsels,
+        [&](int64_t m) {
+          Partial& partial = partials[static_cast<size_t>(m)];
+          partial.states.reserve(num_base * num_aggs);
+          for (size_t r = 0; r < num_base; ++r) {
+            for (const AggSpec& spec : aggs) {
+              partial.states.emplace_back(spec.func);
+            }
+          }
+          partial.touched.assign(num_base, 0);
+          ScanTarget target{partial.states.data(), partial.touched.data()};
+          scan_range(m * morsel, std::min(scan_rows, (m + 1) * morsel),
+                     target);
+        },
+        lanes);
+    // Fold the partials into the shared arrays. Every base row folds its
+    // morsels in ascending order no matter how chunks land on lanes, and
+    // distinct chunks write disjoint state ranges, so the fold itself can
+    // run on the pool without perturbing the result.
+    const int64_t num_chunks =
+        (static_cast<int64_t>(num_base) + kMergeChunkRows - 1) /
+        kMergeChunkRows;
+    ThreadPool::Shared().ParallelFor(
+        num_chunks,
+        [&](int64_t c) {
+          const size_t r_lo = static_cast<size_t>(c * kMergeChunkRows);
+          const size_t r_hi =
+              std::min(num_base, r_lo + static_cast<size_t>(kMergeChunkRows));
+          for (const Partial& partial : partials) {
+            for (size_t r = r_lo; r < r_hi; ++r) {
+              if (!partial.touched[r]) continue;
+              touched[r] = 1;
+              AggState* dst = &states[blk][r * num_aggs];
+              const AggState* src = &partial.states[r * num_aggs];
+              for (size_t a = 0; a < num_aggs; ++a) dst[a].Merge(src[a]);
+            }
+          }
+        },
+        lanes);
+    std::vector<Partial>().swap(partials);
   }
 
   // Emit output rows.

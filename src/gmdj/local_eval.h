@@ -40,7 +40,27 @@ struct LocalGmdjOptions {
   /// Empty means "all base columns" (centralized evaluation); distributed
   /// rounds ship only the key attributes K.
   std::vector<std::string> carry_cols;
+
+  /// Lanes for the morsel-driven detail scan: the detail relation is split
+  /// into fixed-size morsels evaluated on the shared pool
+  /// (common/thread_pool.h) with worker-private accumulators, merged back
+  /// in morsel order. 0 = ThreadPool::DefaultThreadCount() (the
+  /// SKALLA_THREADS knob, default hardware concurrency); 1 = the exact
+  /// sequential pre-pool behavior. Results are independent of the lane
+  /// count (see docs/parallelism.md).
+  int num_threads = 0;
+
+  /// Detail rows per morsel; 0 = default (kDefaultMorselRows). The morsel
+  /// grid — and therefore the merge order — depends only on this and the
+  /// relation sizes, never on num_threads.
+  int64_t morsel_rows = 0;
 };
+
+/// Default morsel granularity: small enough to load-balance skewed
+/// equi-key runs across workers, large enough that the per-morsel partial
+/// accumulators (|B| × |aggs| states each, folded after the scan) stay a
+/// small fraction of the scan work itself.
+inline constexpr int64_t kDefaultMorselRows = 65536;
 
 /// \brief Evaluates one GMDJ operator MD(base, detail, blocks) locally.
 ///
@@ -55,6 +75,12 @@ struct LocalGmdjOptions {
 /// The output contains one row per base tuple (or per *touched* base tuple
 /// when options.touched_only): carry columns followed by, for every block
 /// in order, every aggregate's value(s) in `options.mode` form.
+///
+/// The detail scan is morsel-driven: with num_threads lanes > 1 it is split
+/// into fixed-size morsels evaluated concurrently on the shared pool, each
+/// into private accumulators, merged back in morsel order — the in-memory
+/// analogue of the Theorem 1 sub/super-aggregate split, with the same
+/// determinism guarantee (docs/parallelism.md).
 Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
                          const GmdjOp& op, const LocalGmdjOptions& options);
 

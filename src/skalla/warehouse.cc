@@ -131,6 +131,7 @@ Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan) {
   for (const auto& site : sites_) site_ptrs.push_back(site.get());
   Coordinator coordinator(std::move(site_ptrs), net_);
   coordinator.set_parallel_sites(parallel_sites_);
+  coordinator.set_local_threads(local_threads_);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());
@@ -149,6 +150,7 @@ Result<QueryResult> Warehouse::ExecutePlanTree(const DistributedPlan& plan,
   for (const auto& site : sites_) site_ptrs.push_back(site.get());
   TreeCoordinator coordinator(std::move(site_ptrs), fan_in, net_);
   coordinator.set_parallel_sites(parallel_sites_);
+  coordinator.set_local_threads(local_threads_);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());
@@ -197,7 +199,7 @@ Result<QueryResult> Warehouse::ExecuteAuto(const GmdjExpr& expr,
 }
 
 Result<Table> Warehouse::ExecuteCentralized(const GmdjExpr& expr) const {
-  return EvalGmdjExprCentralized(expr, central_);
+  return EvalGmdjExprCentralized(expr, central_, local_threads_);
 }
 
 }  // namespace skalla

@@ -131,6 +131,13 @@ class Warehouse {
     parallel_sites_ = parallel;
   }
 
+  /// Lanes each site may use for its morsel-driven local GMDJ evaluation
+  /// (see Coordinator::set_local_threads): 0 = the SKALLA_THREADS default
+  /// (hardware concurrency), 1 = sequential local scans. Results are
+  /// byte-identical for every setting (docs/parallelism.md).
+  void set_local_threads(int num_threads) { local_threads_ = num_threads; }
+  int local_threads() const { return local_threads_; }
+
  private:
   std::vector<std::unique_ptr<Site>> sites_;
   /// Failover replicas keyed by primary site id (owned here, registered
@@ -140,6 +147,7 @@ class Warehouse {
   NetworkConfig net_;
   FaultInjector* injector_ = nullptr;
   bool parallel_sites_ = false;
+  int local_threads_ = 0;
   /// Relation statistics cache for ExecuteAuto (profiled on first use).
   std::map<std::string, RelationStats> stats_cache_;
 };
