@@ -18,6 +18,7 @@ namespace {
 
 using namespace skalla;
 using bench::GetWarehouse;
+using bench::JsonReport;
 using bench::WarehouseSpec;
 
 WarehouseSpec DefaultSpec() {
@@ -73,6 +74,7 @@ BENCHMARK(BM_NetworkAblation)
 void PrintTable() {
   Warehouse& warehouse = GetWarehouse(DefaultSpec());
   const GmdjExpr query = queries::CombinedQuery("CustKey");
+  JsonReport report("ablation_network");
   std::printf("\n=== Optimization win vs network regime (combined query, "
               "8 sites) ===\n");
   std::printf("%-36s %12s %12s %9s\n", "network", "naive[s]",
@@ -90,6 +92,16 @@ void PrintTable() {
                 optimized->metrics.ResponseSeconds(),
                 naive->metrics.ResponseSeconds() /
                     optimized->metrics.ResponseSeconds());
+    report.Add(std::string(point.name) + "/naive",
+               {{"bandwidth_bytes_per_sec", point.bandwidth},
+                {"latency_sec", point.latency}},
+               naive->metrics.ResponseSeconds() * 1000.0,
+               static_cast<int64_t>(naive->metrics.TotalBytes()));
+    report.Add(std::string(point.name) + "/optimized",
+               {{"bandwidth_bytes_per_sec", point.bandwidth},
+                {"latency_sec", point.latency}},
+               optimized->metrics.ResponseSeconds() * 1000.0,
+               static_cast<int64_t>(optimized->metrics.TotalBytes()));
   }
 }
 

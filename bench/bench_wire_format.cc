@@ -1,0 +1,176 @@
+// Wire-format ablation: SKL1 vs SKL2 vs SKL2+delta on the paper's Fig. 2
+// (group-reduction) and Fig. 5 (combined/coalescing) workloads. Reports
+// total simulated bytes shipped per configuration plus raw encode/decode
+// throughput of the serializer, and writes BENCH_wire_format.json.
+//
+//   ./bench_wire_format
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "storage/serializer.h"
+
+namespace {
+
+using namespace skalla;
+using bench::GetWarehouse;
+using bench::JsonReport;
+using bench::WarehouseSpec;
+
+WarehouseSpec DefaultSpec() {
+  WarehouseSpec spec;
+  spec.sites = 8;
+  spec.rows_per_site = 10000;
+  spec.groups_per_site = 800;
+  return spec;
+}
+
+struct WireMode {
+  const char* name;
+  WireFormat format;
+  bool delta;
+};
+
+const WireMode kModes[] = {
+    {"skl1", WireFormat::kSkl1, false},
+    {"skl2", WireFormat::kSkl2, false},
+    {"skl2+delta", WireFormat::kSkl2, true},
+};
+
+struct Workload {
+  const char* name;
+  GmdjExpr query;
+};
+
+std::vector<Workload> Workloads() {
+  return {{"fig2-group-reduction", queries::GroupReductionQuery("CustKey")},
+          {"fig5-combined", queries::CombinedQuery("CustKey")},
+          {"fig5-coalescing", queries::CoalescingQuery("ClerkKey")}};
+}
+
+NetworkConfig ModeConfig(const WireMode& mode) {
+  NetworkConfig net;
+  net.wire_format = mode.format;
+  net.delta_shipping = mode.delta;
+  return net;
+}
+
+void BM_WireFormatQuery(benchmark::State& state) {
+  const Workload workload = Workloads()[static_cast<size_t>(state.range(0))];
+  const WireMode& mode = kModes[state.range(1)];
+  Warehouse& warehouse = GetWarehouse(DefaultSpec());
+  warehouse.set_network_config(ModeConfig(mode));
+  for (auto _ : state) {
+    QueryResult result =
+        bench::MustExecute(warehouse, workload.query, OptimizerOptions::None());
+    state.SetIterationTime(result.metrics.ResponseSeconds());
+    state.counters["bytes"] =
+        static_cast<double>(result.metrics.TotalBytes());
+    state.counters["saved"] =
+        static_cast<double>(result.metrics.BytesSavedByDelta());
+    state.counters["vs_skl1"] = result.metrics.CompressionRatio();
+  }
+  state.SetLabel(std::string(workload.name) + "/" + mode.name);
+}
+BENCHMARK(BM_WireFormatQuery)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// A base-result-structure shaped table: sorted key, low-cardinality
+/// string, and two aggregate columns — what the coordinator actually
+/// ships every round.
+Table XShapedTable(int64_t rows) {
+  Table t(MakeSchema({{"CustKey", ValueType::kInt64},
+                      {"Status", ValueType::kString},
+                      {"o1", ValueType::kInt64},
+                      {"o2", ValueType::kDouble}}));
+  const char* status[] = {"pending", "shipped", "billed"};
+  for (int64_t i = 0; i < rows; ++i) {
+    t.AddRow({Value(i), Value(status[i % 3]), Value(i * 17 % 4096),
+              Value(static_cast<double>(i) * 0.25)});
+  }
+  return t;
+}
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const WireFormat format =
+      state.range(0) == 0 ? WireFormat::kSkl1 : WireFormat::kSkl2;
+  const Table t = XShapedTable(6400);
+  std::string bytes;
+  for (auto _ : state) {
+    bytes = Serializer::SerializeTable(t, format);
+    auto decoded = Serializer::DeserializeTable(bytes);
+    if (!decoded.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes.size());
+  state.SetBytesProcessed(static_cast<int64_t>(bytes.size()) *
+                          static_cast<int64_t>(state.iterations()));
+  state.SetLabel(WireFormatName(format));
+}
+BENCHMARK(BM_EncodeDecode)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void PrintTableAndReport() {
+  Warehouse& warehouse = GetWarehouse(DefaultSpec());
+  JsonReport report("wire_format");
+
+  std::printf("\n=== Bytes shipped by wire format (8 sites) ===\n");
+  std::printf("%-24s %-12s %14s %12s %9s\n", "workload", "format",
+              "bytes_shipped", "saved", "vs SKL1");
+  for (const Workload& workload : Workloads()) {
+    for (const WireMode& mode : kModes) {
+      warehouse.set_network_config(ModeConfig(mode));
+      QueryResult result = bench::MustExecute(warehouse, workload.query,
+                                              OptimizerOptions::None());
+      std::printf("%-24s %-12s %14zu %12zu %8.2fx\n", workload.name,
+                  mode.name, result.metrics.TotalBytes(),
+                  result.metrics.BytesSavedByDelta(),
+                  result.metrics.CompressionRatio());
+      report.Add(std::string(workload.name) + "/" + mode.name,
+                 {{"sites", 8},
+                  {"delta", mode.delta ? 1.0 : 0.0},
+                  {"saved_bytes",
+                   static_cast<double>(result.metrics.BytesSavedByDelta())},
+                  {"vs_skl1", result.metrics.CompressionRatio()}},
+                 result.metrics.ResponseSeconds() * 1000.0,
+                 static_cast<int64_t>(result.metrics.TotalBytes()));
+    }
+  }
+
+  // Raw codec throughput on an X-shaped relation.
+  const Table t = XShapedTable(6400);
+  for (const WireFormat format : {WireFormat::kSkl1, WireFormat::kSkl2}) {
+    const int kIters = 50;
+    const auto start = std::chrono::steady_clock::now();
+    size_t wire = 0;
+    for (int i = 0; i < kIters; ++i) {
+      const std::string bytes = Serializer::SerializeTable(t, format);
+      auto decoded = Serializer::DeserializeTable(bytes);
+      if (!decoded.ok()) std::abort();
+      wire = bytes.size();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kIters;
+    report.Add(std::string("encode+decode/") + WireFormatName(format),
+               {{"rows", 6400}}, ms, static_cast<int64_t>(wire));
+  }
+  report.Write();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTableAndReport();
+  return 0;
+}

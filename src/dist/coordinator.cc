@@ -1,6 +1,7 @@
 #include "dist/coordinator.h"
 
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -61,6 +62,15 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   // the rest of the query.
   SiteRoster roster(sites_, replicas_);
   const RetryPolicy& retry = network_.config().retry;
+  const WireFormat wire_format = network_.config().wire_format;
+  // Delta shipping needs the columnar codec for its sections; with SKL1
+  // selected every ship is a full payload.
+  const bool delta_enabled = network_.config().delta_shipping &&
+                             wire_format == WireFormat::kSkl2;
+  // What each site slot last received of X (per query; fused rounds ship
+  // only a plan and leave the cache untouched). Deltas in later rounds are
+  // encoded against this, mirroring the site's cached copy.
+  std::vector<std::optional<Table>> ship_cache(sites_.size());
 
   SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas, CollectSchemas(plan));
   const GmdjExpr expr = plan.ToExpr();
@@ -96,7 +106,8 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(
         std::vector<std::string> replies,
         DriveRoundWithRetries(&network_, retry, &rm, &roster, base_sites,
-                              down, reply_to, "B_i", eval, parallel_sites_));
+                              down, reply_to, "B_i", eval, parallel_sites_,
+                              LinkModel::kSharedLink, wire_format));
     double coord_cpu = 0;
     for (const std::string& payload : replies) {
       Stopwatch sw;
@@ -196,12 +207,35 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
         to_ship = &pruned;
       }
       const int64_t shipped_rows = to_ship->num_rows();
-      const std::string payload = Serializer::SerializeTable(*to_ship);
-      coord_cpu += filter_sw.ElapsedSeconds();
+      std::string full_payload =
+          Serializer::SerializeTable(*to_ship, wire_format);
+      const size_t baseline =
+          Serializer::WireSize(*to_ship, WireFormat::kSkl1);
+      std::optional<Table>& cached = ship_cache[static_cast<size_t>(sid)];
+      // Ship an SKLD delta against what the site already holds whenever it
+      // is strictly smaller; the full payload stays attached as the
+      // fallback the retry driver sends on re-ship (docs/wire-format.md).
+      std::string payload;
+      size_t fallback = 0;
+      std::string label = "X fragment";
+      if (delta_enabled && cached.has_value()) {
+        std::string delta = Serializer::SerializeDelta(*cached, *to_ship);
+        if (delta.size() < full_payload.size()) {
+          payload = std::move(delta);
+          fallback = full_payload.size();
+          label = "X delta";
+        }
+      }
+      if (fallback == 0) payload = std::move(full_payload);
       down[p] = DownMessage{kCoordinatorId, payload.size(), shipped_rows,
-                            "X fragment"};
-      SKALLA_ASSIGN_OR_RETURN(site_views[p],
-                              Serializer::DeserializeTable(payload));
+                            std::move(label), fallback, baseline};
+      // The site's view is what the shipped bytes decode to — against its
+      // cache for a delta, standalone otherwise.
+      SKALLA_ASSIGN_OR_RETURN(
+          site_views[p],
+          Serializer::DecodeShipment(cached ? &*cached : nullptr, payload));
+      cached = site_views[p];
+      coord_cpu += filter_sw.ElapsedSeconds();
     }
 
     // ---- Phase B: fault-tolerant per-site exchange (ship, evaluate in
@@ -221,7 +255,8 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(
         std::vector<std::string> replies,
         DriveRoundWithRetries(&network_, retry, &rm, &roster, participants,
-                              down, reply_to, "H_i", eval, parallel_sites_));
+                              down, reply_to, "H_i", eval, parallel_sites_,
+                              LinkModel::kSharedLink, wire_format));
 
     // ---- Phase C (coordinator): synchronize (Theorem 1) in
     //      deterministic site order. ----

@@ -41,7 +41,7 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     SiteRoster* roster, const std::vector<int>& participants,
     const std::vector<DownMessage>& down, const std::vector<int>& reply_to,
     const std::string& reply_label, const SiteEvalFn& eval, bool parallel,
-    LinkModel link_model) {
+    LinkModel link_model, WireFormat reply_format) {
   const size_t n = participants.size();
   const int attempts_per_budget = std::max(1, retry.max_attempts);
   std::vector<std::string> replies(n);
@@ -68,13 +68,23 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         charge[p] += retry.BackoffSeconds(attempt);
       }
       const DownMessage& msg = down[p];
+      // A delta payload is only safe on the first attempt: after a failed
+      // exchange (or a failover) the receiver's cached state is
+      // unknowable, so retries ship the full standalone payload.
+      const bool fall_back = attempt > 0 && msg.fallback_bytes > 0;
+      const size_t send_bytes = fall_back ? msg.fallback_bytes : msg.bytes;
       const TransferOutcome out =
-          net->Transfer(msg.from, site->id(), msg.bytes, msg.rows, msg.label,
+          net->Transfer(msg.from, site->id(), send_bytes, msg.rows, msg.label,
                         attempt, TransferDirection::kToSite);
-      rm->bytes_to_sites += msg.bytes;
+      rm->bytes_to_sites += send_bytes;
       rm->groups_to_sites += msg.rows;
+      rm->bytes_baseline_skl1 +=
+          msg.baseline_bytes > 0 ? msg.baseline_bytes : send_bytes;
+      if (attempt == 0 && msg.fallback_bytes > msg.bytes) {
+        rm->bytes_saved_by_delta += msg.fallback_bytes - msg.bytes;
+      }
       if (attempt > 0) {
-        rm->bytes_retransmitted += msg.bytes;
+        rm->bytes_retransmitted += send_bytes;
         rm->groups_retry_to_sites += msg.rows;
       }
       if (!out.delivered) {
@@ -115,12 +125,15 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
       Site* site = roster->active(sid);
       // Non-fault evaluation errors are logic bugs, not outages: propagate.
       SKALLA_ASSIGN_OR_RETURN(Table reply_table, std::move(outcomes[p]));
-      std::string payload = Serializer::SerializeTable(reply_table);
+      std::string payload =
+          Serializer::SerializeTable(reply_table, reply_format);
       const TransferOutcome out = net->Transfer(
           site->id(), reply_to[p], payload.size(), reply_table.num_rows(),
           reply_label, attempt, TransferDirection::kToCoordinator);
       rm->bytes_to_coord += payload.size();
       rm->groups_to_coord += reply_table.num_rows();
+      rm->bytes_baseline_skl1 +=
+          Serializer::WireSize(reply_table, WireFormat::kSkl1);
       if (attempt > 0) {
         rm->bytes_retransmitted += payload.size();
         rm->groups_retry_to_coord += reply_table.num_rows();

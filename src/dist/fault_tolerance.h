@@ -50,6 +50,17 @@ struct DownMessage {
   size_t bytes = 0;
   int64_t rows = 0;
   std::string label;
+
+  /// When > 0, the downstream payload of `bytes` is a delta against state
+  /// the receiver may no longer hold after a failed exchange, so every
+  /// retry (attempt > 0) ships this full standalone payload size instead —
+  /// which also covers a replica's first contact after failover.
+  size_t fallback_bytes = 0;
+
+  /// SKL1 full-ship equivalent of the payload, for compression-ratio
+  /// accounting (RoundMetrics::bytes_baseline_skl1). 0 means the message
+  /// is a control message counted at face value.
+  size_t baseline_bytes = 0;
 };
 
 /// Local evaluation callback: slot index, the site serving it (primary or
@@ -86,12 +97,16 @@ enum class LinkModel {
 /// an aggregation-tree parent). Retry, timeout, drop, failover, and
 /// retransmission counters are accumulated into `rm`; retransmitted bytes
 /// and groups are also counted as real traffic in the round totals.
+/// Replies travel in `reply_format`; their SKL1-equivalent size is folded
+/// into the round's bytes_baseline_skl1 alongside each DownMessage's
+/// baseline_bytes.
 Result<std::vector<std::string>> DriveRoundWithRetries(
     SimNetwork* net, const RetryPolicy& retry, RoundMetrics* rm,
     SiteRoster* roster, const std::vector<int>& participants,
     const std::vector<DownMessage>& down, const std::vector<int>& reply_to,
     const std::string& reply_label, const SiteEvalFn& eval, bool parallel,
-    LinkModel link_model = LinkModel::kSharedLink);
+    LinkModel link_model = LinkModel::kSharedLink,
+    WireFormat reply_format = DefaultWireFormat());
 
 }  // namespace skalla
 

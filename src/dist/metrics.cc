@@ -76,6 +76,25 @@ int64_t ExecutionMetrics::RetryGroupsToCoord() const {
   return total;
 }
 
+size_t ExecutionMetrics::BytesSavedByDelta() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_saved_by_delta;
+  return total;
+}
+
+size_t ExecutionMetrics::BytesBaselineSkl1() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_baseline_skl1;
+  return total;
+}
+
+double ExecutionMetrics::CompressionRatio() const {
+  const size_t actual = TotalBytes();
+  const size_t baseline = BytesBaselineSkl1();
+  if (actual == 0 || baseline == 0) return 1.0;
+  return static_cast<double>(baseline) / static_cast<double>(actual);
+}
+
 double ExecutionMetrics::SiteCpuSeconds() const {
   double total = 0;
   for (const RoundMetrics& r : rounds) total += r.site_cpu_max_sec;
@@ -117,6 +136,12 @@ std::string ExecutionMetrics::ToString() const {
         "%d failover(s), %s retransmitted\n",
         Retries(), Timeouts(), Drops(), Failovers(),
         HumanBytes(static_cast<double>(BytesRetransmitted())).c_str());
+  }
+  if (BytesSavedByDelta() > 0 || CompressionRatio() > 1.0) {
+    os << StrFormat(
+        "wire: %s saved by delta shipping, %.2fx vs SKL1 full-ship\n",
+        HumanBytes(static_cast<double>(BytesSavedByDelta())).c_str(),
+        CompressionRatio());
   }
   for (const RoundMetrics& r : rounds) {
     os << StrFormat(

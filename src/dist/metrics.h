@@ -38,6 +38,17 @@ struct RoundMetrics {
   int64_t groups_retry_to_sites = 0;
   int64_t groups_retry_to_coord = 0;
 
+  // ---- Wire-format accounting (docs/wire-format.md). ----
+  /// Bytes the round avoided shipping by sending SKLD deltas of the base
+  /// structure instead of full payloads (full size minus delta size, first
+  /// attempts only; retries ship full payloads and save nothing).
+  size_t bytes_saved_by_delta = 0;
+  /// What every relation message of the round would have cost in the
+  /// row-oriented SKL1 format with full (non-delta) shipping; control
+  /// messages are counted at face value. bytes_baseline_skl1 /
+  /// (bytes_to_sites + bytes_to_coord) is the round's compression ratio.
+  size_t bytes_baseline_skl1 = 0;
+
   double ResponseSeconds() const {
     return site_cpu_max_sec + (streaming
                                    ? std::max(coord_cpu_sec, comm_sec)
@@ -68,6 +79,11 @@ struct ExecutionMetrics {
   size_t BytesRetransmitted() const;
   int64_t RetryGroupsToSites() const;
   int64_t RetryGroupsToCoord() const;
+  size_t BytesSavedByDelta() const;
+  size_t BytesBaselineSkl1() const;
+  /// SKL1-full-ship baseline over actual bytes (>= 1.0 when the encoding
+  /// wins; 1.0 when nothing was saved or nothing was shipped).
+  double CompressionRatio() const;
   double SiteCpuSeconds() const;       ///< Σ per-round max (parallel model)
   double CoordCpuSeconds() const;
   double CommSeconds() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "common/logging.h"
@@ -104,6 +105,14 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
   ExecutionMetrics local_metrics;
   SiteRoster roster(sites_, replicas_);
   const RetryPolicy& retry = network_.config().retry;
+  const WireFormat wire_format = network_.config().wire_format;
+  const bool delta_enabled = network_.config().delta_shipping &&
+                             wire_format == WireFormat::kSkl2;
+  // The broadcast is one shared view for every leaf, so one cached copy of
+  // the last shipped X backs all delta encoding. Aggregators apply the
+  // delta to the same cache, so they can serve a retried leaf the full
+  // payload without re-charging the internal edges.
+  std::optional<Table> broadcast_cache;
 
   // Schema map via a throwaway flat coordinator helper.
   Coordinator schema_helper(sites_, network_.config());
@@ -136,8 +145,12 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
   // (sender level >= 2); leaf edges are driven fault-aware by the wave
   // driver instead. Sibling subtrees transfer in parallel, so a level
   // costs the max over senders of their serialized outbound volume.
+  // `baseline_bytes` is the SKL1 full-ship equivalent per edge (0 = count
+  // the actual bytes); `saved_bytes` is what delta encoding saved per edge.
   auto broadcast_internal = [&](size_t bytes, int64_t rows,
-                                const std::string& label, RoundMetrics* rm) {
+                                const std::string& label, RoundMetrics* rm,
+                                size_t baseline_bytes = 0,
+                                size_t saved_bytes = 0) {
     for (int level = topology_.num_levels - 1; level >= 2; --level) {
       double level_comm = 0;
       for (int node_id : topology_.NodesAtLevel(level)) {
@@ -150,6 +163,9 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
               rows, label, 0, TransferDirection::kToSite);
           rm->bytes_to_sites += bytes;
           rm->groups_to_sites += rows;
+          rm->bytes_baseline_skl1 +=
+              baseline_bytes > 0 ? baseline_bytes : bytes;
+          rm->bytes_saved_by_delta += saved_bytes;
           outbound += out.seconds;
         }
         level_comm = std::max(level_comm, outbound);
@@ -171,7 +187,8 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
         std::vector<std::string> replies,
         DriveRoundWithRetries(&network_, retry, rm, &roster, participants,
                               down, reply_to, reply_label, eval,
-                              parallel_sites_, LinkModel::kPerParentLinks));
+                              parallel_sites_, LinkModel::kPerParentLinks,
+                              wire_format));
     std::vector<Table> tables(replies.size());
     for (size_t s = 0; s < replies.size(); ++s) {
       SKALLA_ASSIGN_OR_RETURN(tables[s],
@@ -212,7 +229,7 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
             continue;
           }
           const std::string payload =
-              Serializer::SerializeTable(child_table);
+              Serializer::SerializeTable(child_table, wire_format);
           const TransferOutcome out = network_.Transfer(
               EncodeAggregatorId(child), EncodeAggregatorId(node_id),
               payload.size(), child_table.num_rows(), label, 0,
@@ -220,6 +237,8 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
           inbound += out.seconds;
           rm->bytes_to_coord += payload.size();
           rm->groups_to_coord += child_table.num_rows();
+          rm->bytes_baseline_skl1 +=
+              Serializer::WireSize(child_table, WireFormat::kSkl1);
           SKALLA_ASSIGN_OR_RETURN(Table decoded,
                                   Serializer::DeserializeTable(payload));
           received.push_back(std::move(decoded));
@@ -293,12 +312,38 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
         SKALLA_ASSIGN_OR_RETURN(shipped_x, Project(x, round.ship_cols));
         x_for_leaves = &shipped_x;
       }
-      const std::string payload = Serializer::SerializeTable(*x_for_leaves);
-      broadcast_internal(payload.size(), x_for_leaves->num_rows(),
-                         "X broadcast", &rm);
+      std::string full_payload =
+          Serializer::SerializeTable(*x_for_leaves, wire_format);
+      const size_t baseline =
+          Serializer::WireSize(*x_for_leaves, WireFormat::kSkl1);
+      std::string payload;
+      size_t fallback = 0;
+      std::string label = "X broadcast";
+      if (delta_enabled && broadcast_cache.has_value()) {
+        std::string delta =
+            Serializer::SerializeDelta(*broadcast_cache, *x_for_leaves);
+        if (delta.size() < full_payload.size()) {
+          payload = std::move(delta);
+          fallback = full_payload.size();
+          label = "X delta broadcast";
+        }
+      }
+      if (fallback == 0) payload = std::move(full_payload);
+      const size_t saved = fallback > 0 ? fallback - payload.size() : 0;
+      // Every leaf sees the decode of the shipped bytes (against the
+      // shared cache for a delta); the cache advances to that view.
+      SKALLA_ASSIGN_OR_RETURN(
+          shipped_x,
+          Serializer::DecodeShipment(
+              broadcast_cache ? &*broadcast_cache : nullptr, payload));
+      x_for_leaves = &shipped_x;
+      broadcast_cache = shipped_x;
+      broadcast_internal(payload.size(), x_for_leaves->num_rows(), label,
+                         &rm, baseline, saved);
       for (size_t s = 0; s < sites_.size(); ++s) {
         down[s] = DownMessage{leaf_parent[s], payload.size(),
-                              x_for_leaves->num_rows(), "X broadcast"};
+                              x_for_leaves->num_rows(), label, fallback,
+                              baseline};
       }
     } else {
       // The fused plan itself travels down the tree, one control message

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "dist/tree_coordinator.h"
+#include "storage/serializer.h"
 
 namespace skalla {
 
@@ -17,15 +18,26 @@ Result<RelationStats> ProfileRelation(const Table& table,
     SKALLA_ASSIGN_OR_RETURN(int idx, table.schema().MustIndexOf(attr));
     std::unordered_set<uint64_t> hashes;
     double width_sum = 0;
+    Table column(MakeSchema({table.schema().field(idx)}));
+    column.Reserve(table.num_rows());
     for (int64_t r = 0; r < table.num_rows(); ++r) {
       const Value& v = table.Get(r, idx);
       hashes.insert(v.Hash());
       width_sum += static_cast<double>(v.SerializedSize());
+      column.AddRow({v});
     }
     stats.distinct_counts[attr] = static_cast<int64_t>(hashes.size());
     stats.avg_widths[attr] =
         table.num_rows() == 0 ? 0.0
                               : width_sum / static_cast<double>(table.num_rows());
+    // Measured columnar width: encode the attribute as one SKL2 column and
+    // average (includes the codec tag, null bitmap, and dictionary).
+    stats.avg_widths_skl2[attr] =
+        table.num_rows() == 0
+            ? 0.0
+            : static_cast<double>(
+                  Serializer::TablePayloadSize(column, WireFormat::kSkl2)) /
+                  static_cast<double>(table.num_rows());
   }
   return stats;
 }
@@ -39,15 +51,29 @@ std::string CostBreakdown::ToString() const {
 
 namespace {
 
-/// Serialized width of one numeric aggregate column (tag + 8 bytes).
+/// SKL1 width of one numeric aggregate column (tag + 8 bytes).
 constexpr double kAggColBytes = 9.0;
+
+/// SKL2 width of one numeric aggregate column: varint-delta counts and
+/// sums cost 1–3 bytes, raw doubles ~8.1 (8 + bitmap share); integer
+/// aggregates dominate the Fig. 2/5 workloads, so the model leans low.
+constexpr double kAggColBytesSkl2 = 3.0;
 
 /// Fixed serialization overhead charged once per shipped relation
 /// (magic + schema header + row count); small but keeps tiny-relation
-/// estimates honest.
+/// estimates honest. Also covers an SKLD delta's hash/mapping preamble.
 constexpr double kTableHeaderBytes = 64.0;
 
 }  // namespace
+
+double CostEstimator::AggColBytes() const {
+  return net_.wire_format == WireFormat::kSkl1 ? kAggColBytes
+                                               : kAggColBytesSkl2;
+}
+
+bool CostEstimator::DeltaShippingActive() const {
+  return net_.delta_shipping && net_.wire_format == WireFormat::kSkl2;
+}
 
 bool CostEstimator::KeysContainPartitionAttribute(
     const DistributedPlan& plan) const {
@@ -87,15 +113,21 @@ Result<double> CostEstimator::XRowWidth(const DistributedPlan& plan,
     return Status::NotFound("no statistics for relation '" +
                             plan.base.source_table + "'");
   }
+  const bool columnar = net_.wire_format == WireFormat::kSkl2;
   double width = 0;
   for (const std::string& attr : plan.key_attrs) {
     auto w = it->second.avg_widths.find(attr);
     if (w == it->second.avg_widths.end()) {
       return Status::NotFound("no width statistic for '" + attr + "'");
     }
-    width += w->second;
+    // Prefer the measured columnar width under SKL2; stats profiled
+    // without it fall back to the row-format width (an overestimate).
+    auto w2 = it->second.avg_widths_skl2.find(attr);
+    width += (columnar && w2 != it->second.avg_widths_skl2.end())
+                 ? w2->second
+                 : w->second;
   }
-  return width + kAggColBytes * agg_cols;
+  return width + AggColBytes() * agg_cols;
 }
 
 Result<CostBreakdown> CostEstimator::EstimateFlat(
@@ -120,6 +152,7 @@ Result<CostBreakdown> CostEstimator::EstimateFlat(
   }
 
   int completed_agg_cols = 0;
+  int prev_shipped_agg_cols = -1;  // -1: no X shipped yet (delta model)
   for (size_t r = 0; r < plan.rounds.size(); ++r) {
     const PlanRound& round = plan.rounds[r];
     const bool fused = plan.fuse_base && r == 0;
@@ -137,7 +170,7 @@ Result<CostBreakdown> CostEstimator::EstimateFlat(
     SKALLA_ASSIGN_OR_RETURN(double x_width,
                             XRowWidth(plan, completed_agg_cols));
     SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
-    const double h_width = key_width + kAggColBytes * round_sub_cols;
+    const double h_width = key_width + AggColBytes() * round_sub_cols;
 
     if (fused) {
       cost.bytes_down += s * 512.0;
@@ -148,7 +181,17 @@ Result<CostBreakdown> CostEstimator::EstimateFlat(
           (round.flags.aware_group_reduction && partitioned)
               ? cost.groups
               : s * cost.groups;
-      cost.bytes_down += down_groups * x_width + s * kTableHeaderBytes;
+      if (DeltaShippingActive() && prev_shipped_agg_cols >= 0) {
+        // Later rounds delta-ship only the aggregate columns appended
+        // since the site's cached copy of X.
+        const double appended =
+            static_cast<double>(completed_agg_cols - prev_shipped_agg_cols);
+        cost.bytes_down +=
+            down_groups * AggColBytes() * appended + s * kTableHeaderBytes;
+      } else {
+        cost.bytes_down += down_groups * x_width + s * kTableHeaderBytes;
+      }
+      prev_shipped_agg_cols = completed_agg_cols;
     }
     // Independent reduction returns each group from the sites that touch
     // it (once in total under a partitioned key); fused rounds return the
@@ -190,6 +233,7 @@ Result<CostBreakdown> CostEstimator::EstimateTree(const DistributedPlan& plan,
   };
 
   int completed_agg_cols = 0;
+  int prev_shipped_agg_cols = -1;  // -1: no X broadcast yet (delta model)
 
   if (!plan.fuse_base) {
     SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
@@ -226,12 +270,20 @@ Result<CostBreakdown> CostEstimator::EstimateTree(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(double x_width,
                             XRowWidth(plan, completed_agg_cols));
     SKALLA_ASSIGN_OR_RETURN(double key_width, XRowWidth(plan, 0));
-    const double h_width = key_width + kAggColBytes * round_sub_cols;
+    const double h_width = key_width + AggColBytes() * round_sub_cols;
 
     if (!fused) {
       // Broadcast of the full X along every edge; per level the busiest
-      // node forwards fan_in copies.
-      const double x_bytes = cost.groups * x_width + kTableHeaderBytes;
+      // node forwards fan_in copies. With delta shipping every node keeps
+      // last round's X, so later broadcasts carry only the aggregate
+      // columns appended since then.
+      double x_bytes = cost.groups * x_width + kTableHeaderBytes;
+      if (DeltaShippingActive() && prev_shipped_agg_cols >= 0) {
+        const double appended =
+            static_cast<double>(completed_agg_cols - prev_shipped_agg_cols);
+        x_bytes = cost.groups * AggColBytes() * appended + kTableHeaderBytes;
+      }
+      prev_shipped_agg_cols = completed_agg_cols;
       const double edges =
           static_cast<double>(topology.nodes.size() - 1);
       cost.bytes_down += edges * x_bytes;

@@ -19,8 +19,15 @@ struct RelationStats {
   int64_t rows = 0;
   /// Distinct-value counts per profiled attribute.
   std::map<std::string, int64_t> distinct_counts;
-  /// Average serialized width (bytes) per profiled attribute.
+  /// Average serialized width (bytes) per profiled attribute in the
+  /// row-oriented SKL1 format (per-value tag + payload).
   std::map<std::string, double> avg_widths;
+  /// Average columnar (SKL2) width per profiled attribute: the attribute's
+  /// measured column payload — codec tag, null bitmap, varint deltas or
+  /// dictionary codes — divided by the row count. Typically well below the
+  /// SKL1 width; the estimator picks the map matching the configured
+  /// wire format.
+  std::map<std::string, double> avg_widths_skl2;
 };
 
 /// Computes RelationStats for the given attributes in one pass.
@@ -84,8 +91,16 @@ class CostEstimator {
   bool KeysContainPartitionAttribute(const DistributedPlan& plan) const;
 
   /// Average serialized row width of the base-result structure after the
-  /// given number of completed aggregate columns.
+  /// given number of completed aggregate columns, in the configured wire
+  /// format.
   Result<double> XRowWidth(const DistributedPlan& plan, int agg_cols) const;
+
+  /// Per-value width of one aggregate column in the configured format.
+  double AggColBytes() const;
+
+  /// True when the coordinators will delta-ship X across rounds under the
+  /// configured NetworkConfig.
+  bool DeltaShippingActive() const;
 
   int num_sites_;
   NetworkConfig net_;

@@ -34,6 +34,14 @@ std::string FormatExecutionReport(const QueryResult& result) {
       static_cast<long long>(result.metrics.GroupsToCoord()),
       result.metrics.ResponseSeconds(), result.metrics.SiteCpuSeconds(),
       result.metrics.CoordCpuSeconds(), result.metrics.CommSeconds());
+  if (result.metrics.BytesSavedByDelta() > 0 ||
+      result.metrics.CompressionRatio() > 1.0) {
+    os << StrFormat(
+        "wire:        %s saved by delta shipping, %.2fx vs SKL1 full-ship\n",
+        HumanBytes(static_cast<double>(result.metrics.BytesSavedByDelta()))
+            .c_str(),
+        result.metrics.CompressionRatio());
+  }
   return os.str();
 }
 

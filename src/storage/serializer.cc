@@ -1,12 +1,17 @@
 #include "storage/serializer.h"
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_map>
+#include <vector>
 
 namespace skalla {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x534b4c31;  // 'SKL1'
+constexpr uint32_t kMagicSkl1 = 0x534b4c31;  // 'SKL1'
+constexpr uint32_t kMagicSkl2 = 0x534b4c32;  // 'SKL2'
+constexpr uint32_t kMagicSkld = 0x534b4c44;  // 'SKLD' (delta)
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -28,6 +33,33 @@ void PutDouble(std::string* out, double v) {
   char buf[8];
   std::memcpy(buf, &v, 8);
   out->append(buf, 8);
+}
+
+/// Unsigned LEB128; at most 10 bytes for a u64.
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
 class Reader {
@@ -64,12 +96,30 @@ class Reader {
     pos_ += len;
     return true;
   }
+  size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
  private:
   std::string_view bytes_;
   size_t pos_ = 0;
 };
+
+Result<uint64_t> ReadVarint(Reader* reader) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    if (!reader->ReadU8(&byte)) return Status::IoError("truncated varint");
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      return Status::IoError("varint overflow");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+  }
+  return Status::IoError("varint overflow");
+}
+
+// ---------------------------------------------------------------------------
+// SKL1 per-value codec.
 
 void PutValue(std::string* out, const Value& v) {
   PutU8(out, static_cast<uint8_t>(v.type()));
@@ -119,42 +169,297 @@ Result<Value> ReadValue(Reader* reader) {
   return Status::IoError("unknown value tag " + std::to_string(tag));
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// SKL2 per-column codec. A column range [begin, end) over one table column
+// is classified into one of five codecs; the homogeneous codecs carry a
+// null bitmap (LSB-first within each byte, bit set = non-null) followed by
+// the packed non-null values.
 
-std::string Serializer::SerializeTable(const Table& table) {
-  std::string out;
-  out.reserve(WireSize(table));
-  PutU32(&out, kMagic);
-  const Schema& schema = table.schema();
-  PutU32(&out, static_cast<uint32_t>(schema.num_fields()));
-  for (const Field& f : schema.fields()) {
-    PutU8(&out, static_cast<uint8_t>(f.type));
-    PutU32(&out, static_cast<uint32_t>(f.name.size()));
-    out.append(f.name);
+enum ColumnCodec : uint8_t {
+  kColAllNull = 0,
+  kColInt64 = 1,
+  kColDouble = 2,
+  kColString = 3,
+  kColMixed = 4,  ///< heterogeneous non-null types: per-value tag + payload
+};
+
+ColumnCodec ClassifyColumn(const Table& t, int col, int64_t begin,
+                           int64_t end) {
+  bool seen = false;
+  ValueType type = ValueType::kNull;
+  for (int64_t r = begin; r < end; ++r) {
+    const Value& v = t.Get(r, col);
+    if (v.type() == ValueType::kNull) continue;
+    if (!seen) {
+      seen = true;
+      type = v.type();
+    } else if (v.type() != type) {
+      return kColMixed;
+    }
   }
-  PutU64(&out, static_cast<uint64_t>(table.num_rows()));
-  for (const Row& row : table.rows()) {
-    for (const Value& v : row) PutValue(&out, v);
+  if (!seen) return kColAllNull;
+  switch (type) {
+    case ValueType::kInt64:
+      return kColInt64;
+    case ValueType::kDouble:
+      return kColDouble;
+    case ValueType::kString:
+      return kColString;
+    default:
+      return kColAllNull;  // unreachable
   }
-  return out;
 }
 
-Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
-  Reader reader(bytes);
-  uint32_t magic = 0;
-  if (!reader.ReadU32(&magic) || magic != kMagic) {
-    return Status::IoError("bad table magic");
+void PutNullBitmap(std::string* out, const Table& t, int col, int64_t begin,
+                   int64_t end) {
+  const int64_t n = end - begin;
+  std::string bitmap(static_cast<size_t>((n + 7) / 8), '\0');
+  for (int64_t r = begin; r < end; ++r) {
+    if (t.Get(r, col).type() != ValueType::kNull) {
+      const int64_t i = r - begin;
+      bitmap[static_cast<size_t>(i / 8)] |=
+          static_cast<char>(1u << (i % 8));
+    }
   }
+  out->append(bitmap);
+}
+
+void EncodeColumnRange(std::string* out, const Table& t, int col,
+                       int64_t begin, int64_t end) {
+  const ColumnCodec codec = ClassifyColumn(t, col, begin, end);
+  PutU8(out, codec);
+  switch (codec) {
+    case kColAllNull:
+      break;
+    case kColInt64: {
+      PutNullBitmap(out, t, col, begin, end);
+      int64_t prev = 0;
+      for (int64_t r = begin; r < end; ++r) {
+        const Value& v = t.Get(r, col);
+        if (v.type() == ValueType::kNull) continue;
+        const int64_t cur = v.AsInt64();
+        // Delta over the non-null subsequence; the difference wraps on
+        // overflow and unwraps identically on decode (two's complement).
+        PutVarint(out, ZigZagEncode(static_cast<int64_t>(
+                           static_cast<uint64_t>(cur) -
+                           static_cast<uint64_t>(prev))));
+        prev = cur;
+      }
+      break;
+    }
+    case kColDouble: {
+      PutNullBitmap(out, t, col, begin, end);
+      for (int64_t r = begin; r < end; ++r) {
+        const Value& v = t.Get(r, col);
+        if (v.type() != ValueType::kNull) PutDouble(out, v.AsDouble());
+      }
+      break;
+    }
+    case kColString: {
+      PutNullBitmap(out, t, col, begin, end);
+      // First-appearance dictionary: deterministic given the row order.
+      std::unordered_map<std::string_view, uint64_t> index;
+      std::vector<std::string_view> dict;
+      std::vector<uint64_t> codes;
+      for (int64_t r = begin; r < end; ++r) {
+        const Value& v = t.Get(r, col);
+        if (v.type() == ValueType::kNull) continue;
+        const std::string_view s = v.AsString();
+        auto [it, inserted] = index.emplace(s, dict.size());
+        if (inserted) dict.push_back(s);
+        codes.push_back(it->second);
+      }
+      PutVarint(out, dict.size());
+      for (std::string_view s : dict) {
+        PutVarint(out, s.size());
+        out->append(s);
+      }
+      for (uint64_t code : codes) PutVarint(out, code);
+      break;
+    }
+    case kColMixed: {
+      for (int64_t r = begin; r < end; ++r) PutValue(out, t.Get(r, col));
+      break;
+    }
+  }
+}
+
+size_t ColumnRangeSize(const Table& t, int col, int64_t begin, int64_t end) {
+  const ColumnCodec codec = ClassifyColumn(t, col, begin, end);
+  size_t size = 1;  // codec tag
+  const size_t bitmap = static_cast<size_t>((end - begin + 7) / 8);
+  switch (codec) {
+    case kColAllNull:
+      break;
+    case kColInt64: {
+      size += bitmap;
+      int64_t prev = 0;
+      for (int64_t r = begin; r < end; ++r) {
+        const Value& v = t.Get(r, col);
+        if (v.type() == ValueType::kNull) continue;
+        const int64_t cur = v.AsInt64();
+        size += VarintSize(ZigZagEncode(static_cast<int64_t>(
+            static_cast<uint64_t>(cur) - static_cast<uint64_t>(prev))));
+        prev = cur;
+      }
+      break;
+    }
+    case kColDouble: {
+      size += bitmap;
+      for (int64_t r = begin; r < end; ++r) {
+        if (t.Get(r, col).type() != ValueType::kNull) size += 8;
+      }
+      break;
+    }
+    case kColString: {
+      size += bitmap;
+      std::unordered_map<std::string_view, uint64_t> index;
+      uint64_t next_code = 0;
+      size_t dict_bytes = 0;
+      for (int64_t r = begin; r < end; ++r) {
+        const Value& v = t.Get(r, col);
+        if (v.type() == ValueType::kNull) continue;
+        const std::string_view s = v.AsString();
+        auto [it, inserted] = index.emplace(s, next_code);
+        if (inserted) {
+          dict_bytes += VarintSize(s.size()) + s.size();
+          ++next_code;
+        }
+        size += VarintSize(it->second);
+      }
+      size += VarintSize(next_code) + dict_bytes;
+      break;
+    }
+    case kColMixed: {
+      for (int64_t r = begin; r < end; ++r) {
+        size += t.Get(r, col).SerializedSize();
+      }
+      break;
+    }
+  }
+  return size;
+}
+
+/// Decodes one column section of `n` values into `*out` (appended).
+Status DecodeColumnRange(Reader* reader, int64_t n,
+                         std::vector<Value>* out) {
+  uint8_t codec = 0;
+  if (!reader->ReadU8(&codec)) return Status::IoError("truncated column tag");
+  if (codec > kColMixed) {
+    return Status::IoError("unknown column codec " + std::to_string(codec));
+  }
+  if (codec == kColAllNull) {
+    out->insert(out->end(), static_cast<size_t>(n), Value::Null());
+    return Status::OK();
+  }
+  if (codec == kColMixed) {
+    for (int64_t r = 0; r < n; ++r) {
+      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+  // Homogeneous codecs: null bitmap first.
+  const size_t bitmap_bytes = static_cast<size_t>((n + 7) / 8);
+  std::string bitmap;
+  if (!reader->ReadString(static_cast<uint32_t>(bitmap_bytes), &bitmap)) {
+    return Status::IoError("truncated null bitmap");
+  }
+  auto non_null = [&bitmap](int64_t i) {
+    return (static_cast<uint8_t>(bitmap[static_cast<size_t>(i / 8)]) >>
+            (i % 8)) &
+           1u;
+  };
+  switch (codec) {
+    case kColInt64: {
+      int64_t prev = 0;
+      for (int64_t r = 0; r < n; ++r) {
+        if (!non_null(r)) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        SKALLA_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint(reader));
+        prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                    static_cast<uint64_t>(ZigZagDecode(raw)));
+        out->push_back(Value(prev));
+      }
+      return Status::OK();
+    }
+    case kColDouble: {
+      for (int64_t r = 0; r < n; ++r) {
+        if (!non_null(r)) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        double d = 0;
+        if (!reader->ReadDouble(&d)) {
+          return Status::IoError("truncated double column");
+        }
+        out->push_back(Value(d));
+      }
+      return Status::OK();
+    }
+    case kColString: {
+      SKALLA_ASSIGN_OR_RETURN(uint64_t dict_count, ReadVarint(reader));
+      if (dict_count > reader->remaining()) {
+        // Each entry costs at least one length byte; anything larger than
+        // the remaining payload is corrupt, reject before allocating.
+        return Status::IoError("dictionary count out of range");
+      }
+      std::vector<std::string> dict;
+      dict.reserve(static_cast<size_t>(dict_count));
+      for (uint64_t i = 0; i < dict_count; ++i) {
+        SKALLA_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(reader));
+        if (len > reader->remaining()) {
+          return Status::IoError("truncated dictionary entry");
+        }
+        std::string s;
+        if (!reader->ReadString(static_cast<uint32_t>(len), &s)) {
+          return Status::IoError("truncated dictionary entry");
+        }
+        dict.push_back(std::move(s));
+      }
+      for (int64_t r = 0; r < n; ++r) {
+        if (!non_null(r)) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        SKALLA_ASSIGN_OR_RETURN(uint64_t code, ReadVarint(reader));
+        if (code >= dict_count) {
+          return Status::IoError("dictionary code out of range");
+        }
+        out->push_back(Value(dict[static_cast<size_t>(code)]));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::IoError("unknown column codec");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared header helpers.
+
+void PutSchema(std::string* out, const Schema& schema) {
+  PutU32(out, static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    PutU8(out, static_cast<uint8_t>(f.type));
+    PutU32(out, static_cast<uint32_t>(f.name.size()));
+    out->append(f.name);
+  }
+}
+
+Result<std::vector<Field>> ReadSchema(Reader* reader) {
   uint32_t nfields = 0;
-  if (!reader.ReadU32(&nfields)) return Status::IoError("truncated schema");
+  if (!reader->ReadU32(&nfields)) return Status::IoError("truncated schema");
   std::vector<Field> fields;
   fields.reserve(nfields);
   for (uint32_t i = 0; i < nfields; ++i) {
     uint8_t type = 0;
     uint32_t name_len = 0;
     std::string name;
-    if (!reader.ReadU8(&type) || !reader.ReadU32(&name_len) ||
-        !reader.ReadString(name_len, &name)) {
+    if (!reader->ReadU8(&type) || !reader->ReadU32(&name_len) ||
+        !reader->ReadString(name_len, &name)) {
       return Status::IoError("truncated field");
     }
     if (type > static_cast<uint8_t>(ValueType::kString)) {
@@ -162,32 +467,374 @@ Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
     }
     fields.push_back(Field{std::move(name), static_cast<ValueType>(type)});
   }
-  uint64_t nrows = 0;
-  if (!reader.ReadU64(&nrows)) return Status::IoError("truncated row count");
-  Table table(MakeSchema(std::move(fields)));
-  table.Reserve(static_cast<int64_t>(nrows));
-  for (uint64_t r = 0; r < nrows; ++r) {
-    Row row;
-    row.reserve(nfields);
-    for (uint32_t c = 0; c < nfields; ++c) {
-      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
-      row.push_back(std::move(v));
-    }
-    table.AddRow(std::move(row));
-  }
-  if (!reader.AtEnd()) return Status::IoError("trailing bytes after table");
-  return table;
+  return fields;
 }
 
-size_t Serializer::WireSize(const Table& table) {
+size_t HeaderSize(const Table& table) {
   size_t size = 4;  // magic
   size += 4;        // nfields
   for (const Field& f : table.schema().fields()) {
     size += 1 + 4 + f.name.size();
   }
   size += 8;  // nrows
-  size += table.SerializedSize();
   return size;
+}
+
+/// Exact type- and bit-level value equality: NaN equals the same NaN bit
+/// pattern, -0.0 differs from +0.0, and 5 differs from 5.0 — the relation
+/// under which a receiver's cached bytes can stand in for shipped ones.
+bool WireEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt64:
+      return a.AsInt64() == b.AsInt64();
+    case ValueType::kDouble: {
+      uint64_t ba = 0;
+      uint64_t bb = 0;
+      const double da = a.AsDouble();
+      const double db = b.AsDouble();
+      std::memcpy(&ba, &da, 8);
+      std::memcpy(&bb, &db, 8);
+      return ba == bb;
+    }
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+/// Cells (rows x fields) a decoder is willing to materialize from one
+/// payload. SKL2's all-null column codec is a single tag byte whatever the
+/// row count, so no payload-proportional bound is sound for the columnar
+/// path — the guard is absolute instead.
+constexpr uint64_t kMaxDecodedCells = uint64_t{1} << 32;
+
+/// Clamp for up-front reserves so a large-but-plausible claimed row count
+/// cannot throw std::bad_alloc before the payload proves it out; vectors
+/// grow amortized past the clamp.
+constexpr uint64_t kReserveClamp = uint64_t{1} << 16;
+
+/// Rejects row counts the payload cannot back, before any allocation
+/// proportional to the claim happens. SKL1 spends at least one tag byte
+/// per value, giving a tight size-relative bound; SKL2 gets the absolute
+/// cell cap (see kMaxDecodedCells).
+Status CheckRowCount(uint64_t nrows, size_t nfields, size_t remaining,
+                     bool columnar) {
+  if (nrows == 0) return Status::OK();
+  if (nfields == 0) return Status::IoError("row count out of range");
+  const uint64_t limit = columnar
+                             ? kMaxDecodedCells / nfields
+                             : static_cast<uint64_t>(remaining) / nfields;
+  if (nrows > limit) return Status::IoError("row count out of range");
+  return Status::OK();
+}
+
+Result<Table> DecodeSkl1Body(Reader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Field> fields, ReadSchema(reader));
+  const size_t nfields = fields.size();
+  uint64_t nrows = 0;
+  if (!reader->ReadU64(&nrows)) return Status::IoError("truncated row count");
+  SKALLA_RETURN_NOT_OK(
+      CheckRowCount(nrows, nfields, reader->remaining(), /*columnar=*/false));
+  Table table(MakeSchema(std::move(fields)));
+  table.Reserve(static_cast<int64_t>(nrows));
+  for (uint64_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(nfields);
+    for (size_t c = 0; c < nfields; ++c) {
+      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+      row.push_back(std::move(v));
+    }
+    table.AddRow(std::move(row));
+  }
+  if (!reader->AtEnd()) return Status::IoError("trailing bytes after table");
+  return table;
+}
+
+Result<Table> DecodeSkl2Body(Reader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Field> fields, ReadSchema(reader));
+  const size_t nfields = fields.size();
+  uint64_t nrows = 0;
+  if (!reader->ReadU64(&nrows)) return Status::IoError("truncated row count");
+  SKALLA_RETURN_NOT_OK(
+      CheckRowCount(nrows, nfields, reader->remaining(), /*columnar=*/true));
+  std::vector<std::vector<Value>> columns(nfields);
+  if (nrows > 0) {
+    for (size_t c = 0; c < nfields; ++c) {
+      columns[c].reserve(static_cast<size_t>(std::min(nrows, kReserveClamp)));
+      SKALLA_RETURN_NOT_OK(DecodeColumnRange(
+          reader, static_cast<int64_t>(nrows), &columns[c]));
+    }
+  }
+  if (!reader->AtEnd()) return Status::IoError("trailing bytes after table");
+  Table table(MakeSchema(std::move(fields)));
+  table.Reserve(static_cast<int64_t>(std::min(nrows, kReserveClamp)));
+  for (uint64_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(nfields);
+    for (size_t c = 0; c < nfields; ++c) {
+      row.push_back(std::move(columns[c][static_cast<size_t>(r)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Result<Table> DecodeDeltaBody(const Table* cached, Reader* reader) {
+  if (cached == nullptr) {
+    return Status::IoError("delta payload without a cached base table");
+  }
+  uint64_t base_hash = 0;
+  if (!reader->ReadU64(&base_hash)) {
+    return Status::IoError("truncated delta base hash");
+  }
+  if (base_hash != Serializer::ContentHash(*cached)) {
+    return Status::IoError("delta base hash mismatch");
+  }
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Field> fields, ReadSchema(reader));
+  const size_t nfields = fields.size();
+  const size_t base_cols =
+      static_cast<size_t>(cached->schema().num_fields());
+  // Per-column mapping into the base: 0 = new column, k = base column k-1.
+  std::vector<int> mapping(nfields, -1);
+  for (size_t c = 0; c < nfields; ++c) {
+    SKALLA_ASSIGN_OR_RETURN(uint64_t m, ReadVarint(reader));
+    if (m == 0) continue;
+    if (m > base_cols) {
+      return Status::IoError("delta column mapping out of range");
+    }
+    const int k = static_cast<int>(m - 1);
+    if (cached->schema().fields()[static_cast<size_t>(k)].name !=
+        fields[c].name) {
+      return Status::IoError("delta column mapping name mismatch");
+    }
+    mapping[c] = k;
+  }
+  SKALLA_ASSIGN_OR_RETURN(uint64_t kept_rows, ReadVarint(reader));
+  SKALLA_ASSIGN_OR_RETURN(uint64_t total_rows, ReadVarint(reader));
+  if (kept_rows > static_cast<uint64_t>(cached->num_rows()) ||
+      kept_rows > total_rows) {
+    return Status::IoError("delta row counts out of range");
+  }
+  // Rows beyond kept_rows must be carried by the payload; kept rows come
+  // from the cache for free, so only the appended span (and, when any
+  // column is new, the full span) is bounded against the remaining bytes.
+  SKALLA_RETURN_NOT_OK(CheckRowCount(total_rows - kept_rows, nfields,
+                                     reader->remaining(), /*columnar=*/true));
+  for (size_t c = 0; c < nfields; ++c) {
+    if (mapping[c] < 0) {
+      SKALLA_RETURN_NOT_OK(CheckRowCount(total_rows, nfields,
+                                         reader->remaining(),
+                                         /*columnar=*/true));
+      break;
+    }
+  }
+  // Column sections: new columns over all rows, mapped columns over the
+  // appended suffix only.
+  std::vector<std::vector<Value>> sections(nfields);
+  for (size_t c = 0; c < nfields; ++c) {
+    const int64_t n = static_cast<int64_t>(
+        mapping[c] < 0 ? total_rows : total_rows - kept_rows);
+    if (n > 0) {
+      sections[c].reserve(static_cast<size_t>(
+          std::min(static_cast<uint64_t>(n), kReserveClamp)));
+      SKALLA_RETURN_NOT_OK(DecodeColumnRange(reader, n, &sections[c]));
+    }
+  }
+  if (!reader->AtEnd()) return Status::IoError("trailing bytes after delta");
+  Table table(MakeSchema(std::move(fields)));
+  table.Reserve(static_cast<int64_t>(std::min(total_rows, kReserveClamp)));
+  for (uint64_t r = 0; r < total_rows; ++r) {
+    Row row;
+    row.reserve(nfields);
+    for (size_t c = 0; c < nfields; ++c) {
+      if (mapping[c] >= 0 && r < kept_rows) {
+        row.push_back(cached->Get(static_cast<int64_t>(r), mapping[c]));
+      } else if (mapping[c] >= 0) {
+        row.push_back(
+            std::move(sections[c][static_cast<size_t>(r - kept_rows)]));
+      } else {
+        row.push_back(std::move(sections[c][static_cast<size_t>(r)]));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string Serializer::SerializeTable(const Table& table, Format format) {
+  std::string out;
+  out.reserve(WireSize(table, format));
+  PutU32(&out, format == Format::kSkl1 ? kMagicSkl1 : kMagicSkl2);
+  PutSchema(&out, table.schema());
+  const int64_t nrows = table.num_rows();
+  PutU64(&out, static_cast<uint64_t>(nrows));
+  if (format == Format::kSkl1) {
+    for (const Row& row : table.rows()) {
+      for (const Value& v : row) PutValue(&out, v);
+    }
+  } else if (nrows > 0) {
+    for (int c = 0; c < table.schema().num_fields(); ++c) {
+      EncodeColumnRange(&out, table, c, 0, nrows);
+    }
+  }
+  return out;
+}
+
+Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
+  Reader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return Status::IoError("bad table magic");
+  switch (magic) {
+    case kMagicSkl1:
+      return DecodeSkl1Body(&reader);
+    case kMagicSkl2:
+      return DecodeSkl2Body(&reader);
+    case kMagicSkld:
+      return Status::IoError(
+          "delta payload requires a cached base (use DecodeShipment)");
+    default:
+      return Status::IoError("bad table magic");
+  }
+}
+
+size_t Serializer::WireSize(const Table& table, Format format) {
+  return HeaderSize(table) + TablePayloadSize(table, format);
+}
+
+size_t Serializer::TablePayloadSize(const Table& table, Format format) {
+  if (format == Format::kSkl1) {
+    size_t size = 0;
+    for (const Row& row : table.rows()) {
+      for (const Value& v : row) size += v.SerializedSize();
+    }
+    return size;
+  }
+  const int64_t nrows = table.num_rows();
+  if (nrows == 0) return 0;
+  size_t size = 0;
+  for (int c = 0; c < table.schema().num_fields(); ++c) {
+    size += ColumnRangeSize(table, c, 0, nrows);
+  }
+  return size;
+}
+
+std::string Serializer::SerializeDelta(const Table& base,
+                                       const Table& table) {
+  const size_t nfields = static_cast<size_t>(table.schema().num_fields());
+  const size_t base_cols = static_cast<size_t>(base.schema().num_fields());
+  // Match columns by name + declared type (first match wins; field names
+  // are unique within a schema).
+  std::vector<int> mapping(nfields, -1);
+  for (size_t c = 0; c < nfields; ++c) {
+    const Field& f = table.schema().fields()[c];
+    for (size_t k = 0; k < base_cols; ++k) {
+      const Field& bf = base.schema().fields()[k];
+      if (bf.name == f.name && bf.type == f.type) {
+        mapping[c] = static_cast<int>(k);
+        break;
+      }
+    }
+  }
+  // kept_rows: longest shared prefix over which every mapped column is
+  // bit-identical to the base (so the receiver's cached rows stand in).
+  int64_t kept = std::min(base.num_rows(), table.num_rows());
+  bool any_mapped = false;
+  for (size_t c = 0; c < nfields; ++c) {
+    if (mapping[c] >= 0) any_mapped = true;
+  }
+  if (!any_mapped) kept = 0;
+  for (int64_t r = 0; r < kept; ++r) {
+    for (size_t c = 0; c < nfields; ++c) {
+      if (mapping[c] < 0) continue;
+      if (!WireEqual(table.Get(r, static_cast<int>(c)),
+                     base.Get(r, mapping[c]))) {
+        kept = r;
+        break;
+      }
+    }
+  }
+  const int64_t total = table.num_rows();
+  std::string out;
+  PutU32(&out, kMagicSkld);
+  PutU64(&out, ContentHash(base));
+  PutSchema(&out, table.schema());
+  for (size_t c = 0; c < nfields; ++c) {
+    PutVarint(&out, mapping[c] < 0 ? 0
+                                   : static_cast<uint64_t>(mapping[c]) + 1);
+  }
+  PutVarint(&out, static_cast<uint64_t>(kept));
+  PutVarint(&out, static_cast<uint64_t>(total));
+  for (size_t c = 0; c < nfields; ++c) {
+    const int64_t begin = mapping[c] < 0 ? 0 : kept;
+    if (begin < total) {
+      EncodeColumnRange(&out, table, static_cast<int>(c), begin, total);
+    }
+  }
+  return out;
+}
+
+Result<Table> Serializer::DecodeShipment(const Table* cached,
+                                         std::string_view bytes) {
+  Reader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) return Status::IoError("bad table magic");
+  switch (magic) {
+    case kMagicSkl1:
+      return DecodeSkl1Body(&reader);
+    case kMagicSkl2:
+      return DecodeSkl2Body(&reader);
+    case kMagicSkld:
+      return DecodeDeltaBody(cached, &reader);
+    default:
+      return Status::IoError("bad table magic");
+  }
+}
+
+uint64_t Serializer::ContentHash(const Table& table) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_bytes = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h = (h ^ p[i]) * 1099511628211ull;
+    }
+  };
+  auto mix_u64 = [&mix_bytes](uint64_t v) { mix_bytes(&v, 8); };
+  mix_u64(static_cast<uint64_t>(table.schema().num_fields()));
+  for (const Field& f : table.schema().fields()) {
+    mix_u64(static_cast<uint64_t>(f.type));
+    mix_u64(f.name.size());
+    mix_bytes(f.name.data(), f.name.size());
+  }
+  mix_u64(static_cast<uint64_t>(table.num_rows()));
+  for (const Row& row : table.rows()) {
+    for (const Value& v : row) {
+      mix_u64(static_cast<uint64_t>(v.type()));
+      switch (v.type()) {
+        case ValueType::kNull:
+          break;
+        case ValueType::kInt64:
+          mix_u64(static_cast<uint64_t>(v.AsInt64()));
+          break;
+        case ValueType::kDouble: {
+          uint64_t bits = 0;
+          const double d = v.AsDouble();
+          std::memcpy(&bits, &d, 8);
+          mix_u64(bits);
+          break;
+        }
+        case ValueType::kString:
+          mix_u64(v.AsString().size());
+          mix_bytes(v.AsString().data(), v.AsString().size());
+          break;
+      }
+    }
+  }
+  return h;
 }
 
 }  // namespace skalla

@@ -6,29 +6,78 @@
 
 #include "common/result.h"
 #include "storage/table.h"
+#include "storage/wire_format.h"
 
 namespace skalla {
 
-/// \brief Byte-exact binary relation format.
+/// \brief Byte-exact binary relation formats (see docs/wire-format.md).
 ///
 /// Every relation shipped over the simulated network (net/sim_network.h) is
 /// encoded with this serializer; the length of the produced string is the
-/// byte count charged by the cost model. Layout (little-endian):
+/// byte count charged by the cost model. Two self-describing formats share
+/// a common header and are distinguished by magic, so the decoder accepts
+/// either regardless of the configured default:
 ///
+/// SKL1 (row-oriented, little-endian):
 ///   magic  u32 'SKL1'
 ///   schema u32 nfields; per field: u8 type, u32 name_len, name bytes
 ///   rows   u64 nrows; per value: u8 type tag, payload
 ///          (int64/double: 8 bytes; string: u32 len + bytes; null: none)
+///
+/// SKL2 (columnar): same magic/schema/nrows header with magic 'SKL2', then
+/// for each column (only when nrows > 0): u8 codec tag, and for the
+/// homogeneous codecs a null bitmap (LSB-first, bit set = non-null)
+/// followed by the packed non-null values — int64 as zig-zag varint deltas,
+/// double as raw 8-byte patterns (NaN/±inf bit-exact), string as a
+/// first-appearance dictionary plus varint codes. Columns mixing non-null
+/// types fall back to a per-value tagged codec.
+///
+/// SKLD (delta): ships only what changed versus a base table the receiver
+/// already holds; decoded with DecodeShipment(). Layout: magic 'SKLD',
+/// u64 base hash, full new schema, per-column varint mapping into the base
+/// (0 = new column), varint kept_rows / total_rows, then SKL2 column
+/// sections — new columns over all rows, mapped columns over the appended
+/// rows only.
 class Serializer {
  public:
-  /// Encodes a table to its wire form.
-  static std::string SerializeTable(const Table& table);
+  /// Full-table format selector; see storage/wire_format.h.
+  using Format = WireFormat;
 
-  /// Decodes a wire-form table; fails with IoError on malformed input.
+  /// Encodes a table to its wire form in the given format.
+  static std::string SerializeTable(const Table& table,
+                                    Format format = DefaultWireFormat());
+
+  /// Decodes a wire-form table (either format, by magic); fails with
+  /// IoError on malformed input. SKLD payloads are rejected here — they
+  /// need a base table, use DecodeShipment().
   static Result<Table> DeserializeTable(std::string_view bytes);
 
-  /// Exact wire size of `table` without materializing the bytes.
-  static size_t WireSize(const Table& table);
+  /// Exact wire size of `table` without materializing the bytes:
+  /// WireSize(t, f) == SerializeTable(t, f).size() for every t and f.
+  static size_t WireSize(const Table& table,
+                         Format format = DefaultWireFormat());
+
+  /// Bytes after the common header (magic + schema + nrows); this is what
+  /// Table::SerializedSize(format) reports. Zero for an empty table.
+  static size_t TablePayloadSize(const Table& table, Format format);
+
+  /// Encodes `table` as a delta against `base` (SKLD). The receiver must
+  /// hold a bit-exact copy of `base` (enforced via a content hash). Columns
+  /// are matched by name + declared type; a matched column whose first
+  /// kept_rows values are bit-identical to the base ships only its appended
+  /// rows. Always decodable; not guaranteed smaller than a full payload —
+  /// callers compare sizes and ship whichever is smaller.
+  static std::string SerializeDelta(const Table& base, const Table& table);
+
+  /// Decodes any shipped payload: SKL1/SKL2 full tables (cached may be
+  /// null) or an SKLD delta applied to `*cached`. Fails with IoError on
+  /// malformed input or when a delta's base hash does not match `*cached`.
+  static Result<Table> DecodeShipment(const Table* cached,
+                                      std::string_view bytes);
+
+  /// Deterministic content hash (type- and bit-exact, including double bit
+  /// patterns) used to pair SKLD payloads with their base table.
+  static uint64_t ContentHash(const Table& table);
 };
 
 }  // namespace skalla

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "storage/serializer.h"
 
 namespace skalla {
 
@@ -47,12 +48,8 @@ void Table::SortAllColumns() {
   std::sort(rows_.begin(), rows_.end(), RowLess);
 }
 
-size_t Table::SerializedSize() const {
-  size_t total = 0;
-  for (const Row& r : rows_) {
-    for (const Value& v : r) total += v.SerializedSize();
-  }
-  return total;
+size_t Table::SerializedSize(WireFormat format) const {
+  return Serializer::TablePayloadSize(*this, format);
 }
 
 std::string Table::ToString(int64_t max_rows) const {

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "storage/row.h"
 #include "storage/schema.h"
+#include "storage/wire_format.h"
 
 namespace skalla {
 
@@ -52,9 +53,10 @@ class Table {
   /// Sort by all columns; used to compare relations as multisets in tests.
   void SortAllColumns();
 
-  /// Sum of serialized value sizes plus per-row overhead; matches the
-  /// byte counts produced by the serializer to within the fixed header.
-  size_t SerializedSize() const;
+  /// Payload bytes of the table under the given wire format (exact: the
+  /// serializer's output minus its fixed magic/schema/nrows header). With
+  /// no argument, reports the process-default format. Zero when empty.
+  size_t SerializedSize(WireFormat format = DefaultWireFormat()) const;
 
   /// Renders the first `max_rows` rows as an aligned ASCII table.
   std::string ToString(int64_t max_rows = 20) const;

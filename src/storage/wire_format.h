@@ -1,0 +1,53 @@
+#ifndef SKALLA_STORAGE_WIRE_FORMAT_H_
+#define SKALLA_STORAGE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace skalla {
+
+/// \brief Wire formats understood by the serializer (see docs/wire-format.md).
+///
+/// kSkl1 is the original row-oriented format: one type tag per value, full
+/// string payloads per row. kSkl2 is columnar: one codec tag per column, a
+/// null bitmap, zig-zag varint delta encoding for int64 columns, packed raw
+/// doubles, and a per-column string dictionary. Both formats carry the same
+/// self-describing header (magic, schema, row count), so the decoder
+/// dispatches on the magic and either format can be read regardless of the
+/// configured default. Header-only so that net/ can depend on it without a
+/// storage link dependency.
+enum class WireFormat : uint8_t {
+  kSkl1 = 1,
+  kSkl2 = 2,
+};
+
+inline const char* WireFormatName(WireFormat f) {
+  return f == WireFormat::kSkl1 ? "SKL1" : "SKL2";
+}
+
+/// Parses "SKL1"/"skl1"/"1" and "SKL2"/"skl2"/"2"; nullopt otherwise.
+inline std::optional<WireFormat> ParseWireFormat(std::string_view name) {
+  if (name == "SKL1" || name == "skl1" || name == "1") return WireFormat::kSkl1;
+  if (name == "SKL2" || name == "skl2" || name == "2") return WireFormat::kSkl2;
+  return std::nullopt;
+}
+
+/// The process-wide default format: env SKALLA_WIRE_FORMAT if set and
+/// parseable, else SKL2. Read once; NetworkConfig snapshots it.
+inline WireFormat DefaultWireFormat() {
+  static const WireFormat format = [] {
+    const char* env = std::getenv("SKALLA_WIRE_FORMAT");
+    if (env != nullptr) {
+      if (auto parsed = ParseWireFormat(env)) return *parsed;
+    }
+    return WireFormat::kSkl2;
+  }();
+  return format;
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_WIRE_FORMAT_H_

@@ -202,6 +202,58 @@ TEST_F(FaultInjectionTest, DelayedMessageOnlyStretchesTime) {
   EXPECT_GT(faulty.metrics.CommSeconds(), clean.metrics.CommSeconds() + 4.9);
 }
 
+// A dropped down-message in a delta-shipping round: the retry wave must
+// fall back to a full (standalone-decodable) payload, because after a
+// failed exchange the coordinator cannot know whether the site's cached
+// copy of X is current. The answer must be byte-identical to a no-fault,
+// no-delta run, and the retransmitted bytes must reflect the full
+// fallback, not the cheaper delta.
+TEST_F(FaultInjectionTest, DroppedDeltaShipmentFallsBackToFullPayload) {
+  Warehouse wh(4);
+  Load(&wh);
+  const GmdjExpr query = queries::GroupReductionQuery("CustKey");
+  ASSERT_OK_AND_ASSIGN(DistributedPlan plan,
+                       wh.Plan(query, OptimizerOptions::None()));
+
+  // Reference: no faults, delta shipping off.
+  NetworkConfig full_net;
+  full_net.wire_format = WireFormat::kSkl2;
+  full_net.delta_shipping = false;
+  wh.set_network_config(full_net);
+  ASSERT_OK_AND_ASSIGN(QueryResult reference_flat, wh.ExecutePlan(plan));
+  ASSERT_OK_AND_ASSIGN(QueryResult reference_tree, wh.ExecutePlanTree(plan, 2));
+
+  // Delta shipping on; round 2 is the first round that ships X as a delta
+  // against the round-1 cache. Lose its down-message to site 1 mid-round.
+  NetworkConfig delta_net;
+  delta_net.wire_format = WireFormat::kSkl2;
+  delta_net.delta_shipping = true;
+  wh.set_network_config(delta_net);
+  FaultInjector injector(/*seed=*/5);
+  injector.DropOnce(/*site=*/1, /*round=*/2, TransferDirection::kToSite);
+  wh.set_fault_injector(&injector);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult faulty, wh.ExecutePlan(plan));
+  EXPECT_EQ(TableBytes(faulty.table), TableBytes(reference_flat.table));
+  EXPECT_EQ(faulty.metrics.Drops(), 1);
+  EXPECT_EQ(faulty.metrics.Retries(), 1);
+  // The first attempt still shipped deltas (and recorded the saving) ...
+  EXPECT_GT(faulty.metrics.BytesSavedByDelta(), 0u);
+  // ... while the retry re-shipped the full payload: more bytes on the
+  // wire than the delta that was dropped.
+  EXPECT_GT(faulty.metrics.BytesRetransmitted(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult faulty_tree, wh.ExecutePlanTree(plan, 2));
+  EXPECT_EQ(TableBytes(faulty_tree.table), TableBytes(reference_tree.table));
+
+  // A clean delta run still matches the no-delta reference byte-for-byte.
+  wh.set_fault_injector(nullptr);
+  ASSERT_OK_AND_ASSIGN(QueryResult clean_delta, wh.ExecutePlan(plan));
+  EXPECT_EQ(TableBytes(clean_delta.table), TableBytes(reference_flat.table));
+  EXPECT_LT(clean_delta.metrics.TotalBytes(),
+            reference_flat.metrics.TotalBytes());
+}
+
 // ---------------------------------------------------------------------------
 // Unrecoverable schedules: typed errors, never wrong answers.
 // ---------------------------------------------------------------------------

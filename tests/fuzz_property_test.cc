@@ -9,8 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "skalla/warehouse.h"
+#include "storage/serializer.h"
 #include "test_util.h"
 #include "tpc/partitioner.h"
 
@@ -315,6 +320,113 @@ TEST_P(FuzzFaultPropertyTest, FaultsNeverChangeAnswers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultPropertyTest, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Wire-format round-trip properties: arbitrary tables — including NaN/±inf
+// doubles, -0.0, empty and multi-KB strings, and all-null columns — must
+// survive both SKL1 and SKL2 bit-exactly, and an SKLD delta against an
+// arbitrary row-prefix base must always decode back to the original.
+// Bit-exactness is asserted on the canonical SKL1 byte string (Value
+// equality would treat NaN as unequal to itself).
+// ---------------------------------------------------------------------------
+
+Value ExtremeValue(Rng* rng, ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      switch (static_cast<int>(rng->Uniform(0, 3))) {
+        case 0:
+          return Value(std::numeric_limits<int64_t>::min());
+        case 1:
+          return Value(std::numeric_limits<int64_t>::max());
+        default:
+          return Value(rng->Uniform(-1000000000, 1000000000));
+      }
+    case ValueType::kDouble:
+      switch (static_cast<int>(rng->Uniform(0, 5))) {
+        case 0:
+          return Value(std::numeric_limits<double>::quiet_NaN());
+        case 1:
+          return Value(std::numeric_limits<double>::infinity());
+        case 2:
+          return Value(-std::numeric_limits<double>::infinity());
+        case 3:
+          return Value(-0.0);
+        default:
+          return Value(rng->UniformDouble(-1e18, 1e18));
+      }
+    default:
+      switch (static_cast<int>(rng->Uniform(0, 3))) {
+        case 0:
+          return Value(std::string());
+        case 1:  // multi-KB payload
+          return Value(rng->AlphaString(
+              static_cast<int>(rng->Uniform(2048, 4096))));
+        default:
+          return Value(
+              rng->AlphaString(static_cast<int>(rng->Uniform(0, 12))));
+      }
+  }
+}
+
+class WireFormatFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFormatFuzzTest, BothFormatsRoundTripBitExactly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761ull + 17);
+
+  const int ncols = static_cast<int>(rng.Uniform(1, 4));
+  std::vector<Field> fields;
+  std::vector<bool> all_null;
+  for (int c = 0; c < ncols; ++c) {
+    fields.push_back(Field{"c" + std::to_string(c),
+                           static_cast<ValueType>(rng.Uniform(1, 3))});
+    all_null.push_back(rng.Chance(0.15));
+  }
+  Table t(MakeSchema(fields));
+  const int64_t rows = rng.Uniform(0, 60);
+  for (int64_t r = 0; r < rows; ++r) {
+    Row row;
+    for (int c = 0; c < ncols; ++c) {
+      if (all_null[static_cast<size_t>(c)] || rng.Chance(0.1)) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(
+            ExtremeValue(&rng, fields[static_cast<size_t>(c)].type));
+      }
+    }
+    t.AddRow(std::move(row));
+  }
+
+  const std::string canonical =
+      Serializer::SerializeTable(t, WireFormat::kSkl1);
+  const uint64_t hash = Serializer::ContentHash(t);
+
+  for (const WireFormat format : {WireFormat::kSkl1, WireFormat::kSkl2}) {
+    SCOPED_TRACE(WireFormatName(format));
+    const std::string bytes = Serializer::SerializeTable(t, format);
+    EXPECT_EQ(bytes.size(), Serializer::WireSize(t, format));
+    ASSERT_OK_AND_ASSIGN(Table decoded, Serializer::DeserializeTable(bytes));
+    EXPECT_EQ(Serializer::SerializeTable(decoded, WireFormat::kSkl1),
+              canonical);
+    EXPECT_EQ(Serializer::ContentHash(decoded), hash);
+  }
+
+  // Delta against a random row-prefix of itself (the coordinator's cache
+  // shape) always reproduces the full table.
+  Table base(t.schema_ptr());
+  const int64_t keep = rng.Uniform(0, rows);
+  for (int64_t r = 0; r < keep; ++r) {
+    Row row;
+    for (int c = 0; c < ncols; ++c) row.push_back(t.Get(r, c));
+    base.AddRow(std::move(row));
+  }
+  const std::string delta = Serializer::SerializeDelta(base, t);
+  ASSERT_OK_AND_ASSIGN(Table patched,
+                       Serializer::DecodeShipment(&base, delta));
+  EXPECT_EQ(Serializer::SerializeTable(patched, WireFormat::kSkl1),
+            canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFormatFuzzTest, ::testing::Range(0, 40));
 
 }  // namespace
 }  // namespace skalla
