@@ -1,6 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/trace.h"
 
 namespace skalla {
 
@@ -37,13 +41,21 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level) << " t" << obs::CurrentThreadIndex()
+            << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // One mutex-guarded write per statement so site threads logging
+    // concurrently can't interleave characters of a line.
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    static std::mutex* mu = new std::mutex();  // leaked: usable at exit
+    std::lock_guard<std::mutex> lock(*mu);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

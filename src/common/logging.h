@@ -54,6 +54,14 @@ class LogMessage {
   if (!(cond))                                                        \
   SKALLA_LOG(Fatal) << "check failed: " #cond << " "
 
+/// Debug-only invariant check: aliases SKALLA_CHECK in debug builds and
+/// compiles out under NDEBUG. The condition stays type-checked (so it can't
+/// rot) but is never evaluated — it must be side-effect-free.
+#ifdef NDEBUG
+#define SKALLA_DCHECK(cond) \
+  while (false && (cond)) SKALLA_LOG(Fatal)
+#else
 #define SKALLA_DCHECK(cond) SKALLA_CHECK(cond)
+#endif
 
 #endif  // SKALLA_COMMON_LOGGING_H_

@@ -4,13 +4,15 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace skalla {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(0, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -31,7 +33,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -41,6 +43,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Lane occupancy on the pool-lane track; tasks re-home their own spans
+    // onto logical tracks (site, coordinator) via TrackScope.
+    obs::ScopedSpan span("pool.task", obs::TrackForLane(worker_index));
     task();
   }
 }
@@ -58,9 +63,16 @@ struct ForState {
   std::mutex mu;
   std::condition_variable cv;
   int64_t done = 0;  // guarded by mu
+  // Caller's open span and track, re-established on helper lanes so spans
+  // opened inside fn() nest under the ParallelFor caller regardless of
+  // which thread claims the item.
+  uint64_t trace_parent = 0;
+  int trace_track = obs::kTrackInherit;
 
   /// Claims and runs items until none are left; returns how many it ran.
   void DrainLoop() {
+    obs::ParentScope parent_scope(trace_parent);
+    obs::TrackScope track_scope(trace_track);
     int64_t ran = 0;
     for (;;) {
       const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -93,6 +105,10 @@ void ThreadPool::ParallelFor(int64_t num_items,
   auto state = std::make_shared<ForState>();
   state->fn = fn;
   state->total = num_items;
+  if (obs::SpanTracingEnabled()) {
+    state->trace_parent = obs::CurrentSpanId();
+    state->trace_track = obs::CurrentTrack();
+  }
   for (int h = 1; h < lanes; ++h) {
     Submit([state] { state->DrainLoop(); });
   }

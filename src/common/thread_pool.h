@@ -62,7 +62,7 @@ class ThreadPool {
   static int DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -9,8 +9,11 @@
 #include "dist/sync.h"
 #include "engine/operators.h"
 #include "expr/evaluator.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "storage/hash_index.h"
 #include "storage/serializer.h"
+#include "storage/wire_format.h"
 
 namespace skalla {
 
@@ -56,6 +59,12 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   if (sites_.empty()) {
     return Status::InvalidArgument("coordinator has no sites");
   }
+  obs::ScopedSpan query_span("query.execute", obs::kTrackCoordinator);
+  if (query_span.armed()) {
+    query_span.set_detail(std::to_string(plan.rounds.size()) +
+                          " gmdj round(s), " + std::to_string(sites_.size()) +
+                          " site(s)");
+  }
   network_.Reset();
   ExecutionMetrics local_metrics;
   // Which physical site serves each slot; failover swaps are sticky for
@@ -90,6 +99,7 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   // ---- Round 0: base-values query (unless fused per Prop. 2). ----
   if (!plan.fuse_base) {
     network_.BeginRound("base");
+    obs::ScopedSpan round_span("round.base", obs::kTrackCoordinator);
     RoundMetrics rm;
     rm.label = "base query";
     rm.streaming = network_.config().streaming_sync;
@@ -109,7 +119,8 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
                               down, reply_to, "B_i", eval, parallel_sites_,
                               LinkModel::kSharedLink, wire_format));
     double coord_cpu = 0;
-    for (const std::string& payload : replies) {
+    for (size_t p = 0; p < replies.size(); ++p) {
+      const std::string& payload = replies[p];
       Stopwatch sw;
       SKALLA_ASSIGN_OR_RETURN(Table received,
                               Serializer::DeserializeTable(payload));
@@ -120,7 +131,17 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
           x_index.Insert(x, x.num_rows() - 1);
         }
       }
-      coord_cpu += sw.ElapsedSeconds();
+      const double merge_sec = sw.ElapsedSeconds();
+      coord_cpu += merge_sec;
+      if (obs::JournalEnabled()) {
+        obs::JournalRecord jr;
+        jr.event = obs::JournalEvent::kSyncMerge;
+        jr.round = network_.current_round();
+        jr.site = base_sites[p];
+        jr.rows = received.num_rows();
+        jr.seconds = merge_sec;
+        obs::JournalAppend(std::move(jr));
+      }
     }
     rm.coord_cpu_sec = coord_cpu;
     local_metrics.rounds.push_back(std::move(rm));
@@ -130,6 +151,10 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   for (size_t r = 0; r < plan.rounds.size(); ++r) {
     const PlanRound& round = plan.rounds[r];
     network_.BeginRound("gmdj round " + std::to_string(r + 1));
+    obs::ScopedSpan round_span("round.gmdj", obs::kTrackCoordinator);
+    if (round_span.armed()) {
+      round_span.set_detail("round " + std::to_string(r + 1));
+    }
     RoundMetrics rm;
     rm.streaming = network_.config().streaming_sync;
     rm.label = round.ops.size() == 1
@@ -178,6 +203,10 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
     //      view of X. Shipping — and any re-shipping under faults — is the
     //      retry driver's job; a retried attempt re-sends the identical
     //      fragment, which is what makes rounds idempotent. ----
+    std::optional<obs::ScopedSpan> prepare_span;
+    if (!fused_base_round) {
+      prepare_span.emplace("round.prepare", obs::kTrackCoordinator);
+    }
     std::vector<Table> site_views(participants.size());
     std::vector<DownMessage> down(participants.size());
     for (size_t p = 0; p < participants.size(); ++p) {
@@ -199,6 +228,15 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
           if (pred.EvalBool(&row, nullptr)) reduced.AddRow(row);
         }
         to_ship = &reduced;
+        if (obs::JournalEnabled()) {
+          obs::JournalRecord jr;
+          jr.event = obs::JournalEvent::kReduction;
+          jr.round = network_.current_round();
+          jr.site = sid;
+          jr.rows_before = x.num_rows();
+          jr.rows = reduced.num_rows();
+          obs::JournalAppend(std::move(jr));
+        }
       }
       Table pruned;
       if (!round.ship_cols.empty() &&
@@ -227,6 +265,16 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
         }
       }
       if (fallback == 0) payload = std::move(full_payload);
+      if (obs::JournalEnabled()) {
+        obs::JournalRecord jr;
+        jr.event = obs::JournalEvent::kBaseShipped;
+        jr.round = network_.current_round();
+        jr.site = sid;
+        jr.bytes = payload.size();
+        jr.rows = shipped_rows;
+        jr.label = fallback > 0 ? "SKLD" : WireFormatName(wire_format);
+        obs::JournalAppend(std::move(jr));
+      }
       down[p] = DownMessage{kCoordinatorId, payload.size(), shipped_rows,
                             std::move(label), fallback, baseline};
       // The site's view is what the shipped bytes decode to — against its
@@ -236,6 +284,13 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
           Serializer::DecodeShipment(cached ? &*cached : nullptr, payload));
       cached = site_views[p];
       coord_cpu += filter_sw.ElapsedSeconds();
+    }
+    if (prepare_span.has_value()) {
+      if (prepare_span->armed()) {
+        prepare_span->set_detail(std::to_string(participants.size()) +
+                                 " fragment(s)");
+      }
+      prepare_span.reset();
     }
 
     // ---- Phase B: fault-tolerant per-site exchange (ship, evaluate in
@@ -260,6 +315,8 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
 
     // ---- Phase C (coordinator): synchronize (Theorem 1) in
     //      deterministic site order. ----
+    std::optional<obs::ScopedSpan> sync_span;
+    sync_span.emplace("round.sync", obs::kTrackCoordinator);
     for (size_t p = 0; p < participants.size(); ++p) {
       const int sid = participants[p];
       Stopwatch merge_sw;
@@ -290,10 +347,22 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
               &acc_row[static_cast<size_t>(slot.offset)]);
         }
       }
-      coord_cpu += merge_sw.ElapsedSeconds();
+      const double merge_sec = merge_sw.ElapsedSeconds();
+      coord_cpu += merge_sec;
+      if (obs::JournalEnabled()) {
+        obs::JournalRecord jr;
+        jr.event = obs::JournalEvent::kSyncMerge;
+        jr.round = network_.current_round();
+        jr.site = sid;
+        jr.rows = h.num_rows();
+        jr.seconds = merge_sec;
+        obs::JournalAppend(std::move(jr));
+      }
     }
+    sync_span.reset();
 
     // ---- Finalize this round's aggregates into new X columns. ----
+    obs::ScopedSpan finalize_span("round.finalize", obs::kTrackCoordinator);
     Stopwatch finalize_sw;
     std::vector<Field> new_fields = x.schema().fields();
     for (const SubSlot& slot : slots) new_fields.push_back(slot.final_field);

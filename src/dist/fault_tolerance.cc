@@ -4,6 +4,8 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "storage/partition_info.h"
 #include "storage/serializer.h"
 
@@ -42,6 +44,22 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     const std::vector<DownMessage>& down, const std::vector<int>& reply_to,
     const std::string& reply_label, const SiteEvalFn& eval, bool parallel,
     LinkModel link_model, WireFormat reply_format) {
+  obs::ScopedSpan drive_span("round.drive", obs::kTrackCoordinator);
+  if (drive_span.armed()) drive_span.set_detail(rm->label);
+  const int round = net->current_round();
+  auto journal_site_event = [round](obs::JournalEvent event, int sid,
+                                    int attempt, double seconds,
+                                    const char* label) {
+    if (!obs::JournalEnabled()) return;
+    obs::JournalRecord jr;
+    jr.event = event;
+    jr.round = round;
+    jr.site = sid;
+    jr.attempt = attempt;
+    jr.seconds = seconds;
+    jr.label = label;
+    obs::JournalAppend(std::move(jr));
+  };
   const size_t n = participants.size();
   const int attempts_per_budget = std::max(1, retry.max_attempts);
   std::vector<std::string> replies(n);
@@ -63,9 +81,12 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     for (size_t p : pending) {
       const int sid = participants[p];
       Site* site = roster->active(sid);
+      journal_site_event(obs::JournalEvent::kAttemptStart, sid, attempt, 0,
+                         "");
       if (attempt > 0) {
         rm->retries++;
         charge[p] += retry.BackoffSeconds(attempt);
+        journal_site_event(obs::JournalEvent::kRetry, sid, attempt, 0, "");
       }
       const DownMessage& msg = down[p];
       // A delta payload is only safe on the first attempt: after a failed
@@ -94,6 +115,8 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         last_failure[p] = FailureKind::kUnreachable;
         charge[p] += retry.deadline_enabled() ? retry.DeadlineSeconds(attempt)
                                               : out.seconds;
+        journal_site_event(obs::JournalEvent::kAttemptFinish, sid, attempt, 0,
+                           "lost-down");
         continue;
       }
       down_sec[p] = out.seconds;
@@ -105,8 +128,18 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         n, Result<Table>(Status::Internal("not evaluated")));
     std::vector<double> cpus(n, 0.0);
     auto eval_one = [&](size_t p) {
-      outcomes[p] =
-          eval(static_cast<int>(p), roster->active(participants[p]), &cpus[p]);
+      const int sid = participants[p];
+      // Local evaluation runs on pool threads; home its spans (and the
+      // nested morsel spans) onto the site's track.
+      obs::TrackScope track(obs::SpanTracingEnabled()
+                                ? obs::TrackForSite(sid)
+                                : obs::kTrackInherit);
+      obs::ScopedSpan span("site.eval");
+      if (span.armed()) {
+        span.set_detail("site " + std::to_string(sid) + " attempt " +
+                        std::to_string(attempt));
+      }
+      outcomes[p] = eval(static_cast<int>(p), roster->active(sid), &cpus[p]);
     };
     if (parallel && eligible.size() > 1) {
       // Site tasks of a wave run on the shared pool (one task per slot,
@@ -147,6 +180,8 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         // up on the reply.
         charge[p] += retry.deadline_enabled() ? deadline
                                               : down_sec[p] + out.seconds;
+        journal_site_event(obs::JournalEvent::kAttemptFinish, sid, attempt,
+                           cpus[p], "lost-up");
         continue;
       }
       const double attempt_sec = down_sec[p] + cpus[p] + out.seconds;
@@ -155,11 +190,15 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         rm->site_cpu_sum_sec += cpus[p];
         last_failure[p] = FailureKind::kTimeout;
         charge[p] += deadline;
+        journal_site_event(obs::JournalEvent::kAttemptTimeout, sid, attempt,
+                           cpus[p], "");
         continue;
       }
       charge[p] += down_sec[p] + out.seconds;
       rm->site_cpu_max_sec = std::max(rm->site_cpu_max_sec, cpus[p]);
       rm->site_cpu_sum_sec += cpus[p];
+      journal_site_event(obs::JournalEvent::kAttemptFinish, sid, attempt,
+                         cpus[p], "ok");
       replies[p] = std::move(payload);
       done[p] = true;
     }
@@ -200,6 +239,7 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         }
         rm->failovers++;
         budget[p] += attempts_per_budget;
+        journal_site_event(obs::JournalEvent::kFailover, sid, attempt, 0, "");
       }
       next_pending.push_back(p);
     }

@@ -13,8 +13,11 @@
 #include "dist/sync.h"
 #include "engine/operators.h"
 #include "expr/evaluator.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "storage/hash_index.h"
 #include "storage/serializer.h"
+#include "storage/wire_format.h"
 
 namespace skalla {
 
@@ -100,6 +103,13 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
       return Status::NotImplemented(
           "tree coordinator requires full site participation");
     }
+  }
+  obs::ScopedSpan query_span("query.execute.tree", obs::kTrackCoordinator);
+  if (query_span.armed()) {
+    query_span.set_detail(std::to_string(plan.rounds.size()) +
+                          " gmdj round(s), " + std::to_string(sites_.size()) +
+                          " site(s), " + std::to_string(topology_.num_levels) +
+                          " level(s)");
   }
   network_.Reset();
   ExecutionMetrics local_metrics;
@@ -207,6 +217,7 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
           const std::string& label,
           const std::function<Result<Table>(
               const std::vector<const Table*>&)>& combine) -> Result<Table> {
+    obs::ScopedSpan up_span("round.propagate_up", obs::kTrackCoordinator);
     std::vector<Table> by_node(topology_.nodes.size());
     for (const TreeTopology::Node& node : topology_.nodes) {
       if (node.site_index >= 0) {
@@ -247,9 +258,22 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
         std::vector<const Table*> ptrs;
         ptrs.reserve(received.size());
         for (const Table& t : received) ptrs.push_back(&t);
+        int64_t merged_rows = 0;
+        for (const Table& t : received) merged_rows += t.num_rows();
         SKALLA_ASSIGN_OR_RETURN(Table combined, combine(ptrs));
         by_node[static_cast<size_t>(node_id)] = std::move(combined);
-        level_merge_cpu = std::max(level_merge_cpu, merge_sw.ElapsedSeconds());
+        const double merge_sec = merge_sw.ElapsedSeconds();
+        if (obs::JournalEnabled()) {
+          obs::JournalRecord jr;
+          jr.event = obs::JournalEvent::kSyncMerge;
+          jr.round = network_.current_round();
+          jr.site = EncodeAggregatorId(node_id);
+          jr.rows = merged_rows;
+          jr.seconds = merge_sec;
+          jr.label = "tree";
+          obs::JournalAppend(std::move(jr));
+        }
+        level_merge_cpu = std::max(level_merge_cpu, merge_sec);
         level_comm = std::max(level_comm, inbound);
       }
       rm->comm_sec += level_comm;
@@ -261,6 +285,7 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
   // ---- Base round. ----
   if (!plan.fuse_base) {
     network_.BeginRound("base (tree)");
+    obs::ScopedSpan round_span("round.base", obs::kTrackCoordinator);
     RoundMetrics rm;
     rm.label = "base query (tree)";
     rm.streaming = network_.config().streaming_sync;
@@ -292,6 +317,10 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     const PlanRound& round = plan.rounds[r];
     const bool fused_base_round = plan.fuse_base && r == 0;
     network_.BeginRound("gmdj round " + std::to_string(r + 1) + " (tree)");
+    obs::ScopedSpan round_span("round.gmdj", obs::kTrackCoordinator);
+    if (round_span.armed()) {
+      round_span.set_detail("round " + std::to_string(r + 1) + " (tree)");
+    }
     RoundMetrics rm;
     rm.label = "gmdj round " + std::to_string(r + 1) + " (tree)";
     rm.streaming = network_.config().streaming_sync;
@@ -330,6 +359,17 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
       }
       if (fallback == 0) payload = std::move(full_payload);
       const size_t saved = fallback > 0 ? fallback - payload.size() : 0;
+      if (obs::JournalEnabled()) {
+        // One broadcast view serves every leaf: site -1 marks it shared.
+        obs::JournalRecord jr;
+        jr.event = obs::JournalEvent::kBaseShipped;
+        jr.round = network_.current_round();
+        jr.site = -1;
+        jr.bytes = payload.size();
+        jr.rows = x_for_leaves->num_rows();
+        jr.label = fallback > 0 ? "SKLD" : WireFormatName(wire_format);
+        obs::JournalAppend(std::move(jr));
+      }
       // Every leaf sees the decode of the shipped bytes (against the
       // shared cache for a delta); the cache advances to that view.
       SKALLA_ASSIGN_OR_RETURN(
@@ -376,6 +416,7 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
                      }));
 
     // ---- Apply the combined sub-results to X at the root. ----
+    obs::ScopedSpan apply_span("round.apply", obs::kTrackCoordinator);
     Stopwatch apply_sw;
     std::vector<Field> new_fields = x.schema().fields();
     for (const SubSlot& slot : slots) new_fields.push_back(slot.final_field);

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "expr/analyzer.h"
 #include "expr/evaluator.h"
+#include "obs/trace.h"
 #include "storage/hash_index.h"
 
 namespace skalla {
@@ -47,6 +48,11 @@ constexpr int64_t kMergeChunkRows = 4096;
 
 Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
                          const GmdjOp& op, const LocalGmdjOptions& options) {
+  obs::ScopedSpan eval_span("gmdj.local_eval");
+  if (eval_span.armed()) {
+    eval_span.set_detail("base " + std::to_string(base.num_rows()) +
+                         " x detail " + std::to_string(detail.num_rows()));
+  }
   const Schema& base_schema = base.schema();
   const Schema& detail_schema = detail.schema();
 
@@ -330,9 +336,19 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     };
     std::vector<Partial> partials(static_cast<size_t>(num_morsels));
     const auto& aggs = op.blocks[blk].aggs;
+    const int morsel_sample = obs::MorselSampleEvery();
     ThreadPool::Shared().ParallelFor(
         num_morsels,
         [&](int64_t m) {
+          // Lane-level span, sampled (every Nth morsel) so large scans do
+          // not flood the span buffer; nulled name = disarmed.
+          obs::ScopedSpan morsel_span(
+              morsel_sample > 0 && m % morsel_sample == 0 ? "morsel"
+                                                          : nullptr);
+          if (morsel_span.armed()) {
+            morsel_span.set_detail("morsel " + std::to_string(m) + "/" +
+                                   std::to_string(num_morsels));
+          }
           Partial& partial = partials[static_cast<size_t>(m)];
           partial.states.reserve(num_base * num_aggs);
           for (size_t r = 0; r < num_base; ++r) {
@@ -350,6 +366,7 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     // morsels in ascending order no matter how chunks land on lanes, and
     // distinct chunks write disjoint state ranges, so the fold itself can
     // run on the pool without perturbing the result.
+    obs::ScopedSpan fold_span("morsel.fold");
     const int64_t num_chunks =
         (static_cast<int64_t>(num_base) + kMergeChunkRows - 1) /
         kMergeChunkRows;

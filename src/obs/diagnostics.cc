@@ -1,0 +1,118 @@
+#include "obs/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace skalla {
+namespace obs {
+
+namespace {
+
+double SkewFactor(double max_value, double sum, size_t n) {
+  if (n == 0 || sum <= 0) return 1.0;
+  const double mean = sum / static_cast<double>(n);
+  return mean > 0 ? max_value / mean : 1.0;
+}
+
+}  // namespace
+
+StragglerReport ComputeStragglerReport(
+    const std::vector<JournalRecord>& journal) {
+  std::map<int, SiteLoad> by_site;
+  auto load = [&by_site](int site) -> SiteLoad& {
+    SiteLoad& entry = by_site[site];
+    entry.site = site;
+    return entry;
+  };
+
+  for (const JournalRecord& record : journal) {
+    switch (record.event) {
+      case JournalEvent::kMessage:
+        if (record.to >= 0) {
+          SiteLoad& entry = load(record.to);
+          entry.bytes_in += record.bytes;
+          entry.groups_in += record.rows;
+          if (!record.delivered) entry.drops++;
+        }
+        if (record.from >= 0) {
+          SiteLoad& entry = load(record.from);
+          entry.bytes_out += record.bytes;
+          entry.groups_out += record.rows;
+          if (!record.delivered) entry.drops++;
+        }
+        break;
+      case JournalEvent::kAttemptStart:
+        if (record.site >= 0) load(record.site).attempts++;
+        break;
+      case JournalEvent::kAttemptFinish:
+        if (record.site >= 0) load(record.site).cpu_sec += record.seconds;
+        break;
+      case JournalEvent::kAttemptTimeout:
+        if (record.site >= 0) {
+          SiteLoad& entry = load(record.site);
+          entry.timeouts++;
+          entry.cpu_sec += record.seconds;
+        }
+        break;
+      case JournalEvent::kRetry:
+        if (record.site >= 0) load(record.site).retries++;
+        break;
+      case JournalEvent::kFailover:
+        if (record.site >= 0) load(record.site).failovers++;
+        break;
+      default:
+        break;
+    }
+  }
+
+  StragglerReport report;
+  double cpu_sum = 0, cpu_max = 0;
+  double bytes_sum = 0, bytes_max = 0;
+  for (const auto& entry : by_site) {
+    const SiteLoad& site = entry.second;
+    report.sites.push_back(site);
+    cpu_sum += site.cpu_sec;
+    const double site_bytes =
+        static_cast<double>(site.bytes_in + site.bytes_out);
+    bytes_sum += site_bytes;
+    if (site.cpu_sec > cpu_max) {
+      cpu_max = site.cpu_sec;
+      report.slowest_site = site.site;
+    }
+    bytes_max = std::max(bytes_max, site_bytes);
+  }
+  report.cpu_skew = SkewFactor(cpu_max, cpu_sum, report.sites.size());
+  report.bytes_skew = SkewFactor(bytes_max, bytes_sum, report.sites.size());
+  return report;
+}
+
+std::string StragglerReport::ToString() const {
+  std::string out;
+  char line[256];
+  out +=
+      "  site   cpu(s)    bytes in/out       groups in/out   att  rty  tmo  "
+      "drp  fov\n";
+  for (const SiteLoad& site : sites) {
+    std::snprintf(line, sizeof(line),
+                  "  %4d %8.4f %9zu/%-9zu %8lld/%-8lld %4d %4d %4d %4d %4d\n",
+                  site.site, site.cpu_sec, site.bytes_in, site.bytes_out,
+                  static_cast<long long>(site.groups_in),
+                  static_cast<long long>(site.groups_out), site.attempts,
+                  site.retries, site.timeouts, site.drops, site.failovers);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  cpu skew (max/mean) %.2fx   bytes skew %.2fx", cpu_skew,
+                bytes_skew);
+  out += line;
+  if (slowest_site >= 0) {
+    std::snprintf(line, sizeof(line), "   slowest site %d", slowest_site);
+    out += line;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace skalla

@@ -1,0 +1,49 @@
+#ifndef SKALLA_OBS_DIAGNOSTICS_H_
+#define SKALLA_OBS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace skalla {
+namespace obs {
+
+/// Per-site load aggregated from the event journal.
+struct SiteLoad {
+  int site = -1;
+  double cpu_sec = 0;      ///< sum of attempt CPU (finish + timeout records)
+  size_t bytes_in = 0;     ///< bytes shipped coordinator->site
+  size_t bytes_out = 0;    ///< bytes shipped site->coordinator
+  int64_t groups_in = 0;   ///< groups (rows) received
+  int64_t groups_out = 0;  ///< groups (rows) produced
+  int attempts = 0;
+  int retries = 0;
+  int timeouts = 0;
+  int drops = 0;  ///< messages lost in flight (either direction)
+  int failovers = 0;
+};
+
+/// Straggler/skew summary across sites: how unevenly CPU and bytes are
+/// distributed, and which site is the bottleneck (cf. Beame/Koutris/Suciu,
+/// "Skew in Parallel Query Processing": per-worker imbalance, not totals,
+/// bounds parallel cost).
+struct StragglerReport {
+  std::vector<SiteLoad> sites;  ///< sorted by site id
+  double cpu_skew = 1.0;        ///< max site CPU / mean site CPU
+  double bytes_skew = 1.0;      ///< max site bytes / mean site bytes
+  int slowest_site = -1;        ///< site with the most CPU (-1: none)
+
+  /// Multi-line human-readable rendering (used by skalla/report).
+  std::string ToString() const;
+};
+
+/// Builds the per-site distribution and skew factors from journal records
+/// (site-scoped events plus kMessage records involving site endpoints).
+StragglerReport ComputeStragglerReport(
+    const std::vector<JournalRecord>& journal);
+
+}  // namespace obs
+}  // namespace skalla
+
+#endif  // SKALLA_OBS_DIAGNOSTICS_H_

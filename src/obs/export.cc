@@ -1,0 +1,229 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace skalla {
+namespace obs {
+
+namespace {
+
+// Microseconds with sub-µs precision, the unit Chrome trace "ts"/"dur"
+// fields expect.
+std::string Micros(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+const char* InstantName(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kRetry:
+      return "retry";
+    case JournalEvent::kFailover:
+      return "failover";
+    case JournalEvent::kAttemptTimeout:
+      return "timeout";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ExportChromeTrace(const std::vector<TraceSpan>& spans,
+                       const std::vector<JournalRecord>& journal,
+                       std::ostream& out) {
+  std::set<int> tracks;
+  for (const TraceSpan& span : spans) tracks.insert(span.track);
+  for (const JournalRecord& record : journal) {
+    if (InstantName(record.event) != nullptr) {
+      tracks.insert(TrackForSite(record.site));
+    }
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Track naming + ordering. tid doubles as the sort key: coordinator (0),
+  // sites (1+), pool lanes (10000+), aggregators (20000+).
+  for (int track : tracks) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << JsonEscape(TrackName(track)) << "\"}}";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+        << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << track
+        << "}}";
+  }
+
+  for (const TraceSpan& span : spans) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track
+        << ",\"ts\":" << Micros(span.start_ns)
+        << ",\"dur\":" << Micros(span.end_ns - span.start_ns)
+        << ",\"name\":\"" << JsonEscape(span.name)
+        << "\",\"cat\":\"skalla\",\"args\":{";
+    if (!span.detail.empty()) {
+      out << "\"detail\":\"" << JsonEscape(span.detail) << "\",";
+    }
+    out << "\"thread\":" << span.thread << "}}";
+  }
+
+  for (const JournalRecord& record : journal) {
+    const char* name = InstantName(record.event);
+    if (name == nullptr) continue;
+    sep();
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+        << TrackForSite(record.site) << ",\"ts\":" << Micros(record.ts_ns)
+        << ",\"name\":\"" << name << "\",\"cat\":\"skalla\",\"args\":{"
+        << "\"site\":" << record.site << ",\"attempt\":" << record.attempt;
+    if (!record.label.empty()) {
+      out << ",\"label\":\"" << JsonEscape(record.label) << "\"";
+    }
+    out << "}}";
+  }
+
+  out << "\n]}\n";
+}
+
+void ExportTextTimeline(const std::vector<TraceSpan>& spans,
+                        std::ostream& out) {
+  std::map<int, std::vector<TraceSpan>> by_track;
+  for (const TraceSpan& span : spans) by_track[span.track].push_back(span);
+  for (auto& entry : by_track) {
+    std::stable_sort(entry.second.begin(), entry.second.end(),
+                     [](const TraceSpan& a, const TraceSpan& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    out << "== " << TrackName(entry.first) << " ==\n";
+    std::vector<int64_t> open_ends;  // nesting from start/end containment
+    for (const TraceSpan& span : entry.second) {
+      while (!open_ends.empty() && span.start_ns >= open_ends.back()) {
+        open_ends.pop_back();
+      }
+      char line[160];
+      std::snprintf(line, sizeof(line), "%10.3fms %8.3fms ",
+                    static_cast<double>(span.start_ns) / 1e6,
+                    static_cast<double>(span.end_ns - span.start_ns) / 1e6);
+      out << line;
+      for (size_t i = 0; i < open_ends.size(); ++i) out << "  ";
+      out << span.name;
+      if (!span.detail.empty()) out << " [" << span.detail << "]";
+      out << "\n";
+      open_ends.push_back(span.end_ns);
+    }
+  }
+}
+
+void ExportJournalJsonl(const std::vector<JournalRecord>& journal,
+                        std::ostream& out) {
+  for (const JournalRecord& record : journal) {
+    out << "{\"event\":\"" << JournalEventName(record.event) << "\"";
+    if (record.round >= 0) out << ",\"round\":" << record.round;
+    if (record.event == JournalEvent::kMessage) {
+      out << ",\"from\":" << record.from << ",\"to\":" << record.to;
+      if (!record.delivered) out << ",\"delivered\":false";
+    }
+    // -1 is the "no site" default; aggregator endpoints (<= -2) still print.
+    if (record.site != -1) out << ",\"site\":" << record.site;
+    if (record.attempt > 0) out << ",\"attempt\":" << record.attempt;
+    if (record.bytes > 0) out << ",\"bytes\":" << record.bytes;
+    if (record.rows > 0) out << ",\"rows\":" << record.rows;
+    if (record.rows_before > 0) {
+      out << ",\"rows_before\":" << record.rows_before;
+    }
+    if (record.seconds > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", record.seconds);
+      out << ",\"seconds\":" << buf;
+    }
+    if (!record.label.empty()) {
+      out << ",\"label\":\"" << JsonEscape(record.label) << "\"";
+    }
+    out << ",\"ts_ns\":" << record.ts_ns << "}\n";
+  }
+}
+
+bool WriteConfiguredTraceOutputs() {
+  const TraceConfig config = CurrentTraceConfig();
+  bool ok = true;
+  if (!config.chrome_path.empty()) {
+    std::ofstream file(config.chrome_path);
+    if (file) {
+      ExportChromeTrace(SpanSnapshot(), JournalSnapshot(), file);
+      std::cerr << "[skalla] chrome trace written to " << config.chrome_path
+                << "\n";
+    } else {
+      ok = false;
+    }
+  }
+  if (!config.text_path.empty()) {
+    if (config.text_path == "-") {
+      ExportTextTimeline(SpanSnapshot(), std::cerr);
+    } else {
+      std::ofstream file(config.text_path);
+      if (file) {
+        ExportTextTimeline(SpanSnapshot(), file);
+      } else {
+        ok = false;
+      }
+    }
+  }
+  if (!config.journal_path.empty()) {
+    std::ofstream file(config.journal_path);
+    if (file) {
+      ExportJournalJsonl(JournalSnapshot(), file);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace skalla

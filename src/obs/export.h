@@ -1,0 +1,43 @@
+#ifndef SKALLA_OBS_EXPORT_H_
+#define SKALLA_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace skalla {
+namespace obs {
+
+/// Writes spans (+ journal instants for retries/timeouts/failovers) as
+/// Chrome trace-event JSON, loadable in Perfetto / chrome://tracing. One
+/// timeline track per site plus the coordinator, pool-lane, and aggregator
+/// tracks (named via ph:"M" thread_name metadata).
+void ExportChromeTrace(const std::vector<TraceSpan>& spans,
+                       const std::vector<JournalRecord>& journal,
+                       std::ostream& out);
+
+/// Writes a plain-text per-track timeline (start/duration/indent by
+/// nesting) for terminals without a trace viewer.
+void ExportTextTimeline(const std::vector<TraceSpan>& spans,
+                        std::ostream& out);
+
+/// Writes the journal as JSONL, one record per line, replayable by
+/// external tools (fields with zero defaults are omitted).
+void ExportJournalJsonl(const std::vector<JournalRecord>& journal,
+                        std::ostream& out);
+
+/// Writes whatever destinations the current TraceConfig names
+/// (chrome_path / text_path / journal_path; text "-" = stderr). Registered
+/// via atexit when SKALLA_TRACE requests file output. Returns false if any
+/// destination could not be opened.
+bool WriteConfiguredTraceOutputs();
+
+/// JSON string-escapes `value` (quotes not included).
+std::string JsonEscape(const std::string& value);
+
+}  // namespace obs
+}  // namespace skalla
+
+#endif  // SKALLA_OBS_EXPORT_H_

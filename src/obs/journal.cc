@@ -1,0 +1,77 @@
+#include "obs/journal.h"
+
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace skalla {
+namespace obs {
+
+namespace {
+
+struct JournalState {
+  std::mutex mu;
+  std::vector<JournalRecord> records;
+};
+
+JournalState& State() {
+  // Leaked on purpose (same reasoning as the tracer state): the atexit
+  // exporters read the journal after static destruction has begun.
+  static JournalState* state = new JournalState();
+  return *state;
+}
+
+}  // namespace
+
+const char* JournalEventName(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kMessage:
+      return "message";
+    case JournalEvent::kBaseShipped:
+      return "base_shipped";
+    case JournalEvent::kAttemptStart:
+      return "attempt_start";
+    case JournalEvent::kAttemptFinish:
+      return "attempt_finish";
+    case JournalEvent::kAttemptTimeout:
+      return "attempt_timeout";
+    case JournalEvent::kRetry:
+      return "retry";
+    case JournalEvent::kFailover:
+      return "failover";
+    case JournalEvent::kSyncMerge:
+      return "sync_merge";
+    case JournalEvent::kReduction:
+      return "reduction";
+  }
+  return "?";
+}
+
+void JournalAppend(JournalRecord record) {
+  if (!JournalEnabled()) return;
+  record.ts_ns = TraceNowNs();
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.records.push_back(std::move(record));
+}
+
+std::vector<JournalRecord> JournalSnapshot() {
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.records;
+}
+
+size_t JournalSize() {
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.records.size();
+}
+
+void ClearJournal() {
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.records.clear();
+}
+
+}  // namespace obs
+}  // namespace skalla

@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/diagnostics.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 
 namespace skalla {
 
@@ -41,6 +44,12 @@ std::string FormatExecutionReport(const QueryResult& result) {
         HumanBytes(static_cast<double>(result.metrics.BytesSavedByDelta()))
             .c_str(),
         result.metrics.CompressionRatio());
+  }
+  // With tracing on, the event journal carries per-site load — surface the
+  // straggler/skew diagnostic computed from it.
+  if (obs::TraceEnabled() && obs::JournalSize() > 0) {
+    os << "=== straggler diagnostic ===\n";
+    os << obs::ComputeStragglerReport(obs::JournalSnapshot()).ToString();
   }
   return os.str();
 }

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace skalla {
 
 namespace {
@@ -667,6 +669,7 @@ Result<Table> DecodeDeltaBody(const Table* cached, Reader* reader) {
 }  // namespace
 
 std::string Serializer::SerializeTable(const Table& table, Format format) {
+  obs::ScopedSpan span("serialize");
   std::string out;
   out.reserve(WireSize(table, format));
   PutU32(&out, format == Format::kSkl1 ? kMagicSkl1 : kMagicSkl2);
@@ -682,10 +685,19 @@ std::string Serializer::SerializeTable(const Table& table, Format format) {
       EncodeColumnRange(&out, table, c, 0, nrows);
     }
   }
+  if (span.armed()) {
+    span.set_detail((format == Format::kSkl1 ? "SKL1 " : "SKL2 ") +
+                    std::to_string(nrows) + " rows " +
+                    std::to_string(out.size()) + "B");
+  }
   return out;
 }
 
 Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
+  obs::ScopedSpan span("deserialize");
+  if (span.armed()) {
+    span.set_detail(std::to_string(bytes.size()) + "B");
+  }
   Reader reader(bytes);
   uint32_t magic = 0;
   if (!reader.ReadU32(&magic)) return Status::IoError("bad table magic");
@@ -725,6 +737,7 @@ size_t Serializer::TablePayloadSize(const Table& table, Format format) {
 
 std::string Serializer::SerializeDelta(const Table& base,
                                        const Table& table) {
+  obs::ScopedSpan span("serialize.delta");
   const size_t nfields = static_cast<size_t>(table.schema().num_fields());
   const size_t base_cols = static_cast<size_t>(base.schema().num_fields());
   // Match columns by name + declared type (first match wins; field names
@@ -775,11 +788,20 @@ std::string Serializer::SerializeDelta(const Table& base,
       EncodeColumnRange(&out, table, static_cast<int>(c), begin, total);
     }
   }
+  if (span.armed()) {
+    span.set_detail("SKLD kept " + std::to_string(kept) + "/" +
+                    std::to_string(total) + " rows " +
+                    std::to_string(out.size()) + "B");
+  }
   return out;
 }
 
 Result<Table> Serializer::DecodeShipment(const Table* cached,
                                          std::string_view bytes) {
+  obs::ScopedSpan span("decode.shipment");
+  if (span.armed()) {
+    span.set_detail(std::to_string(bytes.size()) + "B");
+  }
   Reader reader(bytes);
   uint32_t magic = 0;
   if (!reader.ReadU32(&magic)) return Status::IoError("bad table magic");

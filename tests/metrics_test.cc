@@ -1,0 +1,120 @@
+#include "dist/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace skalla {
+namespace {
+
+TEST(RoundMetricsTest, ResponseSecondsSumsPhasesWhenNotStreaming) {
+  RoundMetrics rm;
+  rm.site_cpu_max_sec = 1.0;
+  rm.coord_cpu_sec = 2.0;
+  rm.comm_sec = 3.0;
+  rm.streaming = false;
+  EXPECT_DOUBLE_EQ(rm.ResponseSeconds(), 6.0);
+}
+
+TEST(RoundMetricsTest, ResponseSecondsOverlapsCoordAndCommWhenStreaming) {
+  RoundMetrics rm;
+  rm.site_cpu_max_sec = 1.0;
+  rm.coord_cpu_sec = 2.0;
+  rm.comm_sec = 3.0;
+  rm.streaming = true;
+  // Streaming sync overlaps merging with receiving: max, not sum.
+  EXPECT_DOUBLE_EQ(rm.ResponseSeconds(), 4.0);
+
+  rm.coord_cpu_sec = 5.0;
+  EXPECT_DOUBLE_EQ(rm.ResponseSeconds(), 6.0);
+}
+
+TEST(RoundMetricsTest, ResponseSecondsZeroByDefault) {
+  RoundMetrics rm;
+  EXPECT_DOUBLE_EQ(rm.ResponseSeconds(), 0.0);
+  rm.streaming = true;
+  EXPECT_DOUBLE_EQ(rm.ResponseSeconds(), 0.0);
+}
+
+TEST(ExecutionMetricsTest, EmptyRounds) {
+  ExecutionMetrics metrics;
+  EXPECT_EQ(metrics.NumRounds(), 0);
+  EXPECT_EQ(metrics.TotalBytes(), 0u);
+  EXPECT_EQ(metrics.GroupsToSites(), 0);
+  EXPECT_EQ(metrics.GroupsToCoord(), 0);
+  EXPECT_DOUBLE_EQ(metrics.ResponseSeconds(), 0.0);
+  // No traffic at all: the ratio degenerates to 1.0, not a 0/0 NaN.
+  EXPECT_DOUBLE_EQ(metrics.CompressionRatio(), 1.0);
+}
+
+TEST(ExecutionMetricsTest, CompressionRatioZeroActualBytes) {
+  ExecutionMetrics metrics;
+  RoundMetrics rm;
+  rm.bytes_baseline_skl1 = 1024;  // baseline recorded, nothing shipped
+  metrics.rounds.push_back(rm);
+  EXPECT_DOUBLE_EQ(metrics.CompressionRatio(), 1.0);
+}
+
+TEST(ExecutionMetricsTest, CompressionRatioZeroBaseline) {
+  ExecutionMetrics metrics;
+  RoundMetrics rm;
+  rm.bytes_to_sites = 512;  // bytes shipped but no baseline recorded
+  metrics.rounds.push_back(rm);
+  EXPECT_DOUBLE_EQ(metrics.CompressionRatio(), 1.0);
+}
+
+TEST(ExecutionMetricsTest, CompressionRatioBaselineOverActual) {
+  ExecutionMetrics metrics;
+  RoundMetrics rm;
+  rm.bytes_to_sites = 300;
+  rm.bytes_to_coord = 200;
+  rm.bytes_baseline_skl1 = 1500;
+  metrics.rounds.push_back(rm);
+  EXPECT_DOUBLE_EQ(metrics.CompressionRatio(), 3.0);
+}
+
+TEST(ExecutionMetricsTest, AccessorsSumAcrossRounds) {
+  ExecutionMetrics metrics;
+  RoundMetrics a;
+  a.bytes_to_sites = 100;
+  a.bytes_to_coord = 10;
+  a.groups_to_sites = 7;
+  a.groups_to_coord = 3;
+  a.retries = 1;
+  a.timeouts = 2;
+  a.drops = 3;
+  a.failovers = 1;
+  a.site_cpu_max_sec = 0.5;
+  a.coord_cpu_sec = 0.25;
+  a.comm_sec = 0.125;
+  RoundMetrics b = a;
+  b.streaming = true;  // second round overlaps coord and comm
+  metrics.rounds.push_back(a);
+  metrics.rounds.push_back(b);
+
+  EXPECT_EQ(metrics.NumRounds(), 2);
+  EXPECT_EQ(metrics.TotalBytes(), 220u);
+  EXPECT_EQ(metrics.BytesToSites(), 200u);
+  EXPECT_EQ(metrics.BytesToCoord(), 20u);
+  EXPECT_EQ(metrics.GroupsToSites(), 14);
+  EXPECT_EQ(metrics.GroupsToCoord(), 6);
+  EXPECT_EQ(metrics.Retries(), 2);
+  EXPECT_EQ(metrics.Timeouts(), 4);
+  EXPECT_EQ(metrics.Drops(), 6);
+  EXPECT_EQ(metrics.Failovers(), 2);
+  // Round a: 0.5 + 0.25 + 0.125; round b: 0.5 + max(0.25, 0.125).
+  EXPECT_DOUBLE_EQ(metrics.ResponseSeconds(), 0.875 + 0.75);
+}
+
+TEST(ExecutionMetricsTest, StreamingFlagChangesOnlyItsOwnRound) {
+  ExecutionMetrics metrics;
+  RoundMetrics rm;
+  rm.coord_cpu_sec = 2.0;
+  rm.comm_sec = 1.0;
+  metrics.rounds.push_back(rm);
+  const double plain = metrics.ResponseSeconds();
+  metrics.rounds[0].streaming = true;
+  EXPECT_LT(metrics.ResponseSeconds(), plain);
+  EXPECT_DOUBLE_EQ(metrics.ResponseSeconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace skalla
