@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "engine/operators.h"
 #include "expr/parser.h"
 #include "gmdj/local_eval.h"
@@ -167,6 +168,49 @@ void BM_HashIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_HashIndexBuild)->Arg(10000)->Arg(50000);
 
+// Mirrors every measured configuration into BENCH_gmdj_local.json via the
+// shared JsonReport, on top of the normal console table.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(skalla::bench::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      std::vector<std::pair<std::string, double>> params = {
+          {"iterations", iters}};
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        params.emplace_back("items_per_second",
+                            static_cast<double>(items->second));
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        params.emplace_back("bytes_per_second",
+                            static_cast<double>(bytes->second));
+      }
+      report_->Add(run.benchmark_name(), std::move(params),
+                   run.real_accumulated_time * 1e3 / iters);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  skalla::bench::JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  skalla::bench::JsonReport report("gmdj_local");
+  JsonForwardingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.Write();
+  return 0;
+}

@@ -245,6 +245,301 @@ void AggState::Update(const Value& v) {
   }
 }
 
+void AggState::UpdateInt64(int64_t v) {
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      // AddValues: NULL adopts v; int64 accumulators stay int64; a double
+      // accumulator (mixed-type history) promotes v.
+      if (acc_.is_null()) {
+        acc_ = Value(v);
+      } else if (acc_.is_int64()) {
+        acc_ = Value(acc_.AsInt64() + v);
+      } else {
+        acc_ = Value(acc_.ToDouble() + static_cast<double>(v));
+      }
+      ++count_;
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      Update(Value(v));  // two coupled accumulators; keep one code path
+      return;
+    case AggFunc::kMin:
+      // MinValue keeps the accumulator on ties and replaces only on a
+      // strictly greater accumulator.
+      if (acc_.is_null()) {
+        acc_ = Value(v);
+      } else if (acc_.is_int64()) {
+        if (acc_.AsInt64() > v) acc_ = Value(v);
+      } else if (acc_.is_double()) {
+        // Compare(double, int64) order: NaN accumulators compare "equal"
+        // to everything, so they are kept — same as the scalar path.
+        if (acc_.AsDouble() > static_cast<double>(v)) acc_ = Value(v);
+      } else {
+        acc_ = MinValue(acc_, Value(v));
+      }
+      ++count_;
+      return;
+    case AggFunc::kMax:
+      if (acc_.is_null()) {
+        acc_ = Value(v);
+      } else if (acc_.is_int64()) {
+        if (acc_.AsInt64() < v) acc_ = Value(v);
+      } else if (acc_.is_double()) {
+        if (acc_.AsDouble() < static_cast<double>(v)) acc_ = Value(v);
+      } else {
+        acc_ = MaxValue(acc_, Value(v));
+      }
+      ++count_;
+      return;
+  }
+}
+
+void AggState::UpdateDouble(double v) {
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (acc_.is_null()) {
+        acc_ = Value(v);  // adopt v, never seed 0.0 (preserves -0.0)
+      } else if (acc_.is_numeric()) {
+        acc_ = Value(acc_.ToDouble() + v);
+      } else {
+        acc_ = AddValues(acc_, Value(v));
+      }
+      ++count_;
+      return;
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      Update(Value(v));
+      return;
+    case AggFunc::kMin:
+      if (acc_.is_null()) {
+        acc_ = Value(v);
+      } else if (acc_.is_numeric()) {
+        // acc > v is false under NaN on either side: NaN inputs never
+        // displace the accumulator and a NaN accumulator is never
+        // displaced — exactly Value::Compare's incomparable-NaN behavior.
+        if (acc_.ToDouble() > v) acc_ = Value(v);
+      } else {
+        acc_ = MinValue(acc_, Value(v));
+      }
+      ++count_;
+      return;
+    case AggFunc::kMax:
+      if (acc_.is_null()) {
+        acc_ = Value(v);
+      } else if (acc_.is_numeric()) {
+        if (acc_.ToDouble() < v) acc_ = Value(v);
+      } else {
+        acc_ = MaxValue(acc_, Value(v));
+      }
+      ++count_;
+      return;
+  }
+}
+
+namespace {
+
+inline bool BitmapValid(const uint64_t* valid, int64_t i) {
+  return valid == nullptr ||
+         ((valid[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1) != 0;
+}
+
+}  // namespace
+
+void AggState::UpdateBatchInt64(const int64_t* values, const uint64_t* valid,
+                                const int64_t* sel, size_t n) {
+  switch (func_) {
+    case AggFunc::kCount: {
+      int64_t c = 0;
+      for (size_t k = 0; k < n; ++k) c += BitmapValid(valid, sel[k]) ? 1 : 0;
+      count_ += c;
+      return;
+    }
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (acc_.is_null() || acc_.is_int64()) {
+        // int64 addition is exact (mod 2^64), so seeding 0 is safe here —
+        // unlike the double kernel below.
+        int64_t s = acc_.is_null() ? 0 : acc_.AsInt64();
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          s += values[i];
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(s);
+          count_ += c;
+        }
+        return;
+      }
+      break;  // type-deviant accumulator: boxed fallback
+    }
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      break;  // coupled accumulators: boxed fallback keeps one code path
+    case AggFunc::kMin: {
+      if (acc_.is_null() || acc_.is_int64()) {
+        bool have = !acc_.is_null();
+        int64_t cur = have ? acc_.AsInt64() : 0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const int64_t v = values[i];
+          if (!have) {
+            cur = v;
+            have = true;
+          } else if (cur > v) {
+            cur = v;
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(cur);
+          count_ += c;
+        }
+        return;
+      }
+      break;
+    }
+    case AggFunc::kMax: {
+      if (acc_.is_null() || acc_.is_int64()) {
+        bool have = !acc_.is_null();
+        int64_t cur = have ? acc_.AsInt64() : 0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const int64_t v = values[i];
+          if (!have) {
+            cur = v;
+            have = true;
+          } else if (cur < v) {
+            cur = v;
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(cur);
+          count_ += c;
+        }
+        return;
+      }
+      break;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (BitmapValid(valid, sel[k])) UpdateInt64(values[sel[k]]);
+  }
+}
+
+void AggState::UpdateBatchDouble(const double* values, const uint64_t* valid,
+                                 const int64_t* sel, size_t n) {
+  switch (func_) {
+    case AggFunc::kCount: {
+      int64_t c = 0;
+      for (size_t k = 0; k < n; ++k) c += BitmapValid(valid, sel[k]) ? 1 : 0;
+      count_ += c;
+      return;
+    }
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (acc_.is_null() || acc_.is_double()) {
+        // Unbox once, add in selection order, rebox once. A NULL
+        // accumulator adopts the first value (AddValues(NULL, v) returns v
+        // itself) instead of computing 0.0 + v, which would lose -0.0 and
+        // reassociate nothing else.
+        bool have = !acc_.is_null();
+        double s = have ? acc_.AsDouble() : 0.0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const double v = values[i];
+          if (!have) {
+            s = v;
+            have = true;
+          } else {
+            s += v;
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(s);
+          count_ += c;
+        }
+        return;
+      }
+      break;
+    }
+    case AggFunc::kVar:
+    case AggFunc::kStdDev:
+      break;
+    case AggFunc::kMin: {
+      if (acc_.is_null() || acc_.is_double()) {
+        bool have = !acc_.is_null();
+        double cur = have ? acc_.AsDouble() : 0.0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const double v = values[i];
+          if (!have) {
+            cur = v;
+            have = true;
+          } else if (cur > v) {  // false under NaN: keeps the accumulator
+            cur = v;
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(cur);
+          count_ += c;
+        }
+        return;
+      }
+      break;
+    }
+    case AggFunc::kMax: {
+      if (acc_.is_null() || acc_.is_double()) {
+        bool have = !acc_.is_null();
+        double cur = have ? acc_.AsDouble() : 0.0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const double v = values[i];
+          if (!have) {
+            cur = v;
+            have = true;
+          } else if (cur < v) {
+            cur = v;
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(cur);
+          count_ += c;
+        }
+        return;
+      }
+      break;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (BitmapValid(valid, sel[k])) UpdateDouble(values[sel[k]]);
+  }
+}
+
 void AggState::Merge(const AggState& other) {
   count_ += other.count_;
   switch (func_) {

@@ -120,6 +120,35 @@ class AggState {
   /// implements the COUNT(*) vs COUNT(col) distinction by what it passes).
   void Update(const Value& v);
 
+  /// Typed point folds for the vectorized scan: each is exactly
+  /// Update(Value(v)) — same state transitions, same accumulation
+  /// arithmetic, same int64→double promotion rules — without constructing
+  /// the boxed Value. Used by the hash-probe path, where matches arrive one
+  /// (base, detail) pair at a time.
+  void UpdateInt64(int64_t v);
+  void UpdateDouble(double v);
+  /// COUNT(*) point fold: exactly Update(kNonNull). Precondition:
+  /// func() == AggFunc::kCount.
+  void UpdateCountStar() { ++count_; }
+
+  /// Typed batch folds over a selection vector (docs/vectorized-execution.md):
+  /// folds values[sel[k]] for k = 0..n-1 in ascending k, skipping entries
+  /// whose bit is clear in the LSB-first `valid` bitmap (nullptr = no
+  /// NULLs). Equivalent to calling Update(Value(values[sel[k]])) in the
+  /// same order: the accumulator is unboxed once and reboxed once, and a
+  /// NULL accumulator adopts the first value rather than seeding 0.0, so
+  /// every float operation (and hence every bit, including -0.0 and NaN
+  /// behavior) matches the scalar path. Falls back to boxed updates on a
+  /// type-deviant accumulator.
+  void UpdateBatchInt64(const int64_t* values, const uint64_t* valid,
+                        const int64_t* sel, size_t n);
+  void UpdateBatchDouble(const double* values, const uint64_t* valid,
+                         const int64_t* sel, size_t n);
+  /// COUNT(*) over n matches: exactly n times UpdateCountStar().
+  void UpdateBatchCountStar(size_t n) {
+    count_ += static_cast<int64_t>(n);
+  }
+
   /// Folds another state of the same function into this one — the
   /// super-aggregate step of Theorem 1 applied to in-memory partials. Used
   /// by the morsel-parallel local evaluator to combine worker-private
@@ -134,6 +163,7 @@ class AggState {
   /// The finalized (centralized-evaluation) value.
   Value Final() const;
 
+  AggFunc func() const { return func_; }
   int64_t count() const { return count_; }
 
  private:

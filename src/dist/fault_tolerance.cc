@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "gmdj/local_eval.h"
 #include "obs/journal.h"
 #include "obs/trace.h"
 #include "storage/partition_info.h"
@@ -46,6 +47,10 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     LinkModel link_model, WireFormat reply_format) {
   obs::ScopedSpan drive_span("round.drive", obs::kTrackCoordinator);
   if (drive_span.armed()) drive_span.set_detail(rm->label);
+  // Rounds run sequentially on the coordinator, so diffing the
+  // process-wide scan counters across the round attributes exactly the
+  // local evaluations driven here (all sites, all attempts).
+  const ScanCounters scan_before = ScanCountersSnapshot();
   const int round = net->current_round();
   auto journal_site_event = [round](obs::JournalEvent event, int sid,
                                     int attempt, double seconds,
@@ -246,6 +251,12 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     pending = std::move(next_pending);
     ++attempt;
   }
+  const ScanCounters scan_after = ScanCountersSnapshot();
+  rm->detail_rows_scanned += scan_after.rows_scanned - scan_before.rows_scanned;
+  rm->detail_rows_matched += scan_after.rows_matched - scan_before.rows_matched;
+  rm->morsels_vectorized +=
+      scan_after.morsels_vectorized - scan_before.morsels_vectorized;
+  rm->morsels_scalar += scan_after.morsels_scalar - scan_before.morsels_scalar;
   return replies;
 }
 

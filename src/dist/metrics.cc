@@ -88,6 +88,30 @@ size_t ExecutionMetrics::BytesBaselineSkl1() const {
   return total;
 }
 
+int64_t ExecutionMetrics::DetailRowsScanned() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.detail_rows_scanned;
+  return total;
+}
+
+int64_t ExecutionMetrics::DetailRowsMatched() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.detail_rows_matched;
+  return total;
+}
+
+int64_t ExecutionMetrics::MorselsVectorized() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.morsels_vectorized;
+  return total;
+}
+
+int64_t ExecutionMetrics::MorselsScalar() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.morsels_scalar;
+  return total;
+}
+
 double ExecutionMetrics::CompressionRatio() const {
   const size_t actual = TotalBytes();
   const size_t baseline = BytesBaselineSkl1();
@@ -142,6 +166,15 @@ std::string ExecutionMetrics::ToString() const {
         "wire: %s saved by delta shipping, %.2fx vs SKL1 full-ship\n",
         HumanBytes(static_cast<double>(BytesSavedByDelta())).c_str(),
         CompressionRatio());
+  }
+  if (DetailRowsScanned() > 0) {
+    os << StrFormat(
+        "scan: %lld detail row(s), %lld match(es), morsels %lld vectorized "
+        "/ %lld scalar\n",
+        static_cast<long long>(DetailRowsScanned()),
+        static_cast<long long>(DetailRowsMatched()),
+        static_cast<long long>(MorselsVectorized()),
+        static_cast<long long>(MorselsScalar()));
   }
   for (const RoundMetrics& r : rounds) {
     os << StrFormat(

@@ -49,6 +49,14 @@ struct RoundMetrics {
   /// (bytes_to_sites + bytes_to_coord) is the round's compression ratio.
   size_t bytes_baseline_skl1 = 0;
 
+  // ---- Detail-scan accounting (docs/vectorized-execution.md). ----
+  // Snapshot-diffed from gmdj/local_eval.h's process-wide ScanCounters
+  // around the round's site evaluations.
+  int64_t detail_rows_scanned = 0;  ///< Σ (hi − lo) over morsels and blocks
+  int64_t detail_rows_matched = 0;  ///< (base, detail) pairs folded
+  int64_t morsels_vectorized = 0;   ///< morsels on the vectorized path
+  int64_t morsels_scalar = 0;       ///< morsels on the row-at-a-time path
+
   double ResponseSeconds() const {
     return site_cpu_max_sec + (streaming
                                    ? std::max(coord_cpu_sec, comm_sec)
@@ -81,6 +89,10 @@ struct ExecutionMetrics {
   int64_t RetryGroupsToCoord() const;
   size_t BytesSavedByDelta() const;
   size_t BytesBaselineSkl1() const;
+  int64_t DetailRowsScanned() const;
+  int64_t DetailRowsMatched() const;
+  int64_t MorselsVectorized() const;
+  int64_t MorselsScalar() const;
   /// SKL1-full-ship baseline over actual bytes (>= 1.0 when the encoding
   /// wins; 1.0 when nothing was saved or nothing was shipped).
   double CompressionRatio() const;

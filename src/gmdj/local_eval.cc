@@ -1,18 +1,43 @@
 #include "gmdj/local_eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "expr/analyzer.h"
 #include "expr/evaluator.h"
 #include "obs/trace.h"
+#include "storage/columnar.h"
 #include "storage/hash_index.h"
 
 namespace skalla {
 
 namespace {
+
+// Process-wide scan counters (ScanCounters in the header). Relaxed is
+// enough: they are statistics, never synchronization.
+std::atomic<int64_t> g_rows_scanned{0};
+std::atomic<int64_t> g_rows_matched{0};
+std::atomic<int64_t> g_morsels_vectorized{0};
+std::atomic<int64_t> g_morsels_scalar{0};
+std::atomic<int64_t> g_batch_fallback_chunks{0};
+
+/// How one aggregate consumes matched detail rows on the vectorized path.
+/// Chosen per (block, aggregate) from the columnar view: typed kernels need
+/// a usable column of the matching type; everything else — unusable
+/// columns, string inputs, mixed-type columns — keeps the boxed Update,
+/// which is the scalar path and therefore trivially identical to it.
+struct AggKernel {
+  enum class Kind : uint8_t { kCountStar, kInt64, kDouble, kBoxed };
+  Kind kind = Kind::kBoxed;
+  int col = -1;  ///< detail column index; -1 for COUNT(*)
+};
 
 /// Per-block execution artifacts prepared before the detail scan.
 struct BlockPlan {
@@ -34,6 +59,15 @@ struct ScanTarget {
   char* touched = nullptr;
 };
 
+/// What one scan_range invocation (one morsel, or the whole relation on
+/// the sequential path) did — flushed into the process-wide counters and,
+/// when the lane span is armed, into its detail string.
+struct MorselStats {
+  int64_t rows = 0;     ///< detail positions visited (hi − lo)
+  int64_t matched = 0;  ///< (base, detail) pairs folded
+  bool vectorized = false;
+};
+
 /// Upper bound on per-morsel accumulator memory: the morsel count is
 /// clamped so that Σ morsel partials ≤ this many AggStates per block. A
 /// function of the relation sizes only — never of the lane count — so the
@@ -44,7 +78,35 @@ constexpr int64_t kPartialStateBudget = int64_t{1} << 20;
 /// a function of |B| only, so the fold decomposition is reproducible.
 constexpr int64_t kMergeChunkRows = 4096;
 
+/// Matched (base, detail) pairs buffered by the vectorized hash path are
+/// flushed aggregate-at-a-time once this many accumulate, bounding the
+/// buffer while amortizing the per-aggregate dispatch.
+constexpr size_t kHashPairFlush = 8192;
+
 }  // namespace
+
+bool VectorizeEnabledFromEnv() {
+  // Read per call (unlike e.g. DefaultWireFormat's static cache) so tests
+  // can flip SKALLA_VECTORIZE between evaluations within one process.
+  const char* value = std::getenv("SKALLA_VECTORIZE");
+  if (value == nullptr || *value == '\0') return true;
+  std::string lowered(value);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lowered != "0" && lowered != "off" && lowered != "false";
+}
+
+ScanCounters ScanCountersSnapshot() {
+  ScanCounters s;
+  s.rows_scanned = g_rows_scanned.load(std::memory_order_relaxed);
+  s.rows_matched = g_rows_matched.load(std::memory_order_relaxed);
+  s.morsels_vectorized = g_morsels_vectorized.load(std::memory_order_relaxed);
+  s.morsels_scalar = g_morsels_scalar.load(std::memory_order_relaxed);
+  s.batch_fallback_chunks =
+      g_batch_fallback_chunks.load(std::memory_order_relaxed);
+  return s;
+}
 
 Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
                          const GmdjOp& op, const LocalGmdjOptions& options) {
@@ -178,23 +240,48 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
   int lanes = options.num_threads > 0 ? options.num_threads
                                       : ThreadPool::DefaultThreadCount();
 
+  // Vectorized-scan resolution: explicit option wins, else the
+  // SKALLA_VECTORIZE knob. The columnar view is built lazily once per Table
+  // and cached (storage/columnar.h), so repeated rounds over a persistent
+  // detail partition fetch it for free.
+  const bool vectorize_on = options.vectorize >= 0
+                                ? options.vectorize != 0
+                                : VectorizeEnabledFromEnv();
+  std::shared_ptr<const ColumnarTable> columnar;
+  if (vectorize_on) columnar = detail.columnar();
+
   // One detail scan per block, morsel-parallel when lanes > 1.
   for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
     const BlockPlan& plan = plans[blk];
     const size_t num_aggs = op.blocks[blk].aggs.size();
 
-    // Folds one matching (base row, detail row) pair into `target`.
-    auto update_match = [&](const ScanTarget& target, int64_t base_row_id,
-                            const Row& detail_row) {
-      target.touched[static_cast<size_t>(base_row_id)] = 1;
-      AggState* row_states =
-          &target.states[static_cast<size_t>(base_row_id) * num_aggs];
+    // Vectorized-path planning: one kernel per aggregate (typed columns
+    // get the batch/point kernels, everything else keeps the boxed Update)
+    // and a static batch plan for the predicate. Decided per block from
+    // the columnar view alone, never per row.
+    std::vector<AggKernel> kernels(num_aggs);
+    bool predicate_batch = false;
+    if (vectorize_on) {
       for (size_t a = 0; a < num_aggs; ++a) {
         const int in = plan.agg_inputs[a];
-        row_states[a].Update(in < 0 ? kOne
-                                    : detail_row[static_cast<size_t>(in)]);
+        AggKernel& kernel = kernels[a];
+        kernel.col = in;
+        if (in < 0) {
+          kernel.kind = AggKernel::Kind::kCountStar;
+        } else {
+          const ColumnarTable::Column& col = columnar->column(in);
+          if (col.usable && col.type == ValueType::kInt64) {
+            kernel.kind = AggKernel::Kind::kInt64;
+          } else if (col.usable && col.type == ValueType::kDouble) {
+            kernel.kind = AggKernel::Kind::kDouble;
+          } else {
+            kernel.kind = AggKernel::Kind::kBoxed;
+          }
+        }
       }
-    };
+      predicate_batch = plan.predicate.has_value() &&
+                        plan.predicate->SupportsBatchEval(*columnar);
+    }
 
     // Path-specific shared read-only structures, built once per block.
     const bool sort_merge_path = !plan.base_key_cols.empty() &&
@@ -214,11 +301,90 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
       index = &it->second;
     }
 
+    // Per-path vectorization: the nested loop needs a batch-evaluable
+    // predicate (it is nothing but the predicate); sort-merge batches the
+    // equal-key runs when the residual is batch-evaluable or absent; the
+    // hash path keeps its scalar probe and residual but batches the
+    // aggregate folds, so it vectorizes whenever the scan does.
+    const bool vec_nested =
+        vectorize_on && plan.base_key_cols.empty() && predicate_batch;
+    const bool vec_sort_merge =
+        vectorize_on && sort_merge_path &&
+        (!plan.predicate.has_value() || predicate_batch);
+    const bool vec_hash = vectorize_on && hash_path;
+
     // Scans detail positions [lo, hi) into `target`. Positions index the
     // raw detail rows (hash / nested-loop paths) or the sorted detail
     // ordering (sort-merge path). Match sets are position-independent, so
     // any disjoint cover of [0, |R|) visits each match exactly once.
-    auto scan_range = [&](int64_t lo, int64_t hi, const ScanTarget& target) {
+    //
+    // Both modes produce byte-identical accumulators: every path feeds any
+    // given (base row, aggregate) state its matching detail rows in the
+    // same ascending scan order as the scalar loops, and the typed kernels
+    // replicate AggState::Update's arithmetic exactly (agg/aggregate.h).
+    auto scan_range = [&](int64_t lo, int64_t hi,
+                          const ScanTarget& target) -> MorselStats {
+      MorselStats stats;
+      stats.rows = hi - lo;
+      stats.vectorized = vec_nested || vec_sort_merge || vec_hash;
+
+      // Folds one matching (base row, detail row) pair into `target`
+      // (scalar mode).
+      auto update_match = [&](int64_t base_row_id, const Row& detail_row) {
+        ++stats.matched;
+        target.touched[static_cast<size_t>(base_row_id)] = 1;
+        AggState* row_states =
+            &target.states[static_cast<size_t>(base_row_id) * num_aggs];
+        for (size_t a = 0; a < num_aggs; ++a) {
+          const int in = plan.agg_inputs[a];
+          row_states[a].Update(in < 0 ? kOne
+                                      : detail_row[static_cast<size_t>(in)]);
+        }
+      };
+
+      // Folds a selection vector of detail positions (in scan order) into
+      // one base row's states through the per-aggregate kernels
+      // (vectorized mode).
+      auto update_selected = [&](int64_t base_row_id, const int64_t* sel_pos,
+                                 size_t n) {
+        if (n == 0) return;
+        stats.matched += static_cast<int64_t>(n);
+        target.touched[static_cast<size_t>(base_row_id)] = 1;
+        AggState* row_states =
+            &target.states[static_cast<size_t>(base_row_id) * num_aggs];
+        for (size_t a = 0; a < num_aggs; ++a) {
+          const AggKernel& kernel = kernels[a];
+          switch (kernel.kind) {
+            case AggKernel::Kind::kCountStar:
+              row_states[a].UpdateBatchCountStar(n);
+              break;
+            case AggKernel::Kind::kInt64: {
+              const ColumnarTable::Column& col = columnar->column(kernel.col);
+              row_states[a].UpdateBatchInt64(col.ints.data(),
+                                             col.valid_words(), sel_pos, n);
+              break;
+            }
+            case AggKernel::Kind::kDouble: {
+              const ColumnarTable::Column& col = columnar->column(kernel.col);
+              row_states[a].UpdateBatchDouble(col.doubles.data(),
+                                              col.valid_words(), sel_pos, n);
+              break;
+            }
+            case AggKernel::Kind::kBoxed:
+              for (size_t k = 0; k < n; ++k) {
+                row_states[a].Update(
+                    detail.row(sel_pos[k])[static_cast<size_t>(kernel.col)]);
+              }
+              break;
+          }
+        }
+      };
+
+      // Per-lane batch-evaluator buffers; local to the morsel so lanes
+      // never share them.
+      BatchScratch scratch;
+      std::vector<int64_t> sel;
+
       if (sort_merge_path) {
         // Merge the (fully sorted) base ordering against the detail run
         // [lo, hi). Starting mid-run is fine: the two-pointer advances the
@@ -256,49 +422,160 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
                               plan.detail_key_cols) == 0) {
             ++d_end;
           }
-          for (size_t d = d_pos; d < d_end; ++d) {
-            const Row& detail_row = detail.row((*detail_ids)[d]);
+          if (vec_sort_merge) {
+            // The run's detail positions, in the sorted (scalar-visit)
+            // order: a contiguous slice of the detail ordering. Each base
+            // row of the run filters/fold them as one batch; per-state
+            // update order is the run order either way.
+            const int64_t* run = detail_ids->data() + d_pos;
+            const size_t run_len = d_end - d_pos;
             for (size_t b = b_pos; b < b_end; ++b) {
               const int64_t base_row_id = (*base_ids)[b];
-              if (plan.predicate.has_value() &&
-                  !plan.predicate->EvalBool(&base.row(base_row_id),
-                                            &detail_row)) {
-                continue;
+              if (!plan.predicate.has_value()) {
+                update_selected(base_row_id, run, run_len);
+              } else {
+                sel.clear();
+                plan.predicate->EvalBoolBatch(&base.row(base_row_id), detail,
+                                              *columnar, run, run_len,
+                                              &scratch, &sel);
+                update_selected(base_row_id, sel.data(), sel.size());
               }
-              update_match(target, base_row_id, detail_row);
+            }
+          } else {
+            for (size_t d = d_pos; d < d_end; ++d) {
+              const Row& detail_row = detail.row((*detail_ids)[d]);
+              for (size_t b = b_pos; b < b_end; ++b) {
+                const int64_t base_row_id = (*base_ids)[b];
+                if (plan.predicate.has_value() &&
+                    !plan.predicate->EvalBool(&base.row(base_row_id),
+                                              &detail_row)) {
+                  continue;
+                }
+                update_match(base_row_id, detail_row);
+              }
             }
           }
           b_pos = b_end;
           d_pos = d_end;
         }
       } else if (hash_path) {
-        for (int64_t d = lo; d < hi; ++d) {
-          const Row& detail_row = detail.row(d);
-          const std::vector<int64_t>* matches =
-              index->Lookup(detail_row, plan.detail_key_cols);
-          if (matches == nullptr) continue;
-          for (int64_t base_row_id : *matches) {
-            if (plan.predicate.has_value() &&
-                !plan.predicate->EvalBool(&base.row(base_row_id),
-                                          &detail_row)) {
-              continue;
+        if (vec_hash) {
+          // The probe and the residual stay scalar (matches arrive one
+          // detail row at a time), but the aggregate folds batch up:
+          // matched (base, detail) pairs buffer and flush
+          // aggregate-at-a-time through the typed point kernels, touching
+          // each column's array in long runs instead of boxing every cell.
+          // Pairs flush in collection order — ascending detail position —
+          // so each state sees the exact scalar update sequence.
+          std::vector<std::pair<int64_t, int64_t>> pairs;
+          auto flush = [&]() {
+            for (size_t a = 0; a < num_aggs; ++a) {
+              const AggKernel& kernel = kernels[a];
+              switch (kernel.kind) {
+                case AggKernel::Kind::kCountStar:
+                  for (const auto& [b, d] : pairs) {
+                    target.states[static_cast<size_t>(b) * num_aggs + a]
+                        .UpdateCountStar();
+                  }
+                  break;
+                case AggKernel::Kind::kInt64: {
+                  const ColumnarTable::Column& col =
+                      columnar->column(kernel.col);
+                  for (const auto& [b, d] : pairs) {
+                    if (!col.IsValid(d)) continue;  // NULL input: ignored
+                    target.states[static_cast<size_t>(b) * num_aggs + a]
+                        .UpdateInt64(col.ints[static_cast<size_t>(d)]);
+                  }
+                  break;
+                }
+                case AggKernel::Kind::kDouble: {
+                  const ColumnarTable::Column& col =
+                      columnar->column(kernel.col);
+                  for (const auto& [b, d] : pairs) {
+                    if (!col.IsValid(d)) continue;
+                    target.states[static_cast<size_t>(b) * num_aggs + a]
+                        .UpdateDouble(col.doubles[static_cast<size_t>(d)]);
+                  }
+                  break;
+                }
+                case AggKernel::Kind::kBoxed:
+                  for (const auto& [b, d] : pairs) {
+                    target.states[static_cast<size_t>(b) * num_aggs + a]
+                        .Update(kernel.col < 0
+                                    ? kOne
+                                    : detail.row(d)[static_cast<size_t>(
+                                          kernel.col)]);
+                  }
+                  break;
+              }
             }
-            update_match(target, base_row_id, detail_row);
+            pairs.clear();
+          };
+          for (int64_t d = lo; d < hi; ++d) {
+            const Row& detail_row = detail.row(d);
+            const std::vector<int64_t>* matches =
+                index->Lookup(detail_row, plan.detail_key_cols);
+            if (matches == nullptr) continue;
+            for (int64_t base_row_id : *matches) {
+              if (plan.predicate.has_value() &&
+                  !plan.predicate->EvalBool(&base.row(base_row_id),
+                                            &detail_row)) {
+                continue;
+              }
+              ++stats.matched;
+              target.touched[static_cast<size_t>(base_row_id)] = 1;
+              pairs.emplace_back(base_row_id, d);
+              if (pairs.size() >= kHashPairFlush) flush();
+            }
+          }
+          flush();
+        } else {
+          for (int64_t d = lo; d < hi; ++d) {
+            const Row& detail_row = detail.row(d);
+            const std::vector<int64_t>* matches =
+                index->Lookup(detail_row, plan.detail_key_cols);
+            if (matches == nullptr) continue;
+            for (int64_t base_row_id : *matches) {
+              if (plan.predicate.has_value() &&
+                  !plan.predicate->EvalBool(&base.row(base_row_id),
+                                            &detail_row)) {
+                continue;
+              }
+              update_match(base_row_id, detail_row);
+            }
           }
         }
       } else {
-        for (int64_t d = lo; d < hi; ++d) {
-          const Row& detail_row = detail.row(d);
+        if (vec_nested) {
+          // Base-outer: each base row filters the whole morsel as one
+          // batch. The scalar loop is detail-outer, but any one state's
+          // updates arrive in ascending detail order either way.
           for (int64_t base_row_id = 0; base_row_id < base.num_rows();
                ++base_row_id) {
-            if (!plan.predicate->EvalBool(&base.row(base_row_id),
-                                          &detail_row)) {
-              continue;
+            sel.clear();
+            plan.predicate->EvalBoolBatch(&base.row(base_row_id), detail,
+                                          *columnar, lo, hi, &scratch, &sel);
+            update_selected(base_row_id, sel.data(), sel.size());
+          }
+        } else {
+          for (int64_t d = lo; d < hi; ++d) {
+            const Row& detail_row = detail.row(d);
+            for (int64_t base_row_id = 0; base_row_id < base.num_rows();
+                 ++base_row_id) {
+              if (!plan.predicate->EvalBool(&base.row(base_row_id),
+                                            &detail_row)) {
+                continue;
+              }
+              update_match(base_row_id, detail_row);
             }
-            update_match(target, base_row_id, detail_row);
           }
         }
       }
+      if (scratch.fallback_chunks > 0) {
+        g_batch_fallback_chunks.fetch_add(scratch.fallback_chunks,
+                                          std::memory_order_relaxed);
+      }
+      return stats;
     };
 
     // The morsel grid depends only on the relation sizes and the
@@ -319,11 +596,19 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
       num_morsels = (scan_rows + morsel - 1) / morsel;
     }
 
+    // Flushes one scan's statistics into the process-wide counters.
+    auto flush_stats = [](const MorselStats& s) {
+      g_rows_scanned.fetch_add(s.rows, std::memory_order_relaxed);
+      g_rows_matched.fetch_add(s.matched, std::memory_order_relaxed);
+      (s.vectorized ? g_morsels_vectorized : g_morsels_scalar)
+          .fetch_add(1, std::memory_order_relaxed);
+    };
+
     ScanTarget shared_target{states[blk].data(), touched.data()};
     if (lanes <= 1 || num_morsels <= 1) {
       // Sequential: one scan straight into the shared arrays, visiting
       // detail rows in exactly the pre-pool order.
-      scan_range(0, scan_rows, shared_target);
+      flush_stats(scan_range(0, scan_rows, shared_target));
       continue;
     }
 
@@ -345,10 +630,7 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
           obs::ScopedSpan morsel_span(
               morsel_sample > 0 && m % morsel_sample == 0 ? "morsel"
                                                           : nullptr);
-          if (morsel_span.armed()) {
-            morsel_span.set_detail("morsel " + std::to_string(m) + "/" +
-                                   std::to_string(num_morsels));
-          }
+          const int64_t t0 = morsel_span.armed() ? obs::TraceNowNs() : 0;
           Partial& partial = partials[static_cast<size_t>(m)];
           partial.states.reserve(num_base * num_aggs);
           for (size_t r = 0; r < num_base; ++r) {
@@ -358,8 +640,32 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
           }
           partial.touched.assign(num_base, 0);
           ScanTarget target{partial.states.data(), partial.touched.data()};
-          scan_range(m * morsel, std::min(scan_rows, (m + 1) * morsel),
-                     target);
+          const MorselStats s = scan_range(
+              m * morsel, std::min(scan_rows, (m + 1) * morsel), target);
+          flush_stats(s);
+          if (morsel_span.armed()) {
+            // Straggler diagnostics: selectivity and throughput of this
+            // lane's slice, next to its wall time on the timeline.
+            const double secs =
+                static_cast<double>(obs::TraceNowNs() - t0) * 1e-9;
+            const double sel_pct =
+                s.rows > 0 ? 100.0 * static_cast<double>(s.matched) /
+                                 static_cast<double>(s.rows)
+                           : 0.0;
+            const double rows_per_sec =
+                secs > 0 ? static_cast<double>(s.rows) / secs : 0.0;
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "morsel %lld/%lld (%s): %lld rows, %lld matched "
+                          "(%.1f%%), %.2f Mrows/s",
+                          static_cast<long long>(m),
+                          static_cast<long long>(num_morsels),
+                          s.vectorized ? "vectorized" : "scalar",
+                          static_cast<long long>(s.rows),
+                          static_cast<long long>(s.matched), sel_pct,
+                          rows_per_sec * 1e-6);
+            morsel_span.set_detail(buf);
+          }
         },
         lanes);
     // Fold the partials into the shared arrays. Every base row folds its

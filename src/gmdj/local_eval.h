@@ -1,6 +1,7 @@
 #ifndef SKALLA_GMDJ_LOCAL_EVAL_H_
 #define SKALLA_GMDJ_LOCAL_EVAL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -54,7 +55,42 @@ struct LocalGmdjOptions {
   /// grid — and therefore the merge order — depends only on this and the
   /// relation sizes, never on num_threads.
   int64_t morsel_rows = 0;
+
+  /// Vectorized detail scan (docs/vectorized-execution.md): batch predicate
+  /// evaluation over the cached columnar view plus typed aggregate kernels.
+  /// -1 = inherit the SKALLA_VECTORIZE environment knob (default on);
+  /// 0 / 1 force it off / on for this evaluation. Either way the result is
+  /// byte-identical to the scalar row-at-a-time path.
+  int vectorize = -1;
 };
+
+/// The SKALLA_VECTORIZE knob: "0" / "off" / "false" (case-insensitive)
+/// disable the vectorized scan; anything else — including unset — enables
+/// it. Read per call (not cached) so tests can flip it between evaluations.
+bool VectorizeEnabledFromEnv();
+
+/// \brief Process-wide counters of the GMDJ detail scan, accumulated across
+/// every EvalGmdjOp call (relaxed atomics inside; snapshot-diff around a
+/// region to attribute work to it, as dist/fault_tolerance.cc does per
+/// round).
+struct ScanCounters {
+  /// Detail positions visited by scan_range (Σ (hi − lo) over morsels,
+  /// summed across blocks, so a two-block operator counts the relation
+  /// twice — each block is its own scan).
+  int64_t rows_scanned = 0;
+  /// Matches folded into accumulators: Σ |RNG(b, morsel, θ)| over base
+  /// tuples — i.e. (base, detail) pairs, not distinct detail rows.
+  int64_t rows_matched = 0;
+  /// Morsels (sequential scans count as one) executed on the vectorized
+  /// path vs the scalar row-at-a-time path.
+  int64_t morsels_vectorized = 0;
+  int64_t morsels_scalar = 0;
+  /// Chunks the batch evaluator redid through scalar EvalBool after meeting
+  /// a runtime value shape its kernels do not mirror (expr/evaluator.h).
+  int64_t batch_fallback_chunks = 0;
+};
+
+ScanCounters ScanCountersSnapshot();
 
 /// Default morsel granularity: small enough to load-balance skewed
 /// equi-key runs across workers, large enough that the per-morsel partial

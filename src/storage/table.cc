@@ -24,15 +24,18 @@ bool RowLess(const Row& a, const Row& b) {
 void Table::AddRow(Row row) {
   SKALLA_DCHECK(static_cast<int>(row.size()) == schema_->num_fields())
       << "row arity " << row.size() << " vs schema " << schema_->num_fields();
+  columnar_cache_.reset();
   rows_.push_back(std::move(row));
 }
 
 void Table::Append(const Table& other) {
   SKALLA_DCHECK(other.schema().num_fields() == schema_->num_fields());
+  columnar_cache_.reset();
   rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
 }
 
 void Table::SortBy(const std::vector<int>& cols) {
+  columnar_cache_.reset();
   std::stable_sort(rows_.begin(), rows_.end(),
                    [&cols](const Row& a, const Row& b) {
                      for (int c : cols) {
@@ -45,6 +48,7 @@ void Table::SortBy(const std::vector<int>& cols) {
 }
 
 void Table::SortAllColumns() {
+  columnar_cache_.reset();
   std::sort(rows_.begin(), rows_.end(), RowLess);
 }
 

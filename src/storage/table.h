@@ -2,6 +2,7 @@
 #define SKALLA_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "storage/wire_format.h"
 
 namespace skalla {
+
+class ColumnarTable;
 
 /// \brief An in-memory row-store relation: a schema plus a vector of rows.
 ///
@@ -31,7 +34,10 @@ class Table {
   bool empty() const { return rows_.empty(); }
 
   const Row& row(int64_t i) const { return rows_[static_cast<size_t>(i)]; }
-  Row& mutable_row(int64_t i) { return rows_[static_cast<size_t>(i)]; }
+  Row& mutable_row(int64_t i) {
+    columnar_cache_.reset();
+    return rows_[static_cast<size_t>(i)];
+  }
   const std::vector<Row>& rows() const { return rows_; }
 
   const Value& Get(int64_t row, int col) const {
@@ -45,7 +51,16 @@ class Table {
   void Append(const Table& other);
 
   void Reserve(int64_t n) { rows_.reserve(static_cast<size_t>(n)); }
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    rows_.clear();
+    columnar_cache_.reset();
+  }
+
+  /// The lazily built, cached columnar snapshot of this table
+  /// (storage/columnar.h). Thread-safe once: concurrent readers of a
+  /// non-mutating table share one snapshot; every mutator drops the cache.
+  /// Defined in columnar.cc.
+  std::shared_ptr<const ColumnarTable> columnar() const;
 
   /// Stable sort by the given columns ascending (Value::Compare order).
   void SortBy(const std::vector<int>& cols);
@@ -68,6 +83,9 @@ class Table {
  private:
   SchemaPtr schema_;
   std::vector<Row> rows_;
+  /// Copies share the (immutable) snapshot; mutation resets only the
+  /// mutated table's pointer.
+  mutable std::shared_ptr<const ColumnarTable> columnar_cache_;
 };
 
 }  // namespace skalla

@@ -43,7 +43,10 @@ std::atomic<size_t> g_alloc_count{0};
 }  // namespace
 
 // GCC pairs the library's operator new with our malloc-backed delete and
-// warns; the pairing is in fact consistent (all four overloads below).
+// warns; the pairing is in fact consistent (all overloads below, including
+// the nothrow ones — std::stable_sort's temporary buffer allocates through
+// operator new(nothrow), and leaving that to the default allocator while
+// delete goes through free() is an alloc/dealloc mismatch under ASan).
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 #endif
@@ -60,10 +63,26 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc();
 }
 
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace skalla {
 namespace {
