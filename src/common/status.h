@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotImplemented,    ///< Feature intentionally unsupported.
   kUnavailable,       ///< A site stayed unreachable after retries/failover.
   kDeadlineExceeded,  ///< A round's work exceeded its deadline after retries.
+  kCancelled,         ///< The caller withdrew the operation (server CANCEL).
 };
 
 /// \brief Returns the canonical lower-case name of a status code.
@@ -72,6 +73,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

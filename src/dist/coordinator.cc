@@ -27,6 +27,13 @@ std::vector<int> AllSiteIds(const std::vector<Site*>& sites) {
 
 }  // namespace
 
+Status Coordinator::CheckCancelled() const {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled by client");
+  }
+  return Status::OK();
+}
+
 Result<SchemaPtr> Coordinator::FindSchema(const std::string& table_name) const {
   for (const Site* site : sites_) {
     if (site->catalog().HasTable(table_name)) {
@@ -89,15 +96,40 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   std::vector<int> key_cols(static_cast<size_t>(num_key));
   std::iota(key_cols.begin(), key_cols.end(), 0);
 
+  SKALLA_RETURN_NOT_OK(CheckCancelled());
+
+  // Resuming from a cached prefix: the first `resume_rounds_` plan rounds
+  // (and the base round) are skipped and X is seeded from the cached
+  // structure, after validating it against the schema a fresh execution
+  // would hold at that point.
+  const bool resuming = resume_x_ != nullptr && resume_rounds_ >= 1;
+  size_t ops_done = 0;
+  if (resuming) {
+    if (resume_rounds_ > plan.rounds.size()) {
+      return Status::InvalidArgument(
+          "resume point beyond the plan's round count");
+    }
+    for (size_t r = 0; r < resume_rounds_; ++r) {
+      ops_done += plan.rounds[r].ops.size();
+    }
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr resume_schema,
+                            BaseResultSchema(expr, schemas, ops_done));
+    if (resume_x_->schema().FieldNames() != resume_schema->FieldNames()) {
+      return Status::InvalidArgument(
+          "resume structure schema does not match the plan prefix");
+    }
+  }
+
   // The base-result structure X (visible/finalized form) plus its key index.
   SKALLA_ASSIGN_OR_RETURN(SchemaPtr x_schema,
-                          BaseResultSchema(expr, schemas, 0));
+                          BaseResultSchema(expr, schemas, ops_done));
   Table x(x_schema);
+  if (resuming) x = *resume_x_;
   HashIndex x_index;
   x_index.Build(x, key_cols);
 
   // ---- Round 0: base-values query (unless fused per Prop. 2). ----
-  if (!plan.fuse_base) {
+  if (!plan.fuse_base && !resuming) {
     network_.BeginRound("base");
     obs::ScopedSpan round_span("round.base", obs::kTrackCoordinator);
     RoundMetrics rm;
@@ -148,8 +180,10 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   }
 
   // ---- GMDJ rounds. ----
-  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+  for (size_t r = resuming ? resume_rounds_ : 0; r < plan.rounds.size();
+       ++r) {
     const PlanRound& round = plan.rounds[r];
+    SKALLA_RETURN_NOT_OK(CheckCancelled());
     network_.BeginRound("gmdj round " + std::to_string(r + 1));
     obs::ScopedSpan round_span("round.gmdj", obs::kTrackCoordinator);
     if (round_span.armed()) {
@@ -383,6 +417,9 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
 
     rm.coord_cpu_sec = coord_cpu;
     local_metrics.rounds.push_back(std::move(rm));
+
+    ops_done += round.ops.size();
+    if (round_observer_) round_observer_(ops_done, x);
   }
 
 

@@ -1,6 +1,8 @@
 #ifndef SKALLA_DIST_COORDINATOR_H_
 #define SKALLA_DIST_COORDINATOR_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -64,6 +66,36 @@ class Coordinator {
   void set_local_threads(int num_threads) { local_threads_ = num_threads; }
   int local_threads() const { return local_threads_; }
 
+  /// Cooperative per-query cancellation (borrowed flag, may be null): the
+  /// coordinator polls it at round boundaries and aborts the query with a
+  /// typed kCancelled status when it is set. In-flight site work of the
+  /// current round is never interrupted — rounds stay atomic, so a
+  /// cancelled query leaves no partial state anywhere.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  /// Observer invoked after each GMDJ round finalizes, with the number of
+  /// *operators* evaluated so far and the base-result structure X at that
+  /// point (before HAVING / presentation). The server's cross-query cache
+  /// uses this to capture prefix results (src/server/result_cache.h).
+  /// Called on the coordinator thread; must not mutate the table.
+  using RoundObserver = std::function<void(size_t ops_done, const Table& x)>;
+  void set_round_observer(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
+
+  /// Resumes evaluation from a cached base-result structure instead of
+  /// computing the base query and the first `rounds_done` plan rounds:
+  /// `x` (borrowed; must outlive Execute) is exactly the X a fresh
+  /// execution of this plan would hold after those rounds. Because every
+  /// round is a deterministic function of the incoming X and the site
+  /// partitions, the resumed execution is byte-identical to a full one
+  /// (docs/server.md). The X schema is validated against the plan before
+  /// use. Pass nullptr / 0 to clear.
+  void set_resume(const Table* x, size_t rounds_done) {
+    resume_x_ = x;
+    resume_rounds_ = rounds_done;
+  }
+
   /// Looks up a relation schema from the first site that holds a partition
   /// of it (all sites share global relation schemas).
   Result<SchemaPtr> FindSchema(const std::string& table_name) const;
@@ -72,11 +104,18 @@ class Coordinator {
   Result<SchemaMap> CollectSchemas(const DistributedPlan& plan) const;
 
  private:
+  /// kCancelled when the attached cancel flag is set.
+  Status CheckCancelled() const;
+
   std::vector<Site*> sites_;
   std::map<int, Site*> replicas_;
   SimNetwork network_;
   bool parallel_sites_ = false;
   int local_threads_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
+  RoundObserver round_observer_;
+  const Table* resume_x_ = nullptr;
+  size_t resume_rounds_ = 0;
 };
 
 /// Theorem 2's bound on groups transferred by Alg. GMDJDistribEval:

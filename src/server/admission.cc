@@ -1,0 +1,99 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace skalla {
+namespace server {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  options_.max_concurrent = std::max(1, options_.max_concurrent);
+}
+
+Status AdmissionController::Acquire(uint64_t ticket, int priority,
+                                    double deadline_sec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: a free slot and nobody queued ahead.
+  if (running_ < options_.max_concurrent && queue_.empty()) {
+    ++running_;
+    return Status::OK();
+  }
+  if (queue_.size() >= options_.max_queue) {
+    return Status::Unavailable(
+        "admission queue is full (" + std::to_string(options_.max_queue) +
+        " waiting queries)");
+  }
+
+  Waiter waiter;
+  waiter.ticket = ticket;
+  const QueueKey key{-priority, next_seq_++};
+  queue_.emplace(key, &waiter);
+
+  const bool has_deadline = deadline_sec > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? deadline_sec : 0));
+
+  auto ready = [this, &waiter, key]() {
+    return waiter.cancelled || (running_ < options_.max_concurrent &&
+                                queue_.begin()->first == key);
+  };
+  while (!ready()) {
+    if (has_deadline) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !ready()) {
+        queue_.erase(key);
+        // Another waiter may now be at the front of a grantable queue.
+        cv_.notify_all();
+        return Status::DeadlineExceeded(
+            "query waited in the admission queue past its deadline");
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  queue_.erase(key);
+  if (waiter.cancelled) {
+    cv_.notify_all();
+    return Status::Cancelled("query cancelled while queued for admission");
+  }
+  ++running_;
+  // The next-best waiter might also fit (max_concurrent > 1).
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::CancelQueued(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, waiter] : queue_) {
+    if (waiter->ticket == ticket && !waiter->cancelled) {
+      waiter->cancelled = true;
+      cv_.notify_all();
+      return true;
+    }
+  }
+  return false;
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace server
+}  // namespace skalla

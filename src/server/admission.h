@@ -1,0 +1,81 @@
+#ifndef SKALLA_SERVER_ADMISSION_H_
+#define SKALLA_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/result.h"
+
+namespace skalla {
+namespace server {
+
+/// Admission limits of a Server.
+struct AdmissionOptions {
+  /// Queries executing simultaneously; further admitted queries wait in
+  /// the priority queue. Must be >= 1.
+  int max_concurrent = 4;
+  /// Queries allowed to wait; beyond it new queries are refused with a
+  /// typed kUnavailable (load shedding, not an error of the query).
+  size_t max_queue = 64;
+};
+
+/// \brief Blocking priority admission gate for concurrent queries.
+///
+/// Each query calls Acquire() on its own (client) thread before executing
+/// and Release() after; at most `max_concurrent` queries hold a slot at
+/// once. Waiters are granted slots by (priority desc, arrival order asc):
+/// a HIGH query admitted later overtakes queued NORMAL/LOW queries but
+/// never preempts a running one. The skew literature's p99 lesson
+/// (PAPERS.md) is encoded here as load shedding: a bounded queue refuses
+/// work instead of growing an unbounded tail.
+///
+/// Why slots gate *queries* while morsels gate *lanes*: an admitted query
+/// parallelizes its site scans over the shared ThreadPool under its own
+/// morsel quota (ExecHooks::local_threads), so admission bounds memory and
+/// coordination state while the pool stays fully multiplexed.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until a slot is granted. Returns:
+  ///  - OK: the caller owns a slot and must Release() it;
+  ///  - kUnavailable: the wait queue is full (the call never waited);
+  ///  - kDeadlineExceeded: `deadline_sec` > 0 elapsed while queued;
+  ///  - kCancelled: CancelQueued(ticket) was called while queued.
+  /// `ticket` identifies this wait for CancelQueued; `priority` is higher
+  /// = sooner. `deadline_sec` <= 0 waits forever.
+  Status Acquire(uint64_t ticket, int priority, double deadline_sec);
+
+  /// Releases a slot obtained by a successful Acquire.
+  void Release();
+
+  /// Wakes the queued waiter with this ticket so its Acquire returns
+  /// kCancelled. False when no such waiter is queued (it may already be
+  /// running — cancelling running queries is the coordinator flag's job).
+  bool CancelQueued(uint64_t ticket);
+
+  int running() const;
+  size_t queued() const;
+
+ private:
+  struct Waiter {
+    uint64_t ticket = 0;
+    bool cancelled = false;
+  };
+  /// Queue key: (-priority, seq) so the map's begin() is the next grant.
+  using QueueKey = std::pair<int, uint64_t>;
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<QueueKey, Waiter*> queue_;
+  uint64_t next_seq_ = 0;
+  int running_ = 0;
+};
+
+}  // namespace server
+}  // namespace skalla
+
+#endif  // SKALLA_SERVER_ADMISSION_H_

@@ -1,0 +1,192 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace skalla {
+namespace server {
+
+bool ResultCache::Valid(const VersionMap& entry,
+                        const VersionMap& current) const {
+  for (const auto& [table, version] : entry) {
+    auto it = current.find(table);
+    if (it == current.end() || it->second != version) return false;
+  }
+  return true;
+}
+
+template <typename Map>
+void ResultCache::EvictIfNeeded(Map* map) {
+  while (map->size() > max_entries_) {
+    auto victim = map->begin();
+    for (auto it = map->begin(); it != map->end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    map->erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+std::optional<std::string> ResultCache::Lookup(const std::string& key,
+                                              const VersionMap& current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(key);
+  if (it == results_.end() || !Valid(it->second.versions, current)) {
+    if (it != results_.end()) {
+      // Stale under the current versions; drop it now.
+      results_.erase(it);
+      ++counters_.invalidations;
+    }
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  it->second.last_used = ++use_clock_;
+  ++counters_.hits;
+  return it->second.payload;
+}
+
+void ResultCache::Store(const std::string& key, std::string payload,
+                        VersionMap versions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultEntry entry;
+  entry.payload = std::move(payload);
+  entry.versions = std::move(versions);
+  entry.last_used = ++use_clock_;
+  results_[key] = std::move(entry);
+  ++counters_.stores;
+  EvictIfNeeded(&results_);
+}
+
+std::optional<PrefixMatch> ResultCache::LookupPrefix(
+    const std::vector<std::string>& prefix_keys, const VersionMap& current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Deepest prefix first: resuming later skips more rounds.
+  for (size_t i = prefix_keys.size(); i-- > 0;) {
+    auto it = prefixes_.find(prefix_keys[i]);
+    if (it == prefixes_.end()) continue;
+    if (!Valid(it->second.versions, current)) {
+      prefixes_.erase(it);
+      ++counters_.invalidations;
+      continue;
+    }
+    it->second.last_used = ++use_clock_;
+    ++counters_.prefix_hits;
+    PrefixMatch match;
+    match.x = it->second.x;
+    match.rounds = it->second.rounds;
+    match.ops = it->second.ops;
+    return match;
+  }
+  return std::nullopt;
+}
+
+void ResultCache::StorePrefix(const std::string& key, size_t rounds,
+                              size_t ops, const Table& x,
+                              VersionMap versions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PrefixEntry entry;
+  entry.x = x;
+  entry.rounds = rounds;
+  entry.ops = ops;
+  entry.versions = std::move(versions);
+  entry.last_used = ++use_clock_;
+  prefixes_[key] = std::move(entry);
+  EvictIfNeeded(&prefixes_);
+}
+
+void ResultCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = results_.begin(); it != results_.end();) {
+    if (it->second.versions.count(table) > 0) {
+      it = results_.erase(it);
+      ++counters_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = prefixes_.begin(); it != prefixes_.end();) {
+    if (it->second.versions.count(table) > 0) {
+      it = prefixes_.erase(it);
+      ++counters_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  results_.clear();
+  prefixes_.clear();
+}
+
+CacheCounters ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t ResultCache::result_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+size_t ResultCache::prefix_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prefixes_.size();
+}
+
+std::string CanonicalQueryKey(const GmdjExpr& expr) {
+  std::ostringstream key;
+  key << GmdjExprToString(expr);
+  if (expr.having != nullptr) key << "|having=" << expr.having->ToString();
+  if (!expr.order_by.empty()) {
+    key << "|order=";
+    for (const SortKey& sort : expr.order_by) {
+      key << sort.column << (sort.descending ? " desc" : " asc") << ",";
+    }
+  }
+  if (expr.limit >= 0) key << "|limit=" << expr.limit;
+  return key.str();
+}
+
+std::vector<std::string> PlanPrefixKeys(const DistributedPlan& plan) {
+  std::vector<std::string> keys;
+  keys.reserve(plan.rounds.size());
+  // The shared stem: the base query (projection, filter, participating
+  // sites, fuse flag) every prefix builds on.
+  std::ostringstream stem;
+  stem << "base=" << plan.base.source_table << "/";
+  for (const std::string& col : plan.base.project_cols) stem << col << ",";
+  if (plan.base.filter != nullptr) {
+    stem << "/f=" << plan.base.filter->ToString();
+  }
+  stem << "/d=" << (plan.base.distinct ? 1 : 0)
+       << "/fuse=" << (plan.fuse_base ? 1 : 0) << "/s=";
+  for (int sid : plan.base_sites) stem << sid << ",";
+
+  GmdjExpr prefix_expr;
+  prefix_expr.base = plan.base;
+  std::ostringstream rounds;
+  for (size_t r = 0; r < plan.rounds.size(); ++r) {
+    const PlanRound& round = plan.rounds[r];
+    for (const GmdjOp& op : round.ops) prefix_expr.ops.push_back(op);
+    rounds << "|r" << r << ":flags="
+           << (round.flags.independent_group_reduction ? "i" : "")
+           << (round.flags.aware_group_reduction ? "a" : "") << ":sites=";
+    for (int sid : round.participating_sites) rounds << sid << ",";
+    rounds << ":cols=";
+    for (const std::string& col : round.ship_cols) rounds << col << ",";
+    rounds << ":pred=";
+    if (r < plan.ship_predicates.size()) {
+      for (const ExprPtr& pred : plan.ship_predicates[r]) {
+        rounds << (pred == nullptr ? "-" : pred->ToString()) << ";";
+      }
+    }
+    keys.push_back(stem.str() + "|ops=" + GmdjExprToString(prefix_expr) +
+                   rounds.str());
+  }
+  return keys;
+}
+
+}  // namespace server
+}  // namespace skalla

@@ -1,0 +1,138 @@
+#ifndef SKALLA_SERVER_RESULT_CACHE_H_
+#define SKALLA_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/plan.h"
+#include "storage/table.h"
+
+namespace skalla {
+namespace server {
+
+/// Version stamps of the relations an entry depends on (table name ->
+/// server mutation counter at capture time). An entry is valid only while
+/// every stamped relation still carries the same version.
+using VersionMap = std::map<std::string, uint64_t>;
+
+/// Monotonic counters of the cache's behavior (snapshot via
+/// ResultCache::stats(); the server folds them into STATS).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t prefix_hits = 0;    ///< queries that resumed from a cached prefix
+  uint64_t stores = 0;
+  uint64_t invalidations = 0;  ///< entries dropped by table mutations
+  uint64_t evictions = 0;      ///< entries dropped by the capacity bound
+};
+
+/// A prefix-cache hit: the base-result structure after `rounds` plan
+/// rounds (`ops` GMDJ operators), ready for Coordinator::set_resume.
+struct PrefixMatch {
+  Table x;
+  size_t rounds = 0;
+  size_t ops = 0;
+};
+
+/// \brief Cross-query cache: full results plus GMDJ-chain prefixes.
+///
+/// Two queries may legally share structures exactly when they read the
+/// same relation versions and their chains agree ("Parallel-Correctness
+/// and Transferability", PAPERS.md grounds the sharing condition; here
+/// both queries are keyed by the *canonical* form of what they compute, so
+/// agreement is syntactic equality after normalization):
+///
+///  - the *result cache* maps a canonical query key (CanonicalQueryKey) to
+///    the finished response payload — a hit skips execution entirely;
+///  - the *prefix cache* maps a canonical plan prefix (PlanPrefixKey) to
+///    the base-result structure X after those rounds — a longer chain
+///    sharing the prefix resumes from X instead of recomputing it.
+///
+/// Invalidation is mutation-based: the server bumps a per-table version on
+/// every MUTATE/LOAD and entries pin the versions they read; a stale entry
+/// is dropped at lookup, and InvalidateTable() eagerly drops everything
+/// referencing a mutated relation. Because every execution is
+/// deterministic, a cached payload is byte-identical to what re-execution
+/// would produce (DESIGN.md invariant 10).
+///
+/// Thread-safe; all methods take an internal mutex.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  /// The cached response payload for `key`, provided every dependency
+  /// still has the version recorded at store time. Counts a hit or miss.
+  std::optional<std::string> Lookup(const std::string& key,
+                                    const VersionMap& current);
+
+  /// Stores a finished query's payload under its canonical key.
+  void Store(const std::string& key, std::string payload,
+             VersionMap versions);
+
+  /// The deepest cached, still-valid prefix among `prefix_keys` (index i =
+  /// the key after round i+1). Counts a prefix hit when found.
+  std::optional<PrefixMatch> LookupPrefix(
+      const std::vector<std::string>& prefix_keys, const VersionMap& current);
+
+  /// Stores the base-result structure after a plan-round prefix.
+  void StorePrefix(const std::string& key, size_t rounds, size_t ops,
+                   const Table& x, VersionMap versions);
+
+  /// Eagerly drops every entry (result and prefix) that read `table`.
+  void InvalidateTable(const std::string& table);
+
+  /// Drops everything (counters are kept).
+  void Clear();
+
+  CacheCounters stats() const;
+  size_t result_entries() const;
+  size_t prefix_entries() const;
+
+ private:
+  struct ResultEntry {
+    std::string payload;
+    VersionMap versions;
+    uint64_t last_used = 0;
+  };
+  struct PrefixEntry {
+    Table x;
+    size_t rounds = 0;
+    size_t ops = 0;
+    VersionMap versions;
+    uint64_t last_used = 0;
+  };
+
+  template <typename Map>
+  void EvictIfNeeded(Map* map);
+  bool Valid(const VersionMap& entry, const VersionMap& current) const;
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, ResultEntry> results_;
+  std::map<std::string, PrefixEntry> prefixes_;
+  uint64_t use_clock_ = 0;
+  CacheCounters counters_;
+};
+
+/// Canonical key of a full query: the parsed expression re-printed in the
+/// paper's MD(...) notation (normalizing whitespace, keyword case, and any
+/// textual variation that parses to the same chain), extended with the
+/// HAVING / ORDER BY / LIMIT presentation the print omits.
+std::string CanonicalQueryKey(const GmdjExpr& expr);
+
+/// Canonical keys of every executable prefix of `plan`: element i is the
+/// key after rounds [0, i]. The key covers everything that determines the
+/// bytes of X at that point — base query, each round's operators, flags,
+/// participants, ship columns, and per-site ship predicates — so equal
+/// keys imply byte-identical structures under deterministic evaluation.
+std::vector<std::string> PlanPrefixKeys(const DistributedPlan& plan);
+
+}  // namespace server
+}  // namespace skalla
+
+#endif  // SKALLA_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,384 @@
+#include "server/server.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "flow/flowgen.h"
+#include "obs/trace.h"
+#include "sql/olap_parser.h"
+#include "storage/csv.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace server {
+
+namespace {
+
+/// Releases an admission slot on every exit path of HandleQuery.
+class SlotGuard {
+ public:
+  explicit SlotGuard(AdmissionController* admission) : admission_(admission) {}
+  ~SlotGuard() {
+    if (admission_ != nullptr) admission_->Release();
+  }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+}  // namespace
+
+Server::Server(std::unique_ptr<Warehouse> warehouse, ServerOptions options)
+    : warehouse_(std::move(warehouse)),
+      options_(options),
+      admission_(options.admission),
+      cache_(options.cache_max_entries) {}
+
+Server::Server(int num_sites, ServerOptions options)
+    : Server(std::make_unique<Warehouse>(num_sites), options) {}
+
+std::string Server::HandleCommand(const std::string& text) {
+  Result<Command> cmd = ParseCommand(text);
+  if (!cmd.ok()) return ErrResponse(cmd.status());
+  Result<std::string> payload = Dispatch(*cmd);
+  if (!payload.ok()) return ErrResponse(payload.status());
+  return OkResponse(*payload);
+}
+
+Result<std::string> Server::Dispatch(const Command& cmd) {
+  switch (cmd.type) {
+    case CommandType::kQuery:
+      return HandleQuery(cmd);
+    case CommandType::kLoad:
+      return HandleLoad(cmd);
+    case CommandType::kMutate:
+      return HandleMutate(cmd);
+    case CommandType::kStats:
+      return HandleStats();
+    case CommandType::kCancel:
+      return HandleCancel(cmd);
+  }
+  return Status::Internal("unhandled command type");
+}
+
+VersionMap Server::SnapshotVersions(const GmdjExpr& expr) {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  VersionMap snapshot;
+  auto stamp = [&](const std::string& table) {
+    auto it = versions_.find(table);
+    snapshot[table] = it == versions_.end() ? 0 : it->second;
+  };
+  stamp(expr.base.source_table);
+  for (const GmdjOp& op : expr.ops) stamp(op.detail_table);
+  return snapshot;
+}
+
+void Server::BumpVersion(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    ++versions_[table];
+  }
+  cache_.InvalidateTable(table);
+}
+
+Result<std::string> Server::HandleQuery(const Command& cmd) {
+  queries_submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Parse before admission: a malformed query never occupies a slot.
+  Result<GmdjExpr> expr = ParseOlapQuery(cmd.query_text);
+  if (!expr.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return expr.status();
+  }
+
+  auto active = std::make_shared<ActiveQuery>();
+  active->id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  active->priority = static_cast<int>(cmd.priority);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_[active->id] = active;
+  }
+  // Unregister on every exit path.
+  auto unregister = [this, &active](const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_.erase(active->id);
+    }
+    if (status.ok()) {
+      queries_completed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kCancelled) {
+      queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kUnavailable ||
+               status.code() == StatusCode::kDeadlineExceeded) {
+      queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  obs::ScopedSpan span("server.query", obs::kTrackCoordinator);
+  if (span.armed()) {
+    span.set_detail("id=" + std::to_string(active->id) +
+                    " prio=" + std::to_string(active->priority));
+  }
+
+  // CANCEL may land before Acquire even queues us; honor it here so the
+  // client's cancel is never lost to that race.
+  Status admitted;
+  if (active->cancel.load(std::memory_order_relaxed)) {
+    admitted = Status::Cancelled("query cancelled before admission");
+  } else {
+    obs::ScopedSpan wait_span("server.admit", obs::kTrackCoordinator);
+    admitted =
+        admission_.Acquire(active->id, active->priority, cmd.deadline_sec);
+  }
+  if (!admitted.ok()) {
+    unregister(admitted);
+    return admitted;
+  }
+  SlotGuard slot(&admission_);
+  active->running.store(true, std::memory_order_relaxed);
+
+  Result<std::string> payload = [&]() -> Result<std::string> {
+    // Shared lock: mutations (exclusive) cannot interleave with this
+    // query, so the version snapshot, cache probes, and execution all see
+    // one consistent warehouse state.
+    std::shared_lock<std::shared_mutex> read_lock(warehouse_mu_);
+
+    const bool use_cache = options_.enable_result_cache && !cmd.no_cache;
+    const bool use_prefix = options_.enable_prefix_reuse && !cmd.no_cache;
+    const VersionMap versions = SnapshotVersions(*expr);
+    const std::string key = CanonicalQueryKey(*expr);
+
+    if (use_cache) {
+      std::optional<std::string> hit = cache_.Lookup(key, versions);
+      if (hit.has_value()) return *std::move(hit);
+    }
+
+    const OptimizerOptions opt =
+        options_.optimize ? OptimizerOptions::All() : OptimizerOptions::None();
+    Result<DistributedPlan> plan = warehouse_->Plan(*expr, opt);
+    if (!plan.ok()) return plan.status();
+
+    std::vector<std::string> prefix_keys;
+    std::optional<PrefixMatch> resume;
+    if (use_prefix) {
+      prefix_keys = PlanPrefixKeys(*plan);
+      resume = cache_.LookupPrefix(prefix_keys, versions);
+    }
+
+    ExecHooks hooks;
+    hooks.local_threads =
+        cmd.threads >= 0 ? cmd.threads : options_.default_local_threads;
+    hooks.deadline_sec = cmd.deadline_sec >= 0 ? cmd.deadline_sec
+                         : options_.default_deadline_sec > 0
+                             ? options_.default_deadline_sec
+                             : -1.0;
+    hooks.cancel = &active->cancel;
+    if (resume.has_value()) {
+      hooks.resume_x = &resume->x;
+      hooks.resume_rounds = resume->rounds;
+    }
+    // Capture X after each executed round for the prefix cache. The i-th
+    // callback finishes round start+i, whose key is prefix_keys[start+i].
+    std::vector<std::pair<size_t, Table>> captured;
+    if (use_prefix) {
+      hooks.round_observer = [&captured](size_t ops_done, const Table& x) {
+        captured.emplace_back(ops_done, x);
+      };
+    }
+
+    Result<QueryResult> result = warehouse_->ExecutePlan(*plan, hooks);
+    if (!result.ok()) return result.status();
+
+    std::string csv = CsvToString(result->table);
+    if (use_prefix) {
+      const size_t start = resume.has_value() ? resume->rounds : 0;
+      for (size_t i = 0; i < captured.size(); ++i) {
+        const size_t round_index = start + i;
+        if (round_index >= prefix_keys.size()) break;
+        cache_.StorePrefix(prefix_keys[round_index], round_index + 1,
+                           captured[i].first, captured[i].second, versions);
+      }
+    }
+    if (use_cache) cache_.Store(key, csv, versions);
+    return csv;
+  }();
+
+  unregister(payload.status());
+  return payload;
+}
+
+Result<std::string> Server::HandleLoad(const Command& cmd) {
+  obs::ScopedSpan span("server.load", obs::kTrackCoordinator);
+  if (span.armed()) {
+    span.set_detail(cmd.load_kind + " rows=" +
+                    std::to_string(cmd.load_rows));
+  }
+  std::unique_lock<std::shared_mutex> write_lock(warehouse_mu_);
+  std::string table;
+  Status status;
+  if (cmd.load_kind == "tpcr") {
+    table = "TPCR";
+    TpcConfig config;
+    config.num_rows = cmd.load_rows;
+    config.num_customers = std::max<int64_t>(1, cmd.load_rows / 12);
+    status = warehouse_->LoadByRange(table, GenerateTpcr(config), "NationKey",
+                                     0, config.num_nations - 1,
+                                     {"CustKey", "ClerkKey"});
+  } else {
+    table = "Flow";
+    FlowConfig config;
+    config.num_rows = cmd.load_rows;
+    config.num_routers = warehouse_->num_sites();
+    status = warehouse_->LoadByRange(table, GenerateFlows(config), "SourceAS",
+                                     0, config.num_as - 1,
+                                     {"SourceAS", "RouterId"});
+  }
+  if (!status.ok()) return status;
+  BumpVersion(table);
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return "loaded " + table + " " + std::to_string(cmd.load_rows);
+}
+
+Result<std::string> Server::HandleMutate(const Command& cmd) {
+  obs::ScopedSpan span("server.mutate", obs::kTrackCoordinator);
+  if (span.armed()) span.set_detail(cmd.mutate_table);
+  std::unique_lock<std::shared_mutex> write_lock(warehouse_mu_);
+
+  Result<std::shared_ptr<const Table>> table =
+      warehouse_->central_catalog().GetTable(cmd.mutate_table);
+  if (!table.ok()) return table.status();
+
+  // Reuse the CSV reader for value parsing/quoting: one header line (the
+  // table's own column order) plus the client's row.
+  std::ostringstream header;
+  const std::vector<std::string> names = (*table)->schema().FieldNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) header << ",";
+    header << names[i];
+  }
+  Result<Table> parsed = CsvFromString(
+      header.str() + "\n" + cmd.mutate_row_csv + "\n", (*table)->schema_ptr());
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->num_rows() != 1) {
+    return Status::InvalidArgument(
+        "MUTATE APPEND expects exactly one CSV row, got " +
+        std::to_string(parsed->num_rows()));
+  }
+
+  Status appended = warehouse_->AppendRow(cmd.mutate_table, parsed->row(0));
+  if (!appended.ok()) return appended;
+  BumpVersion(cmd.mutate_table);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  return "appended 1 row to " + cmd.mutate_table;
+}
+
+Result<std::string> Server::HandleStats() {
+  const ServerStats stats = this->stats();
+  std::ostringstream out;
+  out << "queries_submitted " << stats.queries_submitted << "\n"
+      << "queries_completed " << stats.queries_completed << "\n"
+      << "queries_failed " << stats.queries_failed << "\n"
+      << "queries_cancelled " << stats.queries_cancelled << "\n"
+      << "queries_shed " << stats.queries_shed << "\n"
+      << "mutations " << stats.mutations << "\n"
+      << "loads " << stats.loads << "\n"
+      << "running " << stats.running << "\n"
+      << "queued " << stats.queued << "\n"
+      << "cache_hits " << stats.cache.hits << "\n"
+      << "cache_misses " << stats.cache.misses << "\n"
+      << "cache_prefix_hits " << stats.cache.prefix_hits << "\n"
+      << "cache_stores " << stats.cache.stores << "\n"
+      << "cache_invalidations " << stats.cache.invalidations << "\n"
+      << "cache_evictions " << stats.cache.evictions << "\n"
+      << "cache_result_entries " << stats.cache_result_entries << "\n"
+      << "cache_prefix_entries " << stats.cache_prefix_entries << "\n";
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (const auto& [id, query] : active_) {
+      out << "active " << id << " "
+          << (query->running.load(std::memory_order_relaxed) ? "running"
+                                                             : "queued")
+          << " " << query->priority << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<std::string> Server::HandleCancel(const Command& cmd) {
+  std::vector<std::shared_ptr<ActiveQuery>> targets;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    if (cmd.cancel_all) {
+      for (const auto& [id, query] : active_) targets.push_back(query);
+    } else {
+      auto it = active_.find(cmd.cancel_id);
+      if (it == active_.end()) {
+        return Status::NotFound("no active query with id " +
+                                std::to_string(cmd.cancel_id));
+      }
+      targets.push_back(it->second);
+    }
+  }
+  for (const auto& query : targets) {
+    query->cancel.store(true, std::memory_order_relaxed);
+    admission_.CancelQueued(query->id);
+  }
+  return "cancelled " + std::to_string(targets.size());
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.queries_submitted = queries_submitted_.load(std::memory_order_relaxed);
+  stats.queries_completed = queries_completed_.load(std::memory_order_relaxed);
+  stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  stats.queries_cancelled =
+      queries_cancelled_.load(std::memory_order_relaxed);
+  stats.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_.load(std::memory_order_relaxed);
+  stats.loads = loads_.load(std::memory_order_relaxed);
+  stats.cache = cache_.stats();
+  stats.running = admission_.running();
+  stats.queued = admission_.queued();
+  stats.cache_result_entries = cache_.result_entries();
+  stats.cache_prefix_entries = cache_.prefix_entries();
+  return stats;
+}
+
+Status Connection::Feed(std::string_view bytes, std::string* out) {
+  if (broken_) {
+    return Status::InvalidArgument(
+        "connection is broken by an earlier framing error");
+  }
+  buffer_.append(bytes.data(), bytes.size());
+  while (true) {
+    Result<std::optional<std::string>> frame = DecodeFrame(&buffer_);
+    if (!frame.ok()) {
+      broken_ = true;
+      out->append(EncodeFrame(ErrResponse(frame.status())));
+      return frame.status();
+    }
+    if (!frame->has_value()) return Status::OK();
+    out->append(EncodeFrame(server_->HandleCommand(**frame)));
+  }
+}
+
+Result<std::string> Client::Call(const std::string& command) {
+  std::string out;
+  Status fed = connection_.Feed(EncodeFrame(command), &out);
+  pending_.append(out);
+  if (!fed.ok()) return fed;
+  Result<std::optional<std::string>> frame = DecodeFrame(&pending_);
+  if (!frame.ok()) return frame.status();
+  if (!frame->has_value()) {
+    return Status::Internal("server produced no response frame");
+  }
+  return ParseResponse(**frame);
+}
+
+}  // namespace server
+}  // namespace skalla

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "engine/operators.h"
 #include "gmdj/central_eval.h"
@@ -126,12 +127,23 @@ Result<Site*> Warehouse::AddReplica(int site_id) {
 }
 
 Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan) {
+  return ExecutePlan(plan, ExecHooks());
+}
+
+Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan,
+                                           const ExecHooks& hooks) {
   std::vector<Site*> site_ptrs;
   site_ptrs.reserve(sites_.size());
   for (const auto& site : sites_) site_ptrs.push_back(site.get());
-  Coordinator coordinator(std::move(site_ptrs), net_);
+  NetworkConfig net = net_;
+  if (hooks.deadline_sec >= 0.0) net.retry.timeout_sec = hooks.deadline_sec;
+  Coordinator coordinator(std::move(site_ptrs), net);
   coordinator.set_parallel_sites(parallel_sites_);
-  coordinator.set_local_threads(local_threads_);
+  coordinator.set_local_threads(
+      hooks.local_threads >= 0 ? hooks.local_threads : local_threads_);
+  coordinator.set_cancel_flag(hooks.cancel);
+  coordinator.set_round_observer(hooks.round_observer);
+  coordinator.set_resume(hooks.resume_x, hooks.resume_rounds);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());
@@ -200,6 +212,81 @@ Result<QueryResult> Warehouse::ExecuteAuto(const GmdjExpr& expr,
 
 Result<Table> Warehouse::ExecuteCentralized(const GmdjExpr& expr) const {
   return EvalGmdjExprCentralized(expr, central_, local_threads_);
+}
+
+Status Warehouse::AppendRow(const std::string& table, const Row& row) {
+  SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> central_table,
+                          central_.GetTable(table));
+  const Schema& schema = central_table->schema();
+  if (static_cast<int>(row.size()) != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values; " + table +
+        " has " + std::to_string(schema.num_fields()) + " columns");
+  }
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    if (!v.is_null() && v.type() != schema.field(c).type) {
+      return Status::TypeError(
+          "column " + schema.field(c).name + " expects " +
+          ValueTypeToString(schema.field(c).type) + ", got " +
+          ValueTypeToString(v.type()));
+    }
+  }
+
+  // Route to the unique site whose φ_i admits every attribute value. φ
+  // domains are conservative, so a site with no declared domain for an
+  // attribute accepts any value of it; a row no site admits is rejected
+  // rather than silently mis-placed (that would make the Sect.-4
+  // optimizations unsound).
+  int target = -1;
+  for (int i = 0; i < num_sites(); ++i) {
+    if (!sites_[static_cast<size_t>(i)]->catalog().HasTable(table)) continue;
+    bool admits = true;
+    for (const auto& [attr, domain] :
+         sites_[static_cast<size_t>(i)]->partition_info().domains()) {
+      const std::optional<int> col = schema.IndexOf(attr);
+      if (!col.has_value()) continue;
+      if (!domain.MayContain(row[static_cast<size_t>(*col)])) {
+        admits = false;
+        break;
+      }
+    }
+    if (admits) {
+      target = i;
+      break;
+    }
+  }
+  if (target < 0) {
+    return Status::InvalidArgument(
+        "no site's partition predicate admits the row (declared domains "
+        "would be violated)");
+  }
+
+  // Copy-on-write everywhere: readers holding the old shared_ptrs keep a
+  // consistent snapshot, and each fresh Table starts with an empty
+  // columnar cache.
+  auto append_to = [&row](const Table& old) {
+    Table grown(old.schema_ptr(), old.rows());
+    grown.AddRow(row);
+    return std::make_shared<const Table>(std::move(grown));
+  };
+  Site& site = *sites_[static_cast<size_t>(target)];
+  SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> fragment,
+                          site.catalog().GetTable(table));
+  site.catalog().PutTable(table, append_to(*fragment));
+  // A registered replica mirrors the primary's partitions; keep it
+  // coherent so failover after a mutation cannot lose the row.
+  auto replica = replicas_.find(target);
+  if (replica != replicas_.end() &&
+      replica->second->catalog().HasTable(table)) {
+    SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> replica_fragment,
+                            replica->second->catalog().GetTable(table));
+    replica->second->catalog().PutTable(table, append_to(*replica_fragment));
+  }
+  central_.PutTable(table, append_to(*central_table));
+  // The relation's profiled statistics are stale now.
+  stats_cache_.erase(table);
+  return Status::OK();
 }
 
 }  // namespace skalla

@@ -1,6 +1,7 @@
 #ifndef SKALLA_SKALLA_WAREHOUSE_H_
 #define SKALLA_SKALLA_WAREHOUSE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +27,36 @@ struct QueryResult {
   Table table;               ///< the finalized base-result structure
   ExecutionMetrics metrics;  ///< cost accounting of the execution
   DistributedPlan plan;      ///< the plan that was executed
+};
+
+/// \brief Per-query execution hooks for the concurrent serving layer
+/// (src/server/). Every field is optional; default-constructed hooks make
+/// ExecutePlan behave exactly like the hook-less overload.
+struct ExecHooks {
+  /// Morsel-lane quota for this query's local GMDJ evaluation; -1 keeps
+  /// the warehouse default (set_local_threads). The quota bounds how many
+  /// shared-pool lanes one query may occupy, so concurrent queries share
+  /// the pool instead of each grabbing every worker.
+  int local_threads = -1;
+
+  /// Per-attempt deadline in simulated seconds for every round exchange,
+  /// reusing the wave driver's deadline machinery (RetryPolicy); < 0 keeps
+  /// the warehouse NetworkConfig, 0 disables deadlines for this query.
+  double deadline_sec = -1.0;
+
+  /// Cooperative cancellation flag (borrowed, may be null), polled at
+  /// round boundaries; see Coordinator::set_cancel_flag.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Per-round base-result-structure observer for cross-query prefix
+  /// caching; see Coordinator::set_round_observer.
+  Coordinator::RoundObserver round_observer;
+
+  /// Resume evaluation from a cached prefix structure; see
+  /// Coordinator::set_resume. `resume_x` is borrowed and must outlive the
+  /// call.
+  const Table* resume_x = nullptr;
+  size_t resume_rounds = 0;
 };
 
 /// \brief The Skalla distributed data warehouse facade.
@@ -82,6 +113,12 @@ class Warehouse {
   /// Executes a pre-built plan.
   Result<QueryResult> ExecutePlan(const DistributedPlan& plan);
 
+  /// Executes a pre-built plan with per-query hooks (morsel quota,
+  /// deadline, cancellation, prefix capture/resume) — the entry point of
+  /// the concurrent serving layer (src/server/server.h).
+  Result<QueryResult> ExecutePlan(const DistributedPlan& plan,
+                                  const ExecHooks& hooks);
+
   /// Executes a pre-built plan over a multi-tier aggregation tree with the
   /// given fan-in (dist/tree_coordinator.h; the paper's future-work
   /// architecture). Produces the same relation as ExecutePlan with a
@@ -99,6 +136,21 @@ class Warehouse {
 
   /// Centralized reference evaluation over the unioned relations.
   Result<Table> ExecuteCentralized(const GmdjExpr& expr) const;
+
+  /// Appends one row to a loaded relation, routing it to the unique site
+  /// whose partition predicate φ_i may contain it (every attribute with a
+  /// declared domain at that site must admit the row's value — rejecting
+  /// rows no φ covers keeps the Sect.-4 optimizations sound). The site
+  /// fragment, any registered replica of that site, and the central
+  /// catalog are all updated copy-on-write: in-flight readers holding the
+  /// old shared_ptr keep a consistent snapshot, and the fresh Table starts
+  /// with an empty columnar cache (the columnar view's invalidation
+  /// contract). The relation's ExecuteAuto statistics cache is dropped.
+  ///
+  /// NOT internally synchronized against concurrent Execute* calls — the
+  /// serving layer serializes mutations behind an exclusive lock
+  /// (docs/server.md).
+  Status AppendRow(const std::string& table, const Row& row);
 
   /// The union catalog (for reference evaluation and inspection).
   const Catalog& central_catalog() const { return central_; }

@@ -2,12 +2,22 @@
 // e.g., each client may have its own coordinator instance" (Sect. 3.1).
 // Warehouse::Execute builds a fresh Coordinator per call and sites are
 // read-only during evaluation, so concurrent clients are supported; these
-// tests pin that property.
+// tests pin that property — first directly on the Warehouse, then through
+// the serving layer (src/server/), where N randomized clients race mixed
+// query templates against one Server and every response must be
+// byte-identical to the serial single-client execution, with caching on
+// or off (DESIGN.md invariant 10).
 
 #include <gtest/gtest.h>
 
 #include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/random.h"
+#include "server/server.h"
 #include "skalla/queries.h"
 #include "skalla/warehouse.h"
 #include "test_util.h"
@@ -86,6 +96,118 @@ TEST(ConcurrentQueriesTest, MixedFlatAndTreeClients) {
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ExpectSameRows(result->table, expected);
   }
+}
+
+// ---- Server stress: randomized multi-client byte-identity ------------------
+
+// Mixed workload in the OLAP dialect, from a plain grouping to a
+// three-operator correlated chain.
+const char* const kTemplates[] = {
+    "SELECT CustKey, COUNT(*) AS cnt FROM TPCR GROUP BY CustKey",
+    "SELECT ClerkKey, SUM(Quantity) AS sq FROM TPCR GROUP BY ClerkKey "
+    "EXTEND COUNT(*) AS big WHERE Quantity >= 30",
+    "SELECT NationKey, COUNT(*) AS cnt, SUM(Quantity) AS sq FROM TPCR "
+    "GROUP BY NationKey EXTEND COUNT(*) AS small WHERE Quantity <= sq / cnt",
+    "SELECT MktSegment, COUNT(*) AS cnt FROM TPCR GROUP BY MktSegment "
+    "EXTEND SUM(Quantity) AS hi WHERE Quantity >= 25 "
+    "EXTEND COUNT(*) AS lo WHERE Quantity <= 5",
+    "SELECT RegionKey, AVG(Quantity) AS aq FROM TPCR GROUP BY RegionKey",
+};
+constexpr size_t kNumTemplates = sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+// A server with a deterministically generated TPCR load (the LOAD command
+// recipe, so every server in the test holds identical bytes).
+std::unique_ptr<server::Server> MakeLoadedServer(server::ServerOptions opts) {
+  auto srv = std::make_unique<server::Server>(4, opts);
+  server::Client admin(srv.get());
+  auto loaded = admin.Call("LOAD tpcr 4000");
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return srv;
+}
+
+// Serial single-client oracle payloads, computed with caching disabled.
+std::vector<std::string> OraclePayloads() {
+  server::ServerOptions opts;
+  opts.enable_result_cache = false;
+  opts.enable_prefix_reuse = false;
+  auto oracle = MakeLoadedServer(opts);
+  server::Client client(oracle.get());
+  std::vector<std::string> expected;
+  for (const char* text : kTemplates) {
+    auto payload = client.Call(std::string("QUERY ") + text);
+    EXPECT_TRUE(payload.ok()) << payload.status().ToString();
+    expected.push_back(payload.ok() ? *payload : "");
+  }
+  return expected;
+}
+
+void StressServer(bool caches_on) {
+  server::ServerOptions opts;
+  opts.admission.max_concurrent = 3;
+  opts.enable_result_cache = caches_on;
+  opts.enable_prefix_reuse = caches_on;
+  auto srv = MakeLoadedServer(opts);
+  const std::vector<std::string> expected = OraclePayloads();
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesPerClient = 8;
+  const char* const kPriorities[] = {"low", "normal", "high"};
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      server::Client client(srv.get());
+      Rng rng(0xC0FFEE + static_cast<uint64_t>(c) * 7919);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const size_t t = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(kNumTemplates) - 1));
+        std::string cmd = "QUERY PRIORITY ";
+        cmd += kPriorities[rng.Uniform(0, 2)];
+        // Randomized per-query morsel-lane quota: the quota multiplexes
+        // the shared pool and must never change a byte of the answer.
+        cmd += " THREADS " + std::to_string(rng.Uniform(0, 2));
+        if (rng.Chance(0.25)) cmd += " NOCACHE";
+        cmd += " ";
+        cmd += kTemplates[t];
+        auto payload = client.Call(cmd);
+        if (!payload.ok()) {
+          failures[c] = payload.status().ToString();
+          return;
+        }
+        if (*payload != expected[t]) {
+          failures[c] = "template " + std::to_string(t) +
+                        ": concurrent payload differs from serial oracle";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+
+  const server::ServerStats stats = srv->stats();
+  EXPECT_EQ(stats.queries_submitted, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.queries_completed, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.queued, 0u);
+  if (caches_on) {
+    // 48 queries over 5 templates: repeats must hit.
+    EXPECT_GT(stats.cache.hits, 0u);
+  } else {
+    EXPECT_EQ(stats.cache.hits, 0u);
+    EXPECT_EQ(stats.cache.stores, 0u);
+  }
+}
+
+TEST(ServerStressTest, RandomizedClientsMatchSerialOracleCacheOff) {
+  StressServer(/*caches_on=*/false);
+}
+
+TEST(ServerStressTest, RandomizedClientsMatchSerialOracleCacheOn) {
+  StressServer(/*caches_on=*/true);
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// Admission/scheduling layer (ISSUE 6): slot granting, priority order,
+// queue deadlines, load shedding, cancellation — plus the coordinator
+// hooks the server drives them through (cancel flag, execution deadline,
+// prefix resume). Everything here is deterministic: deadlines that must
+// expire do so against held slots or in simulated time.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/server.h"
+#include "skalla/warehouse.h"
+#include "sql/olap_parser.h"
+#include "storage/csv.h"
+#include "test_util.h"
+#include "tpc/dbgen.h"
+
+namespace skalla {
+namespace server {
+namespace {
+
+void SpinUntilQueued(const AdmissionController& admission, size_t n) {
+  while (admission.queued() < n) std::this_thread::yield();
+}
+
+TEST(AdmissionControllerTest, FastPathGrantsFreeSlot) {
+  AdmissionController admission(AdmissionOptions{});
+  ASSERT_OK(admission.Acquire(1, /*priority=*/1, /*deadline_sec=*/0));
+  EXPECT_EQ(admission.running(), 1);
+  admission.Release();
+  EXPECT_EQ(admission.running(), 0);
+}
+
+TEST(AdmissionControllerTest, FullQueueShedsImmediately) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  AdmissionController admission(options);
+  ASSERT_OK(admission.Acquire(1, 1, 0));
+  Status shed = admission.Acquire(2, 1, 0);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  admission.Release();
+}
+
+TEST(AdmissionControllerTest, QueueDeadlineExpires) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  AdmissionController admission(options);
+  ASSERT_OK(admission.Acquire(1, 1, 0));
+  // The only slot is held and never released: the waiter must time out.
+  Status expired = admission.Acquire(2, 1, /*deadline_sec=*/0.05);
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.queued(), 0u);
+  admission.Release();
+}
+
+TEST(AdmissionControllerTest, CancelQueuedWaiter) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  AdmissionController admission(options);
+  ASSERT_OK(admission.Acquire(1, 1, 0));
+
+  Status waiter_status;
+  std::thread waiter([&]() { waiter_status = admission.Acquire(2, 1, 0); });
+  SpinUntilQueued(admission, 1);
+  EXPECT_FALSE(admission.CancelQueued(99));  // unknown ticket
+  EXPECT_TRUE(admission.CancelQueued(2));
+  waiter.join();
+  EXPECT_EQ(waiter_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(admission.queued(), 0u);
+  admission.Release();
+}
+
+TEST(AdmissionControllerTest, HigherPriorityOvertakesTheQueue) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  AdmissionController admission(options);
+  ASSERT_OK(admission.Acquire(1, /*priority=*/1, 0));
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto worker = [&](uint64_t ticket, int priority, const char* name) {
+    Status granted = admission.Acquire(ticket, priority, 0);
+    ASSERT_TRUE(granted.ok()) << granted.ToString();
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(name);
+    }
+    admission.Release();
+  };
+  // Low arrives first, high second; high must still be granted first.
+  std::thread low(worker, 2, 0, "low");
+  SpinUntilQueued(admission, 1);
+  std::thread high(worker, 3, 2, "high");
+  SpinUntilQueued(admission, 2);
+  admission.Release();
+  low.join();
+  high.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "low");
+}
+
+// ---- Coordinator hooks (what the server wires per query) -------------------
+
+class CoordinatorHooksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wh_ = std::make_unique<Warehouse>(4);
+    TpcConfig config;
+    config.num_rows = 2000;
+    config.num_customers = 160;
+    ASSERT_OK(wh_->LoadByRange("TPCR", GenerateTpcr(config), "NationKey", 0,
+                               24, {"CustKey"}));
+    ASSERT_OK_AND_ASSIGN(
+        GmdjExpr expr,
+        ParseOlapQuery(
+            "SELECT CustKey, COUNT(*) AS cnt FROM TPCR GROUP BY CustKey "
+            "EXTEND SUM(Quantity) AS sq WHERE Quantity >= cnt"));
+    ASSERT_OK_AND_ASSIGN(plan_, wh_->Plan(expr, OptimizerOptions::None()));
+  }
+
+  std::unique_ptr<Warehouse> wh_;
+  DistributedPlan plan_;
+};
+
+TEST_F(CoordinatorHooksTest, PreSetCancelFlagStopsExecution) {
+  std::atomic<bool> cancel{true};
+  ExecHooks hooks;
+  hooks.cancel = &cancel;
+  auto result = wh_->ExecutePlan(plan_, hooks);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(CoordinatorHooksTest, TinySimulatedDeadlineExpires) {
+  ExecHooks hooks;
+  hooks.deadline_sec = 1e-9;  // simulated seconds; every exchange exceeds it
+  auto result = wh_->ExecutePlan(plan_, hooks);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(CoordinatorHooksTest, ResumeFromObservedPrefixMatchesFullRun) {
+  ASSERT_OK_AND_ASSIGN(QueryResult full, wh_->ExecutePlan(plan_));
+
+  // Capture X after every round of a fresh run.
+  std::vector<std::pair<size_t, Table>> captured;
+  ExecHooks observe;
+  observe.round_observer = [&captured](size_t ops_done, const Table& x) {
+    captured.emplace_back(ops_done, x);
+  };
+  ASSERT_OK_AND_ASSIGN(QueryResult observed, wh_->ExecutePlan(plan_, observe));
+  ASSERT_EQ(captured.size(), plan_.rounds.size());
+  EXPECT_EQ(CsvToString(observed.table), CsvToString(full.table));
+
+  // Resume after round 0: the final relation must be byte-identical.
+  for (size_t rounds = 1; rounds <= captured.size(); ++rounds) {
+    ExecHooks resume;
+    resume.resume_x = &captured[rounds - 1].second;
+    resume.resume_rounds = rounds;
+    ASSERT_OK_AND_ASSIGN(QueryResult resumed,
+                         wh_->ExecutePlan(plan_, resume));
+    EXPECT_EQ(CsvToString(resumed.table), CsvToString(full.table))
+        << "resumed after " << rounds << " round(s)";
+  }
+}
+
+TEST_F(CoordinatorHooksTest, ResumeRejectsImpossiblePrefix) {
+  Table bogus;
+  ExecHooks hooks;
+  hooks.resume_x = &bogus;
+  hooks.resume_rounds = plan_.rounds.size() + 7;
+  auto result = wh_->ExecutePlan(plan_, hooks);
+  ASSERT_FALSE(result.ok());
+}
+
+// ---- Server-level scheduling behavior --------------------------------------
+
+TEST(ServerSchedulingTest, CancelUnknownIdIsNotFound) {
+  Server srv(2);
+  Client client(&srv);
+  auto reply = client.Call("CANCEL 424242");
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(std::string none, client.Call("CANCEL ALL"));
+  EXPECT_EQ(none, "cancelled 0");
+}
+
+TEST(ServerSchedulingTest, EndToEndExecutionDeadline) {
+  Server srv(4);
+  Client client(&srv);
+  ASSERT_OK(client.Call("LOAD tpcr 1000").status());
+  auto reply = client.Call(
+      "QUERY DEADLINE 0.000000001 "
+      "SELECT CustKey, COUNT(*) AS cnt FROM TPCR GROUP BY CustKey");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  const ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.queries_shed, 1u);
+  EXPECT_EQ(stats.queries_completed, 0u);
+  // The slot was released despite the failure.
+  EXPECT_EQ(stats.running, 0);
+}
+
+TEST(ServerSchedulingTest, QueueFullShedsTypedOverTheWire) {
+  ServerOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.admission.max_queue = 0;
+  Server srv(2, opts);
+  Client client(&srv);
+  ASSERT_OK(client.Call("LOAD tpcr 600").status());
+
+  // Two clients race the single slot with a zero-length queue: whichever
+  // arrives while the other runs is shed with the typed kUnavailable —
+  // any other failure on either side is a bug.
+  std::atomic<bool> saw_unavailable{false};
+  std::atomic<bool> done{false};
+  std::string prober_error;
+  std::thread prober([&]() {
+    Client probe(&srv);
+    while (!done.load(std::memory_order_relaxed)) {
+      auto reply = probe.Call(
+          "QUERY SELECT ClerkKey, COUNT(*) AS cnt FROM TPCR "
+          "GROUP BY ClerkKey");
+      if (reply.ok()) continue;
+      if (reply.status().code() == StatusCode::kUnavailable) {
+        saw_unavailable.store(true, std::memory_order_relaxed);
+      } else {
+        prober_error = reply.status().ToString();
+        return;
+      }
+    }
+  });
+  std::string main_error;
+  for (int i = 0;
+       i < 200 && !saw_unavailable.load() && main_error.empty(); ++i) {
+    auto reply = client.Call(
+        "QUERY NOCACHE SELECT CustKey, COUNT(*) AS cnt "
+        "FROM TPCR GROUP BY CustKey");
+    if (!reply.ok()) {
+      if (reply.status().code() == StatusCode::kUnavailable) {
+        saw_unavailable.store(true, std::memory_order_relaxed);
+      } else {
+        main_error = reply.status().ToString();
+      }
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  prober.join();
+  EXPECT_TRUE(main_error.empty()) << main_error;
+  EXPECT_TRUE(prober_error.empty()) << prober_error;
+  // One of the two racing clients must collide with the other's running
+  // query well within 200 attempts.
+  EXPECT_TRUE(saw_unavailable.load());
+  EXPECT_GT(srv.stats().queries_shed, 0u);
+}
+
+TEST(ServerSchedulingTest, StatsExposeActiveAndPriorities) {
+  Server srv(2);
+  Client client(&srv);
+  ASSERT_OK_AND_ASSIGN(std::string stats, client.Call("STATS"));
+  EXPECT_NE(stats.find("queries_submitted 0"), std::string::npos);
+  EXPECT_NE(stats.find("running 0"), std::string::npos);
+  EXPECT_NE(stats.find("cache_hits 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace skalla
