@@ -1,14 +1,20 @@
 // Wire-format ablation: SKL1 vs SKL2 vs SKL2+delta on the paper's Fig. 2
 // (group-reduction) and Fig. 5 (combined/coalescing) workloads. Reports
-// total simulated bytes shipped per configuration plus raw encode/decode
-// throughput of the serializer, and writes BENCH_wire_format.json.
+// total simulated bytes shipped per configuration, raw encode/decode
+// throughput of the serializer, and the encode-only win of the
+// columnar-fed SKL2 encoder over the row-path reference, then writes
+// BENCH_wire_format.json.
 //
-//   ./bench_wire_format
+//   ./bench_wire_format [--quick]
+//
+// --quick shrinks the warehouse and iteration counts (CI smoke).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench_util.h"
@@ -21,11 +27,13 @@ using bench::GetWarehouse;
 using bench::JsonReport;
 using bench::WarehouseSpec;
 
+bool g_quick = false;
+
 WarehouseSpec DefaultSpec() {
   WarehouseSpec spec;
   spec.sites = 8;
-  spec.rows_per_site = 10000;
-  spec.groups_per_site = 800;
+  spec.rows_per_site = g_quick ? 1500 : 10000;
+  spec.groups_per_site = g_quick ? 120 : 800;
   return spec;
 }
 
@@ -144,12 +152,13 @@ void PrintTableAndReport() {
   }
 
   // Raw codec throughput on an X-shaped relation.
-  const Table t = XShapedTable(6400);
+  const int64_t x_rows = g_quick ? 1600 : 6400;
+  const int iters = g_quick ? 5 : 50;
+  const Table t = XShapedTable(x_rows);
   for (const WireFormat format : {WireFormat::kSkl1, WireFormat::kSkl2}) {
-    const int kIters = 50;
     const auto start = std::chrono::steady_clock::now();
     size_t wire = 0;
-    for (int i = 0; i < kIters; ++i) {
+    for (int i = 0; i < iters; ++i) {
       const std::string bytes = Serializer::SerializeTable(t, format);
       auto decoded = Serializer::DeserializeTable(bytes);
       if (!decoded.ok()) std::abort();
@@ -159,9 +168,47 @@ void PrintTableAndReport() {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count() /
-        kIters;
+        iters;
     report.Add(std::string("encode+decode/") + WireFormatName(format),
-               {{"rows", 6400}}, ms, static_cast<int64_t>(wire));
+               {{"rows", static_cast<double>(x_rows)}}, ms,
+               static_cast<int64_t>(wire));
+  }
+
+  // Encode-only: columnar-fed SKL2 (the production SerializeTable, fed
+  // from the table's cached snapshot) vs the row-path reference encoder.
+  // Same bytes by contract — checked here — different work per cell.
+  {
+    t.columnar();  // steady state: snapshot built and cached
+    const int enc_iters = g_quick ? 20 : 200;
+    double ms[2] = {0, 0};
+    std::string bytes[2];
+    for (int columnar = 0; columnar <= 1; ++columnar) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < enc_iters; ++i) {
+        bytes[columnar] =
+            columnar
+                ? Serializer::SerializeTable(t, WireFormat::kSkl2)
+                : Serializer::SerializeTableRowPath(t, WireFormat::kSkl2);
+      }
+      ms[columnar] = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count() /
+                     enc_iters;
+      report.Add(std::string("encode/skl2-") +
+                     (columnar ? "columnar" : "row-path"),
+                 {{"rows", static_cast<double>(x_rows)}}, ms[columnar],
+                 static_cast<int64_t>(bytes[columnar].size()));
+    }
+    if (bytes[0] != bytes[1]) {
+      std::fprintf(stderr,
+                   "FAIL: columnar-fed SKL2 differs from the row path\n");
+      std::abort();
+    }
+    std::printf(
+        "\nencode-only SKL2, %lld rows: row-path %.3f ms, columnar %.3f ms "
+        "(%.2fx)\n",
+        static_cast<long long>(x_rows), ms[0], ms[1],
+        ms[1] > 0 ? ms[0] / ms[1] : 0.0);
   }
   report.Write();
 }
@@ -169,8 +216,18 @@ void PrintTableAndReport() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --quick before google-benchmark sees (and rejects) it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!g_quick) benchmark::RunSpecifiedBenchmarks();
   PrintTableAndReport();
   return 0;
 }

@@ -9,12 +9,26 @@ namespace skalla {
 
 namespace {
 
+/// Double addition with a pinned NaN rule: a naked `a + b` leaves the
+/// result's NaN payload/sign to the hardware's operand order, which the
+/// compiler may commute differently at different inlining sites (x86
+/// addsd keeps the *destination* operand's NaN). That breaks byte
+/// identity between the boxed accumulation and the batch kernels when a
+/// generated NaN (inf + -inf → negative quiet NaN) later meets an input
+/// NaN. Resolving NaNs explicitly — accumulator first — makes every
+/// call site agree bit-for-bit.
+inline double AddDoubles(double a, double b) {
+  if (std::isnan(a)) return a;
+  if (std::isnan(b)) return b;
+  return a + b;
+}
+
 /// Null-aware numeric addition with int64 → double promotion.
 Value AddValues(const Value& a, const Value& b) {
   if (a.is_null()) return b;
   if (b.is_null()) return a;
   if (a.is_int64() && b.is_int64()) return Value(a.AsInt64() + b.AsInt64());
-  return Value(a.ToDouble() + b.ToDouble());
+  return Value(AddDoubles(a.ToDouble(), b.ToDouble()));
 }
 
 Value MinValue(const Value& a, const Value& b) {
@@ -265,7 +279,18 @@ void AggState::UpdateInt64(int64_t v) {
       return;
     case AggFunc::kVar:
     case AggFunc::kStdDev:
-      Update(Value(v));  // two coupled accumulators; keep one code path
+      // Both carriers int64 (or fresh): exact arithmetic, same ops as the
+      // scalar Update — sum, then the same v*v square, then the count.
+      if ((acc_.is_null() || acc_.is_int64()) &&
+          (acc_sq_.is_null() || acc_sq_.is_int64())) {
+        acc_ = Value(acc_.is_null() ? v : acc_.AsInt64() + v);
+        const int64_t square = v * v;
+        acc_sq_ = Value(acc_sq_.is_null() ? square
+                                          : acc_sq_.AsInt64() + square);
+        ++count_;
+        return;
+      }
+      Update(Value(v));  // type-deviant carrier: keep one code path
       return;
     case AggFunc::kMin:
       // MinValue keeps the accumulator on ties and replaces only on a
@@ -308,7 +333,7 @@ void AggState::UpdateDouble(double v) {
       if (acc_.is_null()) {
         acc_ = Value(v);  // adopt v, never seed 0.0 (preserves -0.0)
       } else if (acc_.is_numeric()) {
-        acc_ = Value(acc_.ToDouble() + v);
+        acc_ = Value(AddDoubles(acc_.ToDouble(), v));
       } else {
         acc_ = AddValues(acc_, Value(v));
       }
@@ -316,6 +341,19 @@ void AggState::UpdateDouble(double v) {
       return;
     case AggFunc::kVar:
     case AggFunc::kStdDev:
+      // Each double carrier adopts its first value (AddValues(NULL, v)
+      // returns v itself — preserves -0.0); the square is the scalar's
+      // v*v product, fed in the same order.
+      if ((acc_.is_null() || acc_.is_double()) &&
+          (acc_sq_.is_null() || acc_sq_.is_double())) {
+        acc_ = Value(acc_.is_null() ? v : AddDoubles(acc_.AsDouble(), v));
+        const double square = v * v;
+        acc_sq_ =
+            Value(acc_sq_.is_null() ? square
+                                    : AddDoubles(acc_sq_.AsDouble(), square));
+        ++count_;
+        return;
+      }
       Update(Value(v));
       return;
     case AggFunc::kMin:
@@ -384,8 +422,33 @@ void AggState::UpdateBatchInt64(const int64_t* values, const uint64_t* valid,
       break;  // type-deviant accumulator: boxed fallback
     }
     case AggFunc::kVar:
-    case AggFunc::kStdDev:
-      break;  // coupled accumulators: boxed fallback keeps one code path
+    case AggFunc::kStdDev: {
+      // Three carriers (sum, sum of squares, count), each folded with the
+      // exact scalar op sequence: int64 arithmetic is exact, so seeding 0
+      // is safe, and the square is the same int64 product the scalar
+      // Update computes before AddValues.
+      if ((acc_.is_null() || acc_.is_int64()) &&
+          (acc_sq_.is_null() || acc_sq_.is_int64())) {
+        int64_t s = acc_.is_null() ? 0 : acc_.AsInt64();
+        int64_t sq = acc_sq_.is_null() ? 0 : acc_sq_.AsInt64();
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const int64_t v = values[i];
+          s += v;
+          sq += v * v;
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(s);
+          acc_sq_ = Value(sq);
+          count_ += c;
+        }
+        return;
+      }
+      break;  // type-deviant carrier: boxed fallback
+    }
     case AggFunc::kMin: {
       if (acc_.is_null() || acc_.is_int64()) {
         bool have = !acc_.is_null();
@@ -469,7 +532,7 @@ void AggState::UpdateBatchDouble(const double* values, const uint64_t* valid,
             s = v;
             have = true;
           } else {
-            s += v;
+            s = AddDoubles(s, v);
           }
           ++c;
         }
@@ -482,8 +545,46 @@ void AggState::UpdateBatchDouble(const double* values, const uint64_t* valid,
       break;
     }
     case AggFunc::kVar:
-    case AggFunc::kStdDev:
-      break;
+    case AggFunc::kStdDev: {
+      // Three carriers; each double carrier adopts its first value instead
+      // of computing 0.0 + v (AddValues(NULL, v) returns v — preserves
+      // -0.0), and the square is the same v*v product the scalar Update
+      // feeds AddValues, in the same per-element order.
+      if ((acc_.is_null() || acc_.is_double()) &&
+          (acc_sq_.is_null() || acc_sq_.is_double())) {
+        bool have_s = !acc_.is_null();
+        double s = have_s ? acc_.AsDouble() : 0.0;
+        bool have_sq = !acc_sq_.is_null();
+        double sq = have_sq ? acc_sq_.AsDouble() : 0.0;
+        int64_t c = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const int64_t i = sel[k];
+          if (!BitmapValid(valid, i)) continue;
+          const double v = values[i];
+          if (!have_s) {
+            s = v;
+            have_s = true;
+          } else {
+            s = AddDoubles(s, v);
+          }
+          const double square = v * v;
+          if (!have_sq) {
+            sq = square;
+            have_sq = true;
+          } else {
+            sq = AddDoubles(sq, square);
+          }
+          ++c;
+        }
+        if (c > 0) {
+          acc_ = Value(s);
+          acc_sq_ = Value(sq);
+          count_ += c;
+        }
+        return;
+      }
+      break;  // type-deviant carrier: boxed fallback
+    }
     case AggFunc::kMin: {
       if (acc_.is_null() || acc_.is_double()) {
         bool have = !acc_.is_null();

@@ -138,8 +138,11 @@ class AggState {
   /// same order: the accumulator is unboxed once and reboxed once, and a
   /// NULL accumulator adopts the first value rather than seeding 0.0, so
   /// every float operation (and hence every bit, including -0.0 and NaN
-  /// behavior) matches the scalar path. Falls back to boxed updates on a
-  /// type-deviant accumulator.
+  /// behavior) matches the scalar path. VAR/STDDEV fold all three carriers
+  /// (sum, sum of squares, count) in one pass with the scalar per-element
+  /// op order — value into the sum, then the same v*v square into the
+  /// sum-of-squares carrier, each carrier adopting its first value. Falls
+  /// back to boxed updates on a type-deviant accumulator or carrier.
   void UpdateBatchInt64(const int64_t* values, const uint64_t* valid,
                         const int64_t* sel, size_t n);
   void UpdateBatchDouble(const double* values, const uint64_t* valid,

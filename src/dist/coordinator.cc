@@ -83,10 +83,20 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
   // selected every ship is a full payload.
   const bool delta_enabled = network_.config().delta_shipping &&
                              wire_format == WireFormat::kSkl2;
-  // What each site slot last received of X (per query; fused rounds ship
-  // only a plan and leave the cache untouched). Deltas in later rounds are
-  // encoded against this, mirroring the site's cached copy.
-  std::vector<std::optional<Table>> ship_cache(sites_.size());
+  // What each site slot last received of X (fused rounds ship only a plan
+  // and leave the cache untouched). Deltas in later rounds are encoded
+  // against this, mirroring the site's cached copy. With an attached
+  // external cache the mirror survives the query, so the next query's
+  // first ship can already go out as a delta.
+  std::vector<std::optional<Table>> private_ship_cache;
+  if (external_ship_cache_ != nullptr) {
+    external_ship_cache_->resize(sites_.size());
+  } else {
+    private_ship_cache.resize(sites_.size());
+  }
+  std::vector<std::optional<Table>>& ship_cache =
+      external_ship_cache_ != nullptr ? *external_ship_cache_
+                                      : private_ship_cache;
 
   SKALLA_ASSIGN_OR_RETURN(SchemaMap schemas, CollectSchemas(plan));
   const GmdjExpr expr = plan.ToExpr();

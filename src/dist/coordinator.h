@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -96,6 +97,20 @@ class Coordinator {
     resume_rounds_ = rounds_done;
   }
 
+  /// Shares the SKLD delta-base cache across queries (borrowed; may be
+  /// null to keep the default per-query cache). The cache mirrors what
+  /// each site slot last received of X; with delta shipping enabled,
+  /// consecutive queries over slowly-changing base structures then ship
+  /// deltas from the first round instead of re-priming per query. Query
+  /// *results* are unaffected — the decoded site view always equals the
+  /// shipped fragment, delta or full (DESIGN.md invariant 10) — only
+  /// bytes on the wire change. The caller owns synchronization: the cache
+  /// must not be used by two executions at once, and must be cleared when
+  /// site data mutates under a different coordinator.
+  void set_ship_cache(std::vector<std::optional<Table>>* cache) {
+    external_ship_cache_ = cache;
+  }
+
   /// Looks up a relation schema from the first site that holds a partition
   /// of it (all sites share global relation schemas).
   Result<SchemaPtr> FindSchema(const std::string& table_name) const;
@@ -116,6 +131,7 @@ class Coordinator {
   RoundObserver round_observer_;
   const Table* resume_x_ = nullptr;
   size_t resume_rounds_ = 0;
+  std::vector<std::optional<Table>>* external_ship_cache_ = nullptr;
 };
 
 /// Theorem 2's bound on groups transferred by Alg. GMDJDistribEval:

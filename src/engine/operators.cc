@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "expr/evaluator.h"
+#include "storage/columnar.h"
 #include "storage/hash_index.h"
 
 namespace skalla {
@@ -177,6 +178,9 @@ Result<Table> HashGroupBy(const Table& input,
   struct Group {
     Row key;
     std::vector<AggState> states;
+    // Ascending row ids of the group's members — the selection vector fed
+    // to the typed batch aggregate kernels in the second pass.
+    std::vector<int64_t> sel;
   };
   RowHasher hasher{&group_indices};
   RowEq eq{&group_indices};
@@ -184,8 +188,14 @@ Result<Table> HashGroupBy(const Table& input,
                                                                  eq);
   std::vector<Group> groups;
 
-  static const Value kOne(int64_t{1});
-  for (const Row& row : input.rows()) {
+  // Pass 1: group discovery in first-appearance order, collecting each
+  // group's member rows. Pass 2 folds aggregate inputs group-at-a-time
+  // through the columnar snapshot's typed arrays (UpdateBatchInt64/Double
+  // fold values[sel[k]] in ascending k — the same per-group update order
+  // as the row-at-a-time loop, so the output is byte-identical). Unusable
+  // columns and string/declared-NULL inputs keep boxed updates.
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    const Row& row = input.row(r);
     auto [it, inserted] = index.emplace(&row, groups.size());
     if (inserted) {
       Group g;
@@ -195,10 +205,37 @@ Result<Table> HashGroupBy(const Table& input,
       for (const AggSpec& spec : aggs) g.states.emplace_back(spec.func);
       groups.push_back(std::move(g));
     }
-    Group& g = groups[it->second];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      const int in = agg_inputs[a];
-      g.states[a].Update(in < 0 ? kOne : row[static_cast<size_t>(in)]);
+    groups[it->second].sel.push_back(r);
+  }
+
+  const std::shared_ptr<const ColumnarTable> view =
+      input.num_rows() > 0 ? input.columnar() : nullptr;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const int in = agg_inputs[a];
+    if (in < 0) {
+      // COUNT(*): n times Update(kOne).
+      for (Group& g : groups) g.states[a].UpdateBatchCountStar(g.sel.size());
+      continue;
+    }
+    const ColumnarTable::Column* col =
+        view != nullptr ? &view->column(in) : nullptr;
+    if (col != nullptr && col->usable && col->type == ValueType::kInt64) {
+      for (Group& g : groups) {
+        g.states[a].UpdateBatchInt64(col->ints.data(), col->valid_words(),
+                                     g.sel.data(), g.sel.size());
+      }
+    } else if (col != nullptr && col->usable &&
+               col->type == ValueType::kDouble) {
+      for (Group& g : groups) {
+        g.states[a].UpdateBatchDouble(col->doubles.data(), col->valid_words(),
+                                      g.sel.data(), g.sel.size());
+      }
+    } else {
+      for (Group& g : groups) {
+        for (const int64_t r : g.sel) {
+          g.states[a].Update(input.row(r)[static_cast<size_t>(in)]);
+        }
+      }
     }
   }
 

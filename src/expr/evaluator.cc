@@ -745,18 +745,44 @@ CompiledExpr::BatchVal CompiledExpr::EvalNodeBatch(int node_id,
           if (c.is_null()) {
             std::memset(out_t, 2, n);
           } else if (c.is_string()) {
-            // Dictionary equality; ordering against a string constant is
-            // left to the scalar path (codes are first-appearance, not
-            // sorted).
-            if (op != BinaryOp::kEq && op != BinaryOp::kNe) return fail();
-            const int32_t code = sv.strcol->CodeOf(c.AsString());
-            const uint8_t eq = op == BinaryOp::kEq ? 1 : 0;
-            for (size_t k = 0; k < n; ++k) {
-              out_t[k] = sv.codes[k] < 0
-                             ? 2
-                             : (sv.codes[k] == code
-                                    ? eq
-                                    : static_cast<uint8_t>(1 - eq));
+            if (op == BinaryOp::kEq || op == BinaryOp::kNe) {
+              // Dictionary equality: one code compare per element.
+              const int32_t code = sv.strcol->CodeOf(c.AsString());
+              const uint8_t eq = op == BinaryOp::kEq ? 1 : 0;
+              for (size_t k = 0; k < n; ++k) {
+                out_t[k] = sv.codes[k] < 0
+                               ? 2
+                               : (sv.codes[k] == code
+                                      ? eq
+                                      : static_cast<uint8_t>(1 - eq));
+              }
+            } else {
+              // Ordering against a string constant via the per-dictionary
+              // order index: column < constant ⟺ order_rank[code] < lb
+              // where lb = LowerBoundRank(constant); equality holds iff
+              // the constant is present and the rank equals lb. One
+              // integer compare per element replaces the lexicographic
+              // string compare, with identical outcomes.
+              const std::string& s = c.AsString();
+              const int32_t lb = sv.strcol->LowerBoundRank(s);
+              const bool present = sv.strcol->CodeOf(s) >= 0;
+              const int32_t* rank = sv.strcol->order_rank.data();
+              // lut[cmp+1] with cmp = Value::Compare(column, constant);
+              // the sign flips when the column is the right operand.
+              const uint8_t lut[3] = {CmpTruth(op, l_str ? -1 : 1),
+                                      CmpTruth(op, 0),
+                                      CmpTruth(op, l_str ? 1 : -1)};
+              for (size_t k = 0; k < n; ++k) {
+                const int32_t code = sv.codes[k];
+                if (code < 0) {
+                  out_t[k] = 2;
+                  continue;
+                }
+                const int32_t rk = rank[code];
+                const int cmp =
+                    rk < lb ? -1 : (present && rk == lb ? 0 : 1);
+                out_t[k] = lut[cmp + 1];
+              }
             }
           } else {
             // Value::Compare orders every numeric before every string, so
@@ -971,23 +997,16 @@ bool CompiledExpr::SupportsBatchEval(const ColumnarTable& detail) const {
         } else if (IsComparison(op)) {
           if (a == K::kStr || b == K::kStr) {
             // String column vs constant only: Eq/Ne via dictionary codes,
-            // numeric constants via the fixed numeric<string order. An
-            // ordering comparison against a *literal* string is rejected
-            // here (the whole scan stays scalar); a base-column constant's
-            // runtime value is unknowable statically, so it stays
-            // supported and a string value redoes chunks through the
-            // scalar path.
+            // ordering via the per-dictionary order index
+            // (ColumnarTable::Column::order_rank), numeric constants via
+            // the fixed numeric<string order. Two string columns (two
+            // dictionaries) stay scalar: their codes admit no shared
+            // order. A base-column constant's runtime value is unknowable
+            // statically, so it stays supported here and a runtime string
+            // whose op the batch kernel cannot handle redoes chunks
+            // through the scalar path.
             const K other = a == K::kStr ? b : a;
-            const int other_id = a == K::kStr ? node.right : node.left;
-            const Node& other_node = nodes_[static_cast<size_t>(other_id)];
-            const bool ordering_vs_string_literal =
-                op != BinaryOp::kEq && op != BinaryOp::kNe &&
-                other_node.kind == ExprKind::kLiteral &&
-                other_node.literal.is_string();
-            kinds[id] = (a != b && other == K::kConst &&
-                         !ordering_vs_string_literal)
-                            ? K::kNum
-                            : K::kBad;
+            kinds[id] = (a != b && other == K::kConst) ? K::kNum : K::kBad;
           } else {
             kinds[id] =
                 (a == K::kConst && b == K::kConst) ? K::kConst : K::kNum;

@@ -5,10 +5,12 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <numeric>
 #include <utility>
 
+#include "common/hash_util.h"
 #include "common/thread_pool.h"
 #include "expr/analyzer.h"
 #include "expr/evaluator.h"
@@ -79,9 +81,143 @@ constexpr int64_t kPartialStateBudget = int64_t{1} << 20;
 constexpr int64_t kMergeChunkRows = 4096;
 
 /// Matched (base, detail) pairs buffered by the vectorized hash path are
-/// flushed aggregate-at-a-time once this many accumulate, bounding the
-/// buffer while amortizing the per-aggregate dispatch.
-constexpr size_t kHashPairFlush = 8192;
+/// flushed once this many accumulate, bounding the buffer while
+/// amortizing the per-aggregate dispatch (longer per-base runs mean
+/// fewer batch-kernel calls per pair).
+constexpr size_t kHashPairFlush = 32768;
+
+/// The vectorized hash path keeps one selection vector per base row (so
+/// flushes run through the per-base batch kernels) while |B| is at most
+/// this; larger bases fall back to a flat pair buffer, whose footprint
+/// does not scale with |B|.
+constexpr int64_t kMaxGroupedFlushBases = 65536;
+
+/// Probe hashes are computed in chunks of this many detail rows, one key
+/// column at a time over the typed arrays (the batched hash-path probe;
+/// docs/vectorized-execution.md).
+constexpr int64_t kProbeHashChunk = 1024;
+
+/// Typed replication of Value::Hash for one cell of a usable columnar
+/// key column, combined into hashes[0..n) for detail positions
+/// [lo, lo + n). Bit-for-bit the boxed RowKeyHash contribution: NULL
+/// hashes to the "null" constant, int64 goes through its double
+/// representation when exact, -0.0 normalizes to +0.0, and strings hash
+/// once per dictionary code (code_hashes).
+void CombineProbeHashes(const ColumnarTable::Column& col,
+                        const std::vector<uint64_t>& code_hashes, int64_t lo,
+                        size_t n, uint64_t* hashes) {
+  constexpr uint64_t kNullHash = 0x6e756c6cULL;  // Value::Hash of NULL
+  switch (col.type) {
+    case ValueType::kInt64:
+      for (size_t k = 0; k < n; ++k) {
+        const int64_t i = lo + static_cast<int64_t>(k);
+        uint64_t vh = kNullHash;
+        if (col.IsValid(i)) {
+          const int64_t v = col.ints[static_cast<size_t>(i)];
+          const double d = static_cast<double>(v);
+          uint64_t bits = static_cast<uint64_t>(v);
+          if (static_cast<int64_t>(d) == v) {
+            std::memcpy(&bits, &d, sizeof(bits));
+          }
+          vh = HashInt64(bits);
+        }
+        hashes[k] = HashCombine(hashes[k], vh);
+      }
+      return;
+    case ValueType::kDouble:
+      for (size_t k = 0; k < n; ++k) {
+        const int64_t i = lo + static_cast<int64_t>(k);
+        uint64_t vh = kNullHash;
+        if (col.IsValid(i)) {
+          double d = col.doubles[static_cast<size_t>(i)];
+          if (d == 0.0) d = 0.0;  // normalize -0.0, as Value::Hash does
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          vh = HashInt64(bits);
+        }
+        hashes[k] = HashCombine(hashes[k], vh);
+      }
+      return;
+    case ValueType::kString:
+      for (size_t k = 0; k < n; ++k) {
+        const int64_t i = lo + static_cast<int64_t>(k);
+        const int32_t code = col.codes[static_cast<size_t>(i)];
+        const uint64_t vh =
+            code < 0 ? kNullHash : code_hashes[static_cast<size_t>(code)];
+        hashes[k] = HashCombine(hashes[k], vh);
+      }
+      return;
+    case ValueType::kNull:
+      // A usable declared-NULL column is all NULL.
+      for (size_t k = 0; k < n; ++k) {
+        hashes[k] = HashCombine(hashes[k], kNullHash);
+      }
+      return;
+  }
+}
+
+/// Typed replication of Value::operator== for one cell of a usable
+/// columnar key column against a boxed (base-side) key value: NULL only
+/// equals NULL, int64-vs-int64 compares exactly, mixed numerics compare
+/// through the same double promotion, strings compare bytes, and
+/// cross-kind comparisons are false.
+bool CellEqualsValue(const ColumnarTable::Column& col, int64_t d,
+                     const Value& v) {
+  if (!col.IsValid(d)) return v.is_null();
+  if (v.is_null()) return false;
+  switch (col.type) {
+    case ValueType::kInt64: {
+      if (!v.is_numeric()) return false;
+      const int64_t c = col.ints[static_cast<size_t>(d)];
+      if (v.is_int64()) return c == v.AsInt64();
+      return static_cast<double>(c) == v.ToDouble();
+    }
+    case ValueType::kDouble:
+      return v.is_numeric() &&
+             col.doubles[static_cast<size_t>(d)] == v.ToDouble();
+    case ValueType::kString:
+      return v.is_string() &&
+             col.dict[static_cast<size_t>(col.codes[static_cast<size_t>(d)])] ==
+                 v.AsString();
+    case ValueType::kNull:
+      return false;  // IsValid above already handled the all-NULL column
+  }
+  return false;
+}
+
+/// Value::Compare of two cells of one usable columnar column, without
+/// boxing: NULL sorts first, int64 compares exactly, doubles use the
+/// <;> pair (a NaN on either side yields 0, Value::Compare's
+/// incomparable-NaN behavior), and strings compare by dictionary order
+/// rank. A usable column holds a single runtime type, so the mixed-type
+/// branches of Value::Compare cannot be reached.
+int CompareTypedCells(const ColumnarTable::Column& col, int64_t a, int64_t b) {
+  const bool va = col.IsValid(a);
+  const bool vb = col.IsValid(b);
+  if (!va || !vb) return va == vb ? 0 : (va ? 1 : -1);
+  switch (col.type) {
+    case ValueType::kInt64: {
+      const int64_t x = col.ints[static_cast<size_t>(a)];
+      const int64_t y = col.ints[static_cast<size_t>(b)];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      const double x = col.doubles[static_cast<size_t>(a)];
+      const double y = col.doubles[static_cast<size_t>(b)];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString: {
+      const int32_t x = col.order_rank[static_cast<size_t>(
+          col.codes[static_cast<size_t>(a)])];
+      const int32_t y = col.order_rank[static_cast<size_t>(
+          col.codes[static_cast<size_t>(b)])];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kNull:
+      return 0;  // all cells NULL
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -211,30 +347,6 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     return 0;
   };
 
-  // Blocks typically share the same equi-key over B (key equality appears
-  // in every θ), so per-key-column-set artifacts — the hash index and the
-  // sort-merge orderings of both sides — are built once and reused across
-  // blocks.
-  std::map<std::vector<int>, HashIndex> index_cache;
-  std::map<std::vector<int>, std::vector<int64_t>> base_order_cache;
-  std::map<std::vector<int>, std::vector<int64_t>> detail_order_cache;
-  auto sorted_ids = [&compare_keys](
-                        std::map<std::vector<int>, std::vector<int64_t>>* cache,
-                        const Table& table, const std::vector<int>& cols)
-      -> const std::vector<int64_t>& {
-    auto [it, inserted] = cache->try_emplace(cols);
-    if (inserted) {
-      it->second.resize(static_cast<size_t>(table.num_rows()));
-      std::iota(it->second.begin(), it->second.end(), 0);
-      std::sort(it->second.begin(), it->second.end(),
-                [&](int64_t a, int64_t b) {
-                  return compare_keys(table.row(a), cols, table.row(b),
-                                      cols) < 0;
-                });
-    }
-    return it->second;
-  };
-
   // The lane count: 1 runs the exact sequential pre-pool scan; more lanes
   // split the detail scan into morsels evaluated on the shared pool.
   int lanes = options.num_threads > 0 ? options.num_threads
@@ -249,6 +361,58 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
                                 : VectorizeEnabledFromEnv();
   std::shared_ptr<const ColumnarTable> columnar;
   if (vectorize_on) columnar = detail.columnar();
+
+  // Blocks typically share the same equi-key over B (key equality appears
+  // in every θ), so per-key-column-set artifacts — the hash index and the
+  // sort-merge orderings of both sides — are built once and reused across
+  // blocks. With vectorization on and every key column usable, the sort
+  // runs on a typed comparator (CompareTypedCells: string ordering is an
+  // integer compare on dictionary order ranks). The comparator implements
+  // exactly Value::Compare's relation, and std::sort's output permutation
+  // is a function of the comparison outcomes alone, so the ordering — and
+  // with it every downstream byte — is identical to the boxed sort.
+  std::map<std::vector<int>, HashIndex> index_cache;
+  std::map<std::vector<int>, std::vector<int64_t>> base_order_cache;
+  std::map<std::vector<int>, std::vector<int64_t>> detail_order_cache;
+  auto sorted_ids = [&compare_keys, vectorize_on](
+                        std::map<std::vector<int>, std::vector<int64_t>>* cache,
+                        const Table& table, const std::vector<int>& cols)
+      -> const std::vector<int64_t>& {
+    auto [it, inserted] = cache->try_emplace(cols);
+    if (inserted) {
+      it->second.resize(static_cast<size_t>(table.num_rows()));
+      std::iota(it->second.begin(), it->second.end(), 0);
+      std::shared_ptr<const ColumnarTable> view;
+      bool typed = vectorize_on;
+      if (typed) {
+        view = table.columnar();
+        for (int c : cols) {
+          if (!view->column(c).usable) {
+            typed = false;
+            break;
+          }
+        }
+      }
+      if (typed) {
+        std::sort(it->second.begin(), it->second.end(),
+                  [&view, &cols](int64_t a, int64_t b) {
+                    for (int c : cols) {
+                      const int cmp =
+                          CompareTypedCells(view->column(c), a, b);
+                      if (cmp != 0) return cmp < 0;
+                    }
+                    return false;
+                  });
+      } else {
+        std::sort(it->second.begin(), it->second.end(),
+                  [&](int64_t a, int64_t b) {
+                    return compare_keys(table.row(a), cols, table.row(b),
+                                        cols) < 0;
+                  });
+      }
+    }
+    return it->second;
+  };
 
   // One detail scan per block, morsel-parallel when lanes > 1.
   for (size_t blk = 0; blk < op.blocks.size(); ++blk) {
@@ -291,6 +455,7 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     const std::vector<int64_t>* base_ids = nullptr;
     const std::vector<int64_t>* detail_ids = nullptr;
     const HashIndex* index = nullptr;
+    HashIndex* index_mut = nullptr;
     if (sort_merge_path) {
       base_ids = &sorted_ids(&base_order_cache, base, plan.base_key_cols);
       detail_ids =
@@ -298,7 +463,8 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     } else if (hash_path) {
       auto [it, inserted] = index_cache.try_emplace(plan.base_key_cols);
       if (inserted) it->second.Build(base, plan.base_key_cols);
-      index = &it->second;
+      index_mut = &it->second;
+      index = index_mut;
     }
 
     // Per-path vectorization: the nested loop needs a batch-evaluable
@@ -312,6 +478,38 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
         vectorize_on && sort_merge_path &&
         (!plan.predicate.has_value() || predicate_batch);
     const bool vec_hash = vectorize_on && hash_path;
+
+    // Batched-probe plan: when every detail key column is usable, probe
+    // hashes come chunk-at-a-time from the typed arrays
+    // (CombineProbeHashes replicates RowKeyHash bit-for-bit) and feed
+    // HashIndex::LookupHashed; equality verification against the bucket
+    // representative stays boxed, so collisions resolve exactly as the
+    // scalar probe does. Any unusable key column keeps the scalar probe.
+    bool vec_probe = vec_hash;
+    std::vector<std::vector<uint64_t>> probe_code_hashes;
+    if (vec_hash) {
+      for (int c : plan.detail_key_cols) {
+        if (!columnar->column(c).usable) {
+          vec_probe = false;
+          break;
+        }
+      }
+      if (vec_probe) {
+        probe_code_hashes.resize(plan.detail_key_cols.size());
+        for (size_t i = 0; i < plan.detail_key_cols.size(); ++i) {
+          const ColumnarTable::Column& col =
+              columnar->column(plan.detail_key_cols[i]);
+          if (col.type == ValueType::kString) {
+            std::vector<uint64_t>& hs = probe_code_hashes[i];
+            hs.reserve(col.dict.size());
+            for (const std::string& s : col.dict) hs.push_back(HashBytes(s));
+          }
+        }
+        // Same answers, flat layout: probes become one predictable slot
+        // access each, and the chunk loop prefetches slots ahead.
+        index_mut->BuildFlatProbe();
+      }
+    }
 
     // Scans detail positions [lo, hi) into `target`. Positions index the
     // raw detail rows (hash / nested-loop paths) or the sorted detail
@@ -460,14 +658,44 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
         }
       } else if (hash_path) {
         if (vec_hash) {
-          // The probe and the residual stay scalar (matches arrive one
-          // detail row at a time), but the aggregate folds batch up:
-          // matched (base, detail) pairs buffer and flush
-          // aggregate-at-a-time through the typed point kernels, touching
-          // each column's array in long runs instead of boxing every cell.
-          // Pairs flush in collection order — ascending detail position —
-          // so each state sees the exact scalar update sequence.
+          // The residual stays scalar (matches arrive one detail row at a
+          // time), but the aggregate folds batch up. Preferred shape: one
+          // selection vector per matched base row (affordable while |B|
+          // fits the morsel budget), flushed through the same per-base
+          // batch kernels as the nested path. Each base row's details are
+          // appended in ascending probe order, so every state still sees
+          // the exact scalar update sequence. Oversized bases fall back to
+          // a flat (base, detail) pair buffer flushed aggregate-at-a-time
+          // through the typed point kernels.
+          const bool grouped = base.num_rows() <= kMaxGroupedFlushBases;
+          // A batch-evaluable residual is applied at flush time over each
+          // base row's candidate list (EvalBoolBatch's list mode, exactly
+          // the sort-merge discipline), so the probe loop touches no boxed
+          // detail row; non-batchable residuals filter per pair instead.
+          const bool residual_at_flush =
+              grouped && plan.predicate.has_value() && predicate_batch;
+          std::vector<std::vector<int64_t>> base_sel;
+          std::vector<int64_t> flush_bases;
+          size_t buffered = 0;
+          if (grouped) base_sel.resize(static_cast<size_t>(base.num_rows()));
           std::vector<std::pair<int64_t, int64_t>> pairs;
+          auto flush_grouped = [&]() {
+            for (int64_t b : flush_bases) {
+              std::vector<int64_t>& bsel = base_sel[static_cast<size_t>(b)];
+              if (residual_at_flush) {
+                sel.clear();
+                plan.predicate->EvalBoolBatch(&base.row(b), detail, *columnar,
+                                              bsel.data(), bsel.size(),
+                                              &scratch, &sel);
+                update_selected(b, sel.data(), sel.size());
+              } else {
+                update_selected(b, bsel.data(), bsel.size());
+              }
+              bsel.clear();
+            }
+            flush_bases.clear();
+            buffered = 0;
+          };
           auto flush = [&]() {
             for (size_t a = 0; a < num_aggs; ++a) {
               const AggKernel& kernel = kernels[a];
@@ -511,24 +739,112 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
             }
             pairs.clear();
           };
-          for (int64_t d = lo; d < hi; ++d) {
-            const Row& detail_row = detail.row(d);
-            const std::vector<int64_t>* matches =
-                index->Lookup(detail_row, plan.detail_key_cols);
-            if (matches == nullptr) continue;
+          // Folds one probed detail row's matches (after the residual)
+          // into the flush buffer — shared by both probe modes. The boxed
+          // detail row is only touched when a residual needs it, so the
+          // pure equi-key probe streams the typed arrays alone.
+          auto fold_matches = [&](int64_t d,
+                                  const std::vector<int64_t>* matches) {
+            const Row* detail_row = nullptr;
             for (int64_t base_row_id : *matches) {
-              if (plan.predicate.has_value() &&
-                  !plan.predicate->EvalBool(&base.row(base_row_id),
-                                            &detail_row)) {
-                continue;
+              if (plan.predicate.has_value() && !residual_at_flush) {
+                if (detail_row == nullptr) detail_row = &detail.row(d);
+                if (!plan.predicate->EvalBool(&base.row(base_row_id),
+                                              detail_row)) {
+                  continue;
+                }
               }
-              ++stats.matched;
-              target.touched[static_cast<size_t>(base_row_id)] = 1;
-              pairs.emplace_back(base_row_id, d);
-              if (pairs.size() >= kHashPairFlush) flush();
+              if (grouped) {
+                std::vector<int64_t>& bsel =
+                    base_sel[static_cast<size_t>(base_row_id)];
+                if (bsel.empty()) flush_bases.push_back(base_row_id);
+                bsel.push_back(d);
+                if (++buffered >= kHashPairFlush) flush_grouped();
+              } else {
+                ++stats.matched;
+                target.touched[static_cast<size_t>(base_row_id)] = 1;
+                pairs.emplace_back(base_row_id, d);
+                if (pairs.size() >= kHashPairFlush) flush();
+              }
+            }
+          };
+          const ColumnarTable::Column* int64_probe_col = nullptr;
+          if (vec_probe && index->has_int64_probe() &&
+              plan.detail_key_cols.size() == 1) {
+            const ColumnarTable::Column& kcol =
+                columnar->column(plan.detail_key_cols.front());
+            if (kcol.usable && kcol.type == ValueType::kInt64) {
+              int64_probe_col = &kcol;
             }
           }
-          flush();
+          if (int64_probe_col != nullptr) {
+            // Single-int64-key fast probe: one typed map lookup per detail
+            // row — no hash replication, no chain walk, no boxed rows.
+            const ColumnarTable::Column& kcol = *int64_probe_col;
+            for (int64_t d = lo; d < hi; ++d) {
+              const std::vector<int64_t>* matches =
+                  kcol.IsValid(d)
+                      ? index->LookupInt64(kcol.ints[static_cast<size_t>(d)])
+                      : index->LookupNullKey();
+              if (matches != nullptr) fold_matches(d, matches);
+            }
+          } else if (vec_probe) {
+            uint64_t hashes[kProbeHashChunk];
+            for (int64_t chunk = lo; chunk < hi; chunk += kProbeHashChunk) {
+              const size_t n = static_cast<size_t>(
+                  std::min(hi, chunk + kProbeHashChunk) - chunk);
+              // RowKeyHash's seed, then one typed pass per key column.
+              std::fill_n(hashes, n, uint64_t{0x524f574bULL});
+              for (size_t i = 0; i < plan.detail_key_cols.size(); ++i) {
+                CombineProbeHashes(
+                    columnar->column(plan.detail_key_cols[i]),
+                    probe_code_hashes[i], chunk, n, hashes);
+              }
+              constexpr size_t kProbeLookahead = 8;
+              for (size_t k = 0; k < n; ++k) {
+                if (k + kProbeLookahead < n) {
+                  index->Prefetch(hashes[k + kProbeLookahead]);
+                }
+                const int64_t d = chunk + static_cast<int64_t>(k);
+                const std::vector<HashIndex::Bucket>* chains =
+                    index->ChainsForHash(hashes[k]);
+                if (chains == nullptr) continue;
+                // Collision chains resolve exactly as the scalar probe:
+                // equality against each bucket's representative, but in
+                // typed columnar form — no boxed detail row access.
+                const std::vector<int64_t>* matches = nullptr;
+                for (const HashIndex::Bucket& bucket : *chains) {
+                  const Row& rep = base.row(bucket.row_ids.front());
+                  bool eq = true;
+                  for (size_t i = 0; i < plan.detail_key_cols.size(); ++i) {
+                    if (!CellEqualsValue(
+                            columnar->column(plan.detail_key_cols[i]), d,
+                            rep[static_cast<size_t>(plan.base_key_cols[i])])) {
+                      eq = false;
+                      break;
+                    }
+                  }
+                  if (eq) {
+                    matches = &bucket.row_ids;
+                    break;
+                  }
+                }
+                if (matches != nullptr) fold_matches(d, matches);
+              }
+            }
+          } else {
+            for (int64_t d = lo; d < hi; ++d) {
+              const Row& detail_row = detail.row(d);
+              const std::vector<int64_t>* matches =
+                  index->Lookup(detail_row, plan.detail_key_cols);
+              if (matches != nullptr) fold_matches(d, matches);
+            }
+          }
+          if (grouped) {
+            flush_grouped();
+          } else {
+            flush();
+          }
         } else {
           for (int64_t d = lo; d < hi; ++d) {
             const Row& detail_row = detail.row(d);

@@ -82,6 +82,13 @@ void Server::BumpVersion(const std::string& table) {
     ++versions_[table];
   }
   cache_.InvalidateTable(table);
+  // Mutated site data can change what a round ships, so the shared
+  // delta-base mirror must be rebuilt from scratch. Callers hold the
+  // exclusive warehouse lock, so no query is borrowing the cache here.
+  {
+    std::lock_guard<std::mutex> lock(ship_cache_mu_);
+    ship_cache_.clear();
+  }
 }
 
 Result<std::string> Server::HandleQuery(const Command& cmd) {
@@ -190,6 +197,12 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
         captured.emplace_back(ops_done, x);
       };
     }
+
+    // Borrow the shared delta-base cache when no other query holds it;
+    // on contention this query simply runs with a private per-query
+    // cache (identical responses either way — invariant 10).
+    std::unique_lock<std::mutex> ship_lock(ship_cache_mu_, std::try_to_lock);
+    if (ship_lock.owns_lock()) hooks.ship_cache = &ship_cache_;
 
     Result<QueryResult> result = warehouse_->ExecutePlan(*plan, hooks);
     if (!result.ok()) return result.status();

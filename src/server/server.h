@@ -6,9 +6,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "server/admission.h"
 #include "server/protocol.h"
@@ -132,6 +134,16 @@ class Server {
 
   std::mutex versions_mu_;
   std::map<std::string, uint64_t> versions_;
+
+  /// Cross-query SKLD delta-base cache (Coordinator::set_ship_cache): what
+  /// each site slot last received of X, surviving between queries so
+  /// repeated queries ship deltas from their first round. One query at a
+  /// time borrows it (try_to_lock — concurrent queries fall back to a
+  /// per-query cache, which is today's behavior); mutations clear it under
+  /// the exclusive warehouse lock. Never affects response bytes, only
+  /// bytes shipped (DESIGN.md invariant 10).
+  std::mutex ship_cache_mu_;
+  std::vector<std::optional<Table>> ship_cache_;
 
   std::mutex active_mu_;
   std::map<uint64_t, std::shared_ptr<ActiveQuery>> active_;

@@ -144,6 +144,7 @@ Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan,
   coordinator.set_cancel_flag(hooks.cancel);
   coordinator.set_round_observer(hooks.round_observer);
   coordinator.set_resume(hooks.resume_x, hooks.resume_rounds);
+  coordinator.set_ship_cache(hooks.ship_cache);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());

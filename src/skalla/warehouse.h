@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct ExecHooks {
   /// call.
   const Table* resume_x = nullptr;
   size_t resume_rounds = 0;
+
+  /// Cross-query SKLD delta-base cache (borrowed, may be null); see
+  /// Coordinator::set_ship_cache. The caller serializes access and clears
+  /// the cache when site data mutates.
+  std::vector<std::optional<Table>>* ship_cache = nullptr;
 };
 
 /// \brief The Skalla distributed data warehouse facade.

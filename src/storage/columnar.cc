@@ -1,10 +1,21 @@
 #include "storage/columnar.h"
 
+#include <algorithm>
 #include <mutex>
+#include <numeric>
 
 #include "storage/table.h"
 
 namespace skalla {
+
+int32_t ColumnarTable::Column::LowerBoundRank(const std::string& s) const {
+  auto it = std::lower_bound(
+      sorted_codes.begin(), sorted_codes.end(), s,
+      [this](int32_t code, const std::string& key) {
+        return dict[static_cast<size_t>(code)] < key;
+      });
+  return static_cast<int32_t>(it - sorted_codes.begin());
+}
 
 std::shared_ptr<const ColumnarTable> ColumnarTable::Build(const Table& table) {
   auto view = std::shared_ptr<ColumnarTable>(new ColumnarTable());
@@ -71,6 +82,22 @@ std::shared_ptr<const ColumnarTable> ColumnarTable::Build(const Table& table) {
       col.codes.clear();
       col.dict.clear();
       col.dict_index.clear();
+    }
+    if (col.usable && col.type == ValueType::kString) {
+      // Order index: dictionary entries are distinct, so a plain sort by
+      // string yields one well-defined lexicographic rank per code.
+      col.sorted_codes.resize(col.dict.size());
+      std::iota(col.sorted_codes.begin(), col.sorted_codes.end(), 0);
+      std::sort(col.sorted_codes.begin(), col.sorted_codes.end(),
+                [&col](int32_t a, int32_t b) {
+                  return col.dict[static_cast<size_t>(a)] <
+                         col.dict[static_cast<size_t>(b)];
+                });
+      col.order_rank.resize(col.dict.size());
+      for (size_t r = 0; r < col.sorted_codes.size(); ++r) {
+        col.order_rank[static_cast<size_t>(col.sorted_codes[r])] =
+            static_cast<int32_t>(r);
+      }
     }
   }
   return view;

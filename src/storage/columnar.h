@@ -45,6 +45,14 @@ class ColumnarTable {
     std::vector<int32_t> codes;
     std::vector<std::string> dict;  ///< first-appearance order
     std::unordered_map<std::string, int32_t> dict_index;
+    /// Order index over `dict`: order_rank[code] is the rank of dict[code]
+    /// under lexicographic (Value::Compare) string order, so ordering
+    /// comparisons between two values of this column — and against a
+    /// constant, via LowerBoundRank — become integer compares on ranks.
+    std::vector<int32_t> order_rank;
+    /// Dictionary codes sorted by their strings (the inverse permutation
+    /// of order_rank); used to binary-search constants not in the dict.
+    std::vector<int32_t> sorted_codes;
 
     bool IsValid(int64_t i) const {
       if (!has_nulls) return true;
@@ -59,6 +67,11 @@ class ColumnarTable {
       auto it = dict_index.find(s);
       return it == dict_index.end() ? -1 : it->second;
     }
+    /// Number of dictionary strings lexicographically < `s` — the rank a
+    /// constant would occupy. With CodeOf, every ordering comparison of a
+    /// column value against `s` reduces to an integer compare on ranks:
+    /// value < s  ⟺  order_rank[code] < LowerBoundRank(s).
+    int32_t LowerBoundRank(const std::string& s) const;
   };
 
   /// Materializes the snapshot; O(rows × columns), one pass.

@@ -18,6 +18,12 @@ void HashIndex::Build(const Table& table, std::vector<int> key_cols) {
 void HashIndex::Insert(const Table& table, int64_t row_id) {
   SKALLA_DCHECK(table_ == nullptr || table_ == &table);
   table_ = &table;
+  // A new row may introduce a hash the mirror has no slot for.
+  flat_.clear();
+  flat_mask_ = 0;
+  int64_slots_.clear();
+  int64_mask_ = 0;
+  null_key_rows_ = nullptr;
   const Row& row = table.row(row_id);
   const uint64_t h = RowKeyHash(row, key_cols_);
   auto& chains = buckets_[h];
@@ -37,16 +43,70 @@ const std::vector<int64_t>* HashIndex::Lookup(
     const Row& probe, const std::vector<int>& probe_cols) const {
   if (table_ == nullptr) return nullptr;
   SKALLA_DCHECK(probe_cols.size() == key_cols_.size());
-  const uint64_t h = RowKeyHash(probe, probe_cols);
-  auto it = buckets_.find(h);
-  if (it == buckets_.end()) return nullptr;
-  for (const Bucket& bucket : it->second) {
+  return LookupHashed(RowKeyHash(probe, probe_cols), probe, probe_cols);
+}
+
+const std::vector<int64_t>* HashIndex::LookupHashed(
+    uint64_t hash, const Row& probe,
+    const std::vector<int>& probe_cols) const {
+  if (table_ == nullptr) return nullptr;
+  SKALLA_DCHECK(hash == RowKeyHash(probe, probe_cols));
+  const std::vector<Bucket>* chains = ChainsForHash(hash);
+  if (chains == nullptr) return nullptr;
+  for (const Bucket& bucket : *chains) {
     const Row& rep = table_->row(bucket.row_ids.front());
     if (RowKeyEquals(rep, key_cols_, probe, probe_cols)) {
       return &bucket.row_ids;
     }
   }
   return nullptr;
+}
+
+void HashIndex::BuildFlatProbe() {
+  if (!flat_.empty() || buckets_.empty()) return;
+  size_t slots = 16;
+  while (slots < buckets_.size() * 2) slots <<= 1;
+  flat_.assign(slots, FlatSlot{});
+  flat_mask_ = slots - 1;
+  for (const auto& [hash, chains] : buckets_) {
+    size_t s = hash & flat_mask_;
+    while (flat_[s].chains != nullptr) s = (s + 1) & flat_mask_;
+    flat_[s] = FlatSlot{hash, &chains};
+  }
+
+  // Int64 fast probe: eligible only for a single-column key whose every
+  // indexed value is int64 or NULL — then no cross-type numeric equality
+  // is possible and an exact integer map answers probes.
+  if (key_cols_.size() != 1) return;
+  int64_t distinct = 0;
+  for (const auto& [hash, chains] : buckets_) {
+    for (const Bucket& bucket : chains) {
+      const Value& key =
+          table_->row(bucket.row_ids.front())[static_cast<size_t>(
+              key_cols_.front())];
+      if (!key.is_null() && !key.is_int64()) return;
+      ++distinct;
+    }
+  }
+  size_t islots = 16;
+  while (islots < static_cast<size_t>(distinct) * 2) islots <<= 1;
+  int64_slots_.assign(islots, Int64Slot{});
+  int64_mask_ = islots - 1;
+  for (const auto& [hash, chains] : buckets_) {
+    for (const Bucket& bucket : chains) {
+      const Value& key =
+          table_->row(bucket.row_ids.front())[static_cast<size_t>(
+              key_cols_.front())];
+      if (key.is_null()) {
+        null_key_rows_ = &bucket.row_ids;
+        continue;
+      }
+      const int64_t k = key.AsInt64();
+      size_t s = HashInt64(static_cast<uint64_t>(k)) & int64_mask_;
+      while (int64_slots_[s].rows != nullptr) s = (s + 1) & int64_mask_;
+      int64_slots_[s] = Int64Slot{k, &bucket.row_ids};
+    }
+  }
 }
 
 }  // namespace skalla

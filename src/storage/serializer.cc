@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "storage/columnar.h"
 
 namespace skalla {
 
@@ -342,6 +343,155 @@ size_t ColumnRangeSize(const Table& t, int col, int64_t begin, int64_t end) {
   return size;
 }
 
+// Columnar-fed SKL2 encoding (docs/wire-format.md §3): for a full-table
+// range over a `usable` column, the ColumnarTable snapshot already holds
+// everything the row-path codec re-derives per call — the typed value
+// arrays, the validity bitmap in the same LSB-first bit order as the wire
+// bitmap, and the first-appearance string dictionary, which over a full
+// range coincides with the wire dictionary. Reading those arrays instead
+// of boxing every cell through Table::Get yields byte-identical output;
+// no-re-derivation rule in DESIGN.md §5. Sub-table ranges (SerializeDelta)
+// and unusable columns keep the row path.
+
+bool ColumnarAnyNonNull(const ColumnarTable::Column& col, int64_t n) {
+  if (!col.has_nulls) return n > 0;
+  for (const uint64_t w : col.valid) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+ColumnCodec ClassifyColumnar(const ColumnarTable::Column& col, int64_t n) {
+  // A usable column has no type-deviant cells, so kColMixed is impossible.
+  if (!ColumnarAnyNonNull(col, n)) return kColAllNull;
+  switch (col.type) {
+    case ValueType::kInt64:
+      return kColInt64;
+    case ValueType::kDouble:
+      return kColDouble;
+    case ValueType::kString:
+      return kColString;
+    default:
+      return kColAllNull;  // unreachable: kNull columns have no non-nulls
+  }
+}
+
+void PutNullBitmapColumnar(std::string* out,
+                           const ColumnarTable::Column& col, int64_t n) {
+  const size_t bytes = static_cast<size_t>((n + 7) / 8);
+  std::string bitmap(bytes, '\0');
+  if (!col.has_nulls) {
+    // Every bit below n set, trailing bits clear — as the row path writes.
+    for (size_t i = 0; i < bytes; ++i) bitmap[i] = static_cast<char>(0xff);
+    const int rem = static_cast<int>(n % 8);
+    if (rem != 0) {
+      bitmap[bytes - 1] = static_cast<char>((1u << rem) - 1);
+    }
+  } else {
+    // The snapshot bitmap is LSB-first u64 words; byte i of the wire
+    // bitmap is byte (i % 8) of word (i / 8). Trailing bits are zero in
+    // both representations.
+    for (size_t i = 0; i < bytes; ++i) {
+      bitmap[i] = static_cast<char>((col.valid[i >> 3] >> ((i & 7) * 8)) &
+                                    0xff);
+    }
+  }
+  out->append(bitmap);
+}
+
+void EncodeColumnarFull(std::string* out, const ColumnarTable::Column& col,
+                        int64_t n) {
+  const ColumnCodec codec = ClassifyColumnar(col, n);
+  PutU8(out, codec);
+  switch (codec) {
+    case kColAllNull:
+      break;
+    case kColInt64: {
+      PutNullBitmapColumnar(out, col, n);
+      int64_t prev = 0;
+      for (int64_t r = 0; r < n; ++r) {
+        if (!col.IsValid(r)) continue;
+        const int64_t cur = col.ints[static_cast<size_t>(r)];
+        PutVarint(out, ZigZagEncode(static_cast<int64_t>(
+                           static_cast<uint64_t>(cur) -
+                           static_cast<uint64_t>(prev))));
+        prev = cur;
+      }
+      break;
+    }
+    case kColDouble: {
+      PutNullBitmapColumnar(out, col, n);
+      for (int64_t r = 0; r < n; ++r) {
+        if (col.IsValid(r)) {
+          PutDouble(out, col.doubles[static_cast<size_t>(r)]);
+        }
+      }
+      break;
+    }
+    case kColString: {
+      PutNullBitmapColumnar(out, col, n);
+      // The snapshot dictionary is first-appearance over all rows — for a
+      // full-table range, exactly the wire dictionary and codes.
+      PutVarint(out, col.dict.size());
+      for (const std::string& s : col.dict) {
+        PutVarint(out, s.size());
+        out->append(s);
+      }
+      for (int64_t r = 0; r < n; ++r) {
+        const int32_t code = col.codes[static_cast<size_t>(r)];
+        if (code >= 0) PutVarint(out, static_cast<uint64_t>(code));
+      }
+      break;
+    }
+    case kColMixed:
+      break;  // unreachable for usable columns
+  }
+}
+
+size_t ColumnarFullSize(const ColumnarTable::Column& col, int64_t n) {
+  const ColumnCodec codec = ClassifyColumnar(col, n);
+  size_t size = 1;  // codec tag
+  const size_t bitmap = static_cast<size_t>((n + 7) / 8);
+  switch (codec) {
+    case kColAllNull:
+      break;
+    case kColInt64: {
+      size += bitmap;
+      int64_t prev = 0;
+      for (int64_t r = 0; r < n; ++r) {
+        if (!col.IsValid(r)) continue;
+        const int64_t cur = col.ints[static_cast<size_t>(r)];
+        size += VarintSize(ZigZagEncode(static_cast<int64_t>(
+            static_cast<uint64_t>(cur) - static_cast<uint64_t>(prev))));
+        prev = cur;
+      }
+      break;
+    }
+    case kColDouble: {
+      size += bitmap;
+      for (int64_t r = 0; r < n; ++r) {
+        if (col.IsValid(r)) size += 8;
+      }
+      break;
+    }
+    case kColString: {
+      size += bitmap;
+      size += VarintSize(col.dict.size());
+      for (const std::string& s : col.dict) {
+        size += VarintSize(s.size()) + s.size();
+      }
+      for (int64_t r = 0; r < n; ++r) {
+        const int32_t code = col.codes[static_cast<size_t>(r)];
+        if (code >= 0) size += VarintSize(static_cast<uint64_t>(code));
+      }
+      break;
+    }
+    case kColMixed:
+      break;  // unreachable for usable columns
+  }
+  return size;
+}
+
 /// Decodes one column section of `n` values into `*out` (appended).
 Status DecodeColumnRange(Reader* reader, int64_t n,
                          std::vector<Value>* out) {
@@ -668,29 +818,70 @@ Result<Table> DecodeDeltaBody(const Table* cached, Reader* reader) {
 
 }  // namespace
 
-std::string Serializer::SerializeTable(const Table& table, Format format) {
+namespace {
+
+/// SKL2 payload size computed through the row path only — the reference
+/// encoder's reserve must not touch the columnar snapshot.
+size_t RowPathPayloadSize(const Table& table, Serializer::Format format) {
+  if (format == Serializer::Format::kSkl1) {
+    size_t size = 0;
+    for (const Row& row : table.rows()) {
+      for (const Value& v : row) size += v.SerializedSize();
+    }
+    return size;
+  }
+  const int64_t nrows = table.num_rows();
+  if (nrows == 0) return 0;
+  size_t size = 0;
+  for (int c = 0; c < table.schema().num_fields(); ++c) {
+    size += ColumnRangeSize(table, c, 0, nrows);
+  }
+  return size;
+}
+
+std::string SerializeTableImpl(const Table& table, Serializer::Format format,
+                               bool columnar_feed) {
   obs::ScopedSpan span("serialize");
   std::string out;
-  out.reserve(WireSize(table, format));
-  PutU32(&out, format == Format::kSkl1 ? kMagicSkl1 : kMagicSkl2);
+  out.reserve(columnar_feed
+                  ? Serializer::WireSize(table, format)
+                  : HeaderSize(table) + RowPathPayloadSize(table, format));
+  PutU32(&out, format == Serializer::Format::kSkl1 ? kMagicSkl1 : kMagicSkl2);
   PutSchema(&out, table.schema());
   const int64_t nrows = table.num_rows();
   PutU64(&out, static_cast<uint64_t>(nrows));
-  if (format == Format::kSkl1) {
+  if (format == Serializer::Format::kSkl1) {
     for (const Row& row : table.rows()) {
       for (const Value& v : row) PutValue(&out, v);
     }
   } else if (nrows > 0) {
+    const std::shared_ptr<const ColumnarTable> view =
+        columnar_feed ? table.columnar() : nullptr;
     for (int c = 0; c < table.schema().num_fields(); ++c) {
-      EncodeColumnRange(&out, table, c, 0, nrows);
+      if (view != nullptr && view->column(c).usable) {
+        EncodeColumnarFull(&out, view->column(c), nrows);
+      } else {
+        EncodeColumnRange(&out, table, c, 0, nrows);
+      }
     }
   }
   if (span.armed()) {
-    span.set_detail((format == Format::kSkl1 ? "SKL1 " : "SKL2 ") +
-                    std::to_string(nrows) + " rows " +
-                    std::to_string(out.size()) + "B");
+    span.set_detail(
+        (format == Serializer::Format::kSkl1 ? "SKL1 " : "SKL2 ") +
+        std::to_string(nrows) + " rows " + std::to_string(out.size()) + "B");
   }
   return out;
+}
+
+}  // namespace
+
+std::string Serializer::SerializeTable(const Table& table, Format format) {
+  return SerializeTableImpl(table, format, /*columnar_feed=*/true);
+}
+
+std::string Serializer::SerializeTableRowPath(const Table& table,
+                                              Format format) {
+  return SerializeTableImpl(table, format, /*columnar_feed=*/false);
 }
 
 Result<Table> Serializer::DeserializeTable(std::string_view bytes) {
@@ -728,9 +919,12 @@ size_t Serializer::TablePayloadSize(const Table& table, Format format) {
   }
   const int64_t nrows = table.num_rows();
   if (nrows == 0) return 0;
+  const std::shared_ptr<const ColumnarTable> view = table.columnar();
   size_t size = 0;
   for (int c = 0; c < table.schema().num_fields(); ++c) {
-    size += ColumnRangeSize(table, c, 0, nrows);
+    const ColumnarTable::Column& col = view->column(c);
+    size += col.usable ? ColumnarFullSize(col, nrows)
+                       : ColumnRangeSize(table, c, 0, nrows);
   }
   return size;
 }

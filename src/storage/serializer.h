@@ -43,9 +43,20 @@ class Serializer {
   /// Full-table format selector; see storage/wire_format.h.
   using Format = WireFormat;
 
-  /// Encodes a table to its wire form in the given format.
+  /// Encodes a table to its wire form in the given format. SKL2 columns
+  /// are fed from the table's cached columnar snapshot when the column is
+  /// `usable` (Table::columnar) — same bytes, no per-cell boxing; see
+  /// docs/wire-format.md.
   static std::string SerializeTable(const Table& table,
                                     Format format = DefaultWireFormat());
+
+  /// Reference encoder that ignores the columnar snapshot and boxes every
+  /// cell through Table::Get — the pre-columnar row path, kept callable so
+  /// tests and benchmarks can pin SerializeTable's byte-identity (and
+  /// measure the columnar feed's win). Produces identical bytes to
+  /// SerializeTable for every table and format.
+  static std::string SerializeTableRowPath(const Table& table,
+                                           Format format = DefaultWireFormat());
 
   /// Decodes a wire-form table (either format, by magic); fails with
   /// IoError on malformed input. SKLD payloads are rejected here — they

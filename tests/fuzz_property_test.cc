@@ -394,7 +394,7 @@ GmdjOp RandomVectorizeOp(Rng* rng) {
     const int num_aggs = static_cast<int>(rng->Uniform(1, 4));
     for (int a = 0; a < num_aggs; ++a) {
       const std::string output = "o" + std::to_string(counter++);
-      switch (static_cast<int>(rng->Uniform(0, 6))) {
+      switch (static_cast<int>(rng->Uniform(0, 7))) {
         case 0:
           block.aggs.push_back(AggSpec::Count(output));
           break;
@@ -410,6 +410,9 @@ GmdjOp RandomVectorizeOp(Rng* rng) {
         case 4:
           block.aggs.push_back(AggSpec::Var(rng->Pick(inputs), output));
           break;
+        case 5:
+          block.aggs.push_back(AggSpec::StdDev(rng->Pick(inputs), output));
+          break;
         default:
           block.aggs.push_back(AggSpec::Max(rng->Pick(inputs), output));
           break;
@@ -417,8 +420,13 @@ GmdjOp RandomVectorizeOp(Rng* rng) {
     }
     std::vector<ExprPtr> conjuncts;
     switch (static_cast<int>(rng->Uniform(0, 3))) {
-      case 0:  // equi-key θ (hash / sort-merge paths)
-        conjuncts.push_back(Eq(BCol("k"), RCol("k")));
+      case 0:  // equi-key θ (hash / sort-merge paths); sometimes a string
+               // key, exercising the dictionary-hash batched probe
+        if (rng->Chance(0.3)) {
+          conjuncts.push_back(Eq(BCol("ks"), RCol("ks")));
+        } else {
+          conjuncts.push_back(Eq(BCol("k"), RCol("k")));
+        }
         break;
       case 1:  // pure inequality θ (nested-loop path)
         conjuncts.push_back(
@@ -439,8 +447,27 @@ GmdjOp RandomVectorizeOp(Rng* rng) {
           Ge(Mul(RCol("v"), Lit(Value(rng->Uniform(0, 2)))),
              Lit(Value(rng->Uniform(-20, 20)))));
     }
-    // Sometimes a batch-unsupported residual, forcing the scalar fallback
-    // on the vectorized side (string ordering stays row-at-a-time).
+    // String ordering against a literal: batch-supported via the
+    // per-dictionary order index (rank compares, not string compares).
+    if (rng->Chance(0.2)) {
+      static const char* kPivots[] = {"", "alpha", "bet", "beta", "gamma",
+                                      "zz"};
+      const std::string pivot = kPivots[rng->Uniform(0, 5)];
+      switch (static_cast<int>(rng->Uniform(0, 3))) {
+        case 0:
+          conjuncts.push_back(Lt(RCol("ks"), Lit(Value(pivot))));
+          break;
+        case 1:
+          conjuncts.push_back(Ge(RCol("ks"), Lit(Value(pivot))));
+          break;
+        default:  // constant on the left: the compare direction flips
+          conjuncts.push_back(Le(Lit(Value(pivot)), RCol("ks")));
+          break;
+      }
+    }
+    // String ordering against a *runtime* constant (the base row's string,
+    // unknowable statically): also order-index batched now, including the
+    // NULL-constant and numeric-vs-string cases the base side can produce.
     if (rng->Chance(0.15)) {
       conjuncts.push_back(Lt(RCol("ks"), BCol("ks")));
     }

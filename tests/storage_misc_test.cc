@@ -76,6 +76,85 @@ TEST(HashIndexTest, CrossTypeNumericKeysUnify) {
   EXPECT_NE(index.Lookup(probe, {0}), nullptr);
 }
 
+TEST(HashIndexTest, FlatProbeMirrorsBoxedLookup) {
+  const Table t = MakeTinyTable();
+  HashIndex index;
+  index.Build(t, {0});
+  HashIndex mirrored;
+  mirrored.Build(t, {0});
+  mirrored.BuildFlatProbe();
+  for (int64_t k = -2; k <= 8; ++k) {
+    Row probe = {Value(k)};
+    const std::vector<int64_t>* boxed = index.Lookup(probe, {0});
+    const std::vector<int64_t>* flat = mirrored.Lookup(probe, {0});
+    if (boxed == nullptr) {
+      EXPECT_EQ(flat, nullptr) << "k=" << k;
+    } else {
+      ASSERT_NE(flat, nullptr) << "k=" << k;
+      EXPECT_EQ(*flat, *boxed) << "k=" << k;
+    }
+  }
+}
+
+TEST(HashIndexTest, Int64FastProbeMatchesBoxedLookup) {
+  Table t(MakeSchema({{"k", ValueType::kInt64}}));
+  t.AddRow({Value(int64_t{7})});
+  t.AddRow({Value::Null()});
+  t.AddRow({Value(int64_t{7})});
+  t.AddRow({Value(int64_t{-3})});
+  HashIndex index;
+  index.Build(t, {0});
+  index.BuildFlatProbe();
+  ASSERT_TRUE(index.has_int64_probe());
+
+  const std::vector<int64_t>* seven = index.LookupInt64(7);
+  ASSERT_NE(seven, nullptr);
+  EXPECT_EQ(*seven, (std::vector<int64_t>{0, 2}));
+  const std::vector<int64_t>* neg = index.LookupInt64(-3);
+  ASSERT_NE(neg, nullptr);
+  EXPECT_EQ(*neg, (std::vector<int64_t>{3}));
+  EXPECT_EQ(index.LookupInt64(8), nullptr);
+  // Scalar probing matches NULL keys to NULL; the fast probe agrees.
+  const std::vector<int64_t>* nulls = index.LookupNullKey();
+  ASSERT_NE(nulls, nullptr);
+  EXPECT_EQ(*nulls, (std::vector<int64_t>{1}));
+}
+
+TEST(HashIndexTest, Int64FastProbeDeclinesMixedAndCompositeKeys) {
+  // A double among the keys makes exact-int64 probing unsound.
+  Table mixed(MakeSchema({{"k", ValueType::kDouble}}));
+  mixed.AddRow({Value(5.0)});
+  mixed.AddRow({Value(int64_t{6})});
+  HashIndex index;
+  index.Build(mixed, {0});
+  index.BuildFlatProbe();
+  EXPECT_FALSE(index.has_int64_probe());
+
+  const Table t = MakeTinyTable();
+  HashIndex composite;
+  composite.Build(t, {0, 1});
+  composite.BuildFlatProbe();
+  EXPECT_FALSE(composite.has_int64_probe());
+}
+
+TEST(HashIndexTest, InsertInvalidatesProbeMirrors) {
+  Table t(MakeSchema({{"k", ValueType::kInt64}}));
+  t.AddRow({Value(int64_t{1})});
+  HashIndex index;
+  index.Build(t, {0});
+  index.BuildFlatProbe();
+  ASSERT_TRUE(index.has_int64_probe());
+  t.AddRow({Value(int64_t{2})});
+  index.Insert(t, 1);
+  EXPECT_FALSE(index.has_int64_probe());
+  // The boxed path serves the new key; rebuilding restores the mirror.
+  Row probe = {Value(int64_t{2})};
+  EXPECT_NE(index.Lookup(probe, {0}), nullptr);
+  index.BuildFlatProbe();
+  ASSERT_TRUE(index.has_int64_probe());
+  EXPECT_NE(index.LookupInt64(2), nullptr);
+}
+
 TEST(AttrDomainTest, RangeMayContain) {
   const AttrDomain d = AttrDomain::Range(Value(1), Value(25));
   EXPECT_TRUE(d.MayContain(Value(1)));

@@ -250,6 +250,26 @@ TEST(EvalBoolBatchTest, StringEqualityViaDictionary) {
                            nullptr, t);
 }
 
+TEST(EvalBoolBatchTest, StringOrderingViaOrderIndex) {
+  const Table t = EdgeDetailTable();
+  // Pivots inside, outside, below, and above the dictionary's range, on
+  // both sides of the comparison (the direction flips when the constant
+  // is on the left), plus a NULL pivot: all rank compares, all matching
+  // the scalar Value::Compare verdicts.
+  for (const char* pivot : {"", "alpha", "alp", "m", "zzz"}) {
+    ExpectBatchMatchesScalar(Lt(RCol("s"), Lit(Value(pivot))), nullptr,
+                             nullptr, t);
+    ExpectBatchMatchesScalar(Ge(RCol("s"), Lit(Value(pivot))), nullptr,
+                             nullptr, t);
+    ExpectBatchMatchesScalar(Le(Lit(Value(pivot)), RCol("s")), nullptr,
+                             nullptr, t);
+    ExpectBatchMatchesScalar(Gt(Lit(Value(pivot)), RCol("s")), nullptr,
+                             nullptr, t);
+  }
+  ExpectBatchMatchesScalar(Lt(RCol("s"), Lit(Value::Null())), nullptr,
+                           nullptr, t);
+}
+
 TEST(EvalBoolBatchTest, BaseRowConstantsFoldIn) {
   SchemaPtr base_schema = MakeSchema({{"k", ValueType::kInt64},
                                       {"lim", ValueType::kDouble}});
@@ -287,10 +307,13 @@ TEST(EvalBoolBatchTest, UnsupportedShapesAreDeclared) {
     EXPECT_TRUE(compiled.ok());
     return compiled.ok() && compiled.ValueUnsafe().SupportsBatchEval(*view);
   };
-  // String ordering and string-vs-string-column comparison stay scalar.
-  EXPECT_FALSE(supports(Lt(RCol("s"), Lit(Value("m")))));
+  // String-vs-string-column comparison stays scalar: the two sides carry
+  // different dictionaries, so there is no shared code/rank space.
   EXPECT_FALSE(supports(Eq(RCol("s"), RCol("s"))));
-  // Supported shapes for contrast.
+  EXPECT_FALSE(supports(Lt(RCol("s"), RCol("s"))));
+  // Supported shapes for contrast — including string ordering against a
+  // literal, batched through the per-dictionary order index.
+  EXPECT_TRUE(supports(Lt(RCol("s"), Lit(Value("m")))));
   EXPECT_TRUE(supports(Eq(RCol("s"), Lit(Value("m")))));
   EXPECT_TRUE(supports(Gt(RCol("i"), RCol("j"))));
 }
