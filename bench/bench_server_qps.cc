@@ -5,7 +5,11 @@
 // template mix (plain groupings through three-operator correlated
 // chains, plus a MUTATE stream in the mixed configuration). Reported per
 // configuration: sustained QPS, p50/p99 per-query latency, and the
-// result-cache hit rate.
+// result-cache hit rate. The percentiles come from the serving layer's own
+// per-lane latency histograms (skalla_server_query_seconds{lane="normal"}
+// in the metrics registry, ISSUE 9) — the same numbers an operator reads
+// off METRICS — rather than bench-side percentile math; the registry is
+// reset between configurations so each reads its own window.
 //
 // Configurations:
 //   cache_off      — every query executes (the serving floor)
@@ -17,17 +21,16 @@
 // --quick shrinks the load and query counts for the CI smoke step; the
 // JSON shape (BENCH_server_qps.json) is identical.
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "storage/csv.h"
 
@@ -90,9 +93,9 @@ WorkloadResult RunWorkload(bool caches_on, bool mutating, int clients,
   auto srv = MakeServer(caches_on, rows);
   const std::string mutate_cmd = mutating ? MutateCommand(srv.get()) : "";
 
-  std::mutex latencies_mu;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(static_cast<size_t>(clients) * queries_per_client);
+  // Each configuration reads its own latency window off the registry.
+  obs::EnableMetrics(true);
+  obs::ResetMetrics();
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
@@ -100,8 +103,6 @@ WorkloadResult RunWorkload(bool caches_on, bool mutating, int clients,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c]() {
       server::Client client(srv.get());
-      std::vector<double> local;
-      local.reserve(static_cast<size_t>(queries_per_client));
       for (int i = 0; i < queries_per_client; ++i) {
         // Deterministic mixed schedule: client c's i-th request walks the
         // template ring with a per-client stride; in the mutating
@@ -118,36 +119,28 @@ WorkloadResult RunWorkload(bool caches_on, bool mutating, int clients,
         const size_t t = (static_cast<size_t>(c) * 3 +
                           static_cast<size_t>(i)) %
                          kNumTemplates;
-        const Clock::time_point begin = Clock::now();
         auto reply = client.Call(std::string("QUERY ") + kTemplates[t]);
         if (!reply.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        reply.status().ToString().c_str());
           std::abort();
         }
-        local.push_back(
-            std::chrono::duration<double, std::milli>(Clock::now() - begin)
-                .count());
       }
-      std::lock_guard<std::mutex> lock(latencies_mu);
-      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
     });
   }
   for (std::thread& t : threads) t.join();
 
   WorkloadResult out;
   out.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
-  out.queries = latencies_ms.size();
+  // All bench queries run at the default priority, i.e. the normal lane;
+  // the server observed every end-to-end latency into this histogram.
+  obs::Histogram& lane = obs::GetHistogram(
+      "skalla_server_query_seconds{lane=\"normal\"}",
+      obs::HistogramLayout::LatencySeconds());
+  out.queries = lane.Count();
   out.qps = static_cast<double>(out.queries) / out.wall_sec;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  auto percentile = [&](double p) {
-    if (latencies_ms.empty()) return 0.0;
-    const size_t idx = static_cast<size_t>(
-        p * static_cast<double>(latencies_ms.size() - 1));
-    return latencies_ms[idx];
-  };
-  out.p50_ms = percentile(0.50);
-  out.p99_ms = percentile(0.99);
+  out.p50_ms = lane.Quantile(0.50) * 1e3;
+  out.p99_ms = lane.Quantile(0.99) * 1e3;
   const server::ServerStats stats = srv->stats();
   const uint64_t probes = stats.cache.hits + stats.cache.misses;
   out.hit_rate = probes == 0

@@ -11,6 +11,7 @@
 //   \opt all|none                toggle the optimizer
 //   \explain <query>             show the distributed plan only
 //   \analyze <query>             run and show the full execution report
+//   \profile <query>             run and show the per-round profile tree
 //   \tables                      list loaded relations
 //   \save <dir>                  persist the warehouse to a directory
 //   \open <dir>                  restore a persisted warehouse
@@ -23,10 +24,12 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "engine/operators.h"
 #include "flow/flowgen.h"
+#include "obs/metrics.h"
 #include "skalla/persistence.h"
 #include "skalla/report.h"
 #include "skalla/warehouse.h"
@@ -105,7 +108,13 @@ class Shell {
     if (word == "\\analyze") {
       std::string rest;
       std::getline(in, rest);
-      Analyze(rest);
+      Analyze(rest, /*profile=*/false);
+      return true;
+    }
+    if (word == "\\profile") {
+      std::string rest;
+      std::getline(in, rest);
+      Analyze(rest, /*profile=*/true);
       return true;
     }
     if (word == "\\save") {
@@ -176,7 +185,7 @@ class Shell {
     return true;
   }
 
-  void Analyze(const std::string& text) {
+  void Analyze(const std::string& text, bool profile) {
     if (warehouse_ == nullptr) {
       std::cout << "load a dataset first (\\load tpcr 50000 8)\n";
       return;
@@ -186,13 +195,23 @@ class Shell {
       std::cout << "parse error: " << parsed.status() << "\n";
       return;
     }
+    // \profile scopes the metrics registry around the execution so the
+    // per-site load section reflects just this query.
+    std::vector<obs::MetricValue> before;
+    if (profile) before = obs::SnapshotMetrics();
     auto result = warehouse_->Execute(
         *parsed, optimize_ ? OptimizerOptions::All() : OptimizerOptions::None());
     if (!result.ok()) {
       std::cout << "error: " << result.status() << "\n";
       return;
     }
-    std::cout << FormatExecutionReport(*result);
+    if (profile) {
+      QueryProfileInfo info;
+      info.registry_delta = obs::DiffMetrics(before, obs::SnapshotMetrics());
+      std::cout << FormatQueryProfile(&*result, info);
+    } else {
+      std::cout << FormatExecutionReport(*result);
+    }
   }
 
   void Query(const std::string& text, bool explain_only) {

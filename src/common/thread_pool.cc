@@ -4,9 +4,27 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace skalla {
+
+namespace {
+
+// Pool health signals (docs/observability.md "Metrics registry"): queue
+// depth says whether morsel work is backing up behind the workers, busy
+// lanes say how much of the pool concurrent queries actually use.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("skalla_pool_queue_depth");
+  return gauge;
+}
+
+obs::Gauge& BusyLanesGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("skalla_pool_busy_lanes");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(0, num_threads);
@@ -29,6 +47,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    QueueDepthGauge().Add(1);
+    static obs::Counter& tasks_total =
+        obs::GetCounter("skalla_pool_tasks_total");
+    tasks_total.Increment();
   }
   cv_.notify_one();
 }
@@ -42,10 +64,12 @@ void ThreadPool::WorkerLoop(int worker_index) {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Sub(1);
     }
     // Lane occupancy on the pool-lane track; tasks re-home their own spans
     // onto logical tracks (site, coordinator) via TrackScope.
     obs::ScopedSpan span("pool.task", obs::TrackForLane(worker_index));
+    obs::GaugeGuard busy(&BusyLanesGauge());
     task();
   }
 }

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "gmdj/local_eval.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/partition_info.h"
 #include "storage/serializer.h"
@@ -37,6 +38,23 @@ namespace {
 
 enum class FailureKind { kNone, kUnreachable, kTimeout };
 
+// Per-site registry instruments of the wave driver — the continuous skew
+// signal the ROADMAP's adaptive-execution item consumes (the per-query
+// equivalent lives in RoundMetrics). The per-site lookup builds a labeled
+// name, so it is gated behind MetricsEnabled() at the call sites; this is
+// per attempt per round, far off the row-at-a-time hot path.
+obs::Histogram& SiteRoundHistogram(int sid) {
+  return obs::GetHistogram(
+      "skalla_dist_site_round_seconds{site=\"" + std::to_string(sid) + "\"}",
+      obs::HistogramLayout::LatencySeconds());
+}
+
+obs::Counter& SiteBytesCounter(int sid, bool to_site) {
+  return obs::GetCounter("skalla_dist_site_bytes_total{dir=\"" +
+                         std::string(to_site ? "in" : "out") + "\",site=\"" +
+                         std::to_string(sid) + "\"}");
+}
+
 }  // namespace
 
 Result<std::vector<std::string>> DriveRoundWithRetries(
@@ -47,6 +65,11 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     LinkModel link_model, WireFormat reply_format) {
   obs::ScopedSpan drive_span("round.drive", obs::kTrackCoordinator);
   if (drive_span.armed()) drive_span.set_detail(rm->label);
+  {
+    static obs::Counter& rounds_total =
+        obs::GetCounter("skalla_dist_rounds_total");
+    rounds_total.Increment();
+  }
   // Rounds run sequentially on the coordinator, so diffing the
   // process-wide scan counters across the round attributes exactly the
   // local evaluations driven here (all sites, all attempts).
@@ -90,6 +113,9 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
                          "");
       if (attempt > 0) {
         rm->retries++;
+        static obs::Counter& retries_total =
+            obs::GetCounter("skalla_dist_retries_total");
+        retries_total.Increment();
         charge[p] += retry.BackoffSeconds(attempt);
         journal_site_event(obs::JournalEvent::kRetry, sid, attempt, 0, "");
       }
@@ -104,10 +130,19 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
                         attempt, TransferDirection::kToSite);
       rm->bytes_to_sites += send_bytes;
       rm->groups_to_sites += msg.rows;
+      if (obs::MetricsEnabled()) {
+        static obs::Counter& shipped_total =
+            obs::GetCounter("skalla_dist_bytes_shipped_total");
+        shipped_total.Add(send_bytes);
+        SiteBytesCounter(sid, /*to_site=*/true).Add(send_bytes);
+      }
       rm->bytes_baseline_skl1 +=
           msg.baseline_bytes > 0 ? msg.baseline_bytes : send_bytes;
       if (attempt == 0 && msg.fallback_bytes > msg.bytes) {
         rm->bytes_saved_by_delta += msg.fallback_bytes - msg.bytes;
+        static obs::Counter& delta_saved_total =
+            obs::GetCounter("skalla_dist_bytes_saved_by_delta_total");
+        delta_saved_total.Add(msg.fallback_bytes - msg.bytes);
       }
       if (attempt > 0) {
         rm->bytes_retransmitted += send_bytes;
@@ -117,6 +152,9 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         // Loss is detected at the attempt deadline (or, without deadlines,
         // by an immediate negative acknowledgement).
         rm->drops++;
+        static obs::Counter& drops_total =
+            obs::GetCounter("skalla_dist_drops_total");
+        drops_total.Increment();
         last_failure[p] = FailureKind::kUnreachable;
         charge[p] += retry.deadline_enabled() ? retry.DeadlineSeconds(attempt)
                                               : out.seconds;
@@ -170,6 +208,12 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
           reply_label, attempt, TransferDirection::kToCoordinator);
       rm->bytes_to_coord += payload.size();
       rm->groups_to_coord += reply_table.num_rows();
+      if (obs::MetricsEnabled()) {
+        static obs::Counter& shipped_total =
+            obs::GetCounter("skalla_dist_bytes_shipped_total");
+        shipped_total.Add(payload.size());
+        SiteBytesCounter(sid, /*to_site=*/false).Add(payload.size());
+      }
       rm->bytes_baseline_skl1 +=
           Serializer::WireSize(reply_table, WireFormat::kSkl1);
       if (attempt > 0) {
@@ -179,7 +223,11 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
       const double deadline = retry.DeadlineSeconds(attempt);
       if (!out.delivered) {
         rm->drops++;
+        static obs::Counter& drops_total =
+            obs::GetCounter("skalla_dist_drops_total");
+        drops_total.Increment();
         rm->site_cpu_sum_sec += cpus[p];  // the site did do the work
+        if (obs::MetricsEnabled()) SiteRoundHistogram(sid).Observe(cpus[p]);
         last_failure[p] = FailureKind::kUnreachable;
         // The coordinator waited through the whole exchange before giving
         // up on the reply.
@@ -192,7 +240,11 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
       const double attempt_sec = down_sec[p] + cpus[p] + out.seconds;
       if (retry.deadline_enabled() && attempt_sec > deadline) {
         rm->timeouts++;
+        static obs::Counter& timeouts_total =
+            obs::GetCounter("skalla_dist_timeouts_total");
+        timeouts_total.Increment();
         rm->site_cpu_sum_sec += cpus[p];
+        if (obs::MetricsEnabled()) SiteRoundHistogram(sid).Observe(cpus[p]);
         last_failure[p] = FailureKind::kTimeout;
         charge[p] += deadline;
         journal_site_event(obs::JournalEvent::kAttemptTimeout, sid, attempt,
@@ -200,8 +252,17 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
         continue;
       }
       charge[p] += down_sec[p] + out.seconds;
+      // Track the fastest and slowest successful site alongside the max —
+      // PROFILE's min/avg/max column and straggler flag come from these.
+      rm->site_cpu_min_sec = rm->slowest_site < 0
+                                 ? cpus[p]
+                                 : std::min(rm->site_cpu_min_sec, cpus[p]);
+      if (rm->slowest_site < 0 || cpus[p] > rm->site_cpu_max_sec) {
+        rm->slowest_site = sid;
+      }
       rm->site_cpu_max_sec = std::max(rm->site_cpu_max_sec, cpus[p]);
       rm->site_cpu_sum_sec += cpus[p];
+      if (obs::MetricsEnabled()) SiteRoundHistogram(sid).Observe(cpus[p]);
       journal_site_event(obs::JournalEvent::kAttemptFinish, sid, attempt,
                          cpus[p], "ok");
       replies[p] = std::move(payload);
@@ -243,6 +304,9 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
               sid, rm->label.c_str(), attempts_used, why.c_str()));
         }
         rm->failovers++;
+        static obs::Counter& failovers_total =
+            obs::GetCounter("skalla_dist_failovers_total");
+        failovers_total.Increment();
         budget[p] += attempts_per_budget;
         journal_site_event(obs::JournalEvent::kFailover, sid, attempt, 0, "");
       }

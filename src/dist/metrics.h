@@ -16,7 +16,12 @@ struct RoundMetrics {
   int64_t groups_to_sites = 0;   ///< base-structure rows shipped out
   int64_t groups_to_coord = 0;   ///< sub-result rows shipped back
   double site_cpu_max_sec = 0;   ///< slowest site (sites run in parallel)
+  double site_cpu_min_sec = 0;   ///< fastest successful site
   double site_cpu_sum_sec = 0;   ///< aggregate site work
+  /// Site id of the slowest successful evaluation — the straggler that set
+  /// site_cpu_max_sec (-1 before any site succeeds). Surfaced by the
+  /// PROFILE verb's per-round skew column.
+  int slowest_site = -1;
   double coord_cpu_sec = 0;      ///< synchronization + reduction filtering
   double comm_sec = 0;           ///< serialized time on the coordinator link
   int sites = 0;

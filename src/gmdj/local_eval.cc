@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "expr/analyzer.h"
 #include "expr/evaluator.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/columnar.h"
 #include "storage/hash_index.h"
@@ -890,6 +891,9 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
       if (scratch.fallback_chunks > 0) {
         g_batch_fallback_chunks.fetch_add(scratch.fallback_chunks,
                                           std::memory_order_relaxed);
+        static obs::Counter& fallback_chunks =
+            obs::GetCounter("skalla_gmdj_batch_fallback_chunks_total");
+        fallback_chunks.Add(static_cast<uint64_t>(scratch.fallback_chunks));
       }
       return stats;
     };
@@ -912,12 +916,28 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
       num_morsels = (scan_rows + morsel - 1) / morsel;
     }
 
-    // Flushes one scan's statistics into the process-wide counters.
+    // Flushes one scan's statistics into the process-wide counters (and
+    // their registry mirrors; per-morsel, so well off the per-row path).
     auto flush_stats = [](const MorselStats& s) {
       g_rows_scanned.fetch_add(s.rows, std::memory_order_relaxed);
       g_rows_matched.fetch_add(s.matched, std::memory_order_relaxed);
       (s.vectorized ? g_morsels_vectorized : g_morsels_scalar)
           .fetch_add(1, std::memory_order_relaxed);
+      if (obs::MetricsEnabled()) {
+        static obs::Counter& rows_scanned =
+            obs::GetCounter("skalla_gmdj_rows_scanned_total");
+        static obs::Counter& rows_matched =
+            obs::GetCounter("skalla_gmdj_rows_matched_total");
+        rows_scanned.Add(static_cast<uint64_t>(s.rows));
+        rows_matched.Add(static_cast<uint64_t>(s.matched));
+        if (s.rows > 0) {
+          static obs::Histogram& selectivity =
+              obs::GetHistogram("skalla_gmdj_morsel_selectivity",
+                                obs::HistogramLayout::Ratio());
+          selectivity.Observe(static_cast<double>(s.matched) /
+                              static_cast<double>(s.rows));
+        }
+      }
     };
 
     ScanTarget shared_target{states[blk].data(), touched.data()};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 namespace skalla {
@@ -13,6 +14,43 @@ double SkewFactor(double max_value, double sum, size_t n) {
   if (n == 0 || sum <= 0) return 1.0;
   const double mean = sum / static_cast<double>(n);
   return mean > 0 ? max_value / mean : 1.0;
+}
+
+// Finishes a by-site map into the skew summary (shared by the journal and
+// registry builders).
+StragglerReport FinishReport(const std::map<int, SiteLoad>& by_site) {
+  StragglerReport report;
+  double cpu_sum = 0, cpu_max = 0;
+  double bytes_sum = 0, bytes_max = 0;
+  for (const auto& entry : by_site) {
+    const SiteLoad& site = entry.second;
+    report.sites.push_back(site);
+    cpu_sum += site.cpu_sec;
+    const double site_bytes =
+        static_cast<double>(site.bytes_in + site.bytes_out);
+    bytes_sum += site_bytes;
+    if (site.cpu_sec > cpu_max) {
+      cpu_max = site.cpu_sec;
+      report.slowest_site = site.site;
+    }
+    bytes_max = std::max(bytes_max, site_bytes);
+  }
+  report.cpu_skew = SkewFactor(cpu_max, cpu_sum, report.sites.size());
+  report.bytes_skew = SkewFactor(bytes_max, bytes_sum, report.sites.size());
+  return report;
+}
+
+// Extracts the value of `key` from a label string like `dir="in",site="3"`.
+bool LabelValue(const std::string& labels, const std::string& key,
+                std::string* value) {
+  const std::string needle = key + "=\"";
+  const size_t start = labels.find(needle);
+  if (start == std::string::npos) return false;
+  const size_t begin = start + needle.size();
+  const size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return false;
+  *value = labels.substr(begin, end - begin);
+  return true;
 }
 
 }  // namespace
@@ -66,25 +104,45 @@ StragglerReport ComputeStragglerReport(
     }
   }
 
-  StragglerReport report;
-  double cpu_sum = 0, cpu_max = 0;
-  double bytes_sum = 0, bytes_max = 0;
-  for (const auto& entry : by_site) {
-    const SiteLoad& site = entry.second;
-    report.sites.push_back(site);
-    cpu_sum += site.cpu_sec;
-    const double site_bytes =
-        static_cast<double>(site.bytes_in + site.bytes_out);
-    bytes_sum += site_bytes;
-    if (site.cpu_sec > cpu_max) {
-      cpu_max = site.cpu_sec;
-      report.slowest_site = site.site;
+  return FinishReport(by_site);
+}
+
+StragglerReport ComputeStragglerReportFromMetrics(
+    const std::vector<MetricValue>& values) {
+  std::map<int, SiteLoad> by_site;
+  auto load = [&by_site](int site) -> SiteLoad& {
+    SiteLoad& entry = by_site[site];
+    entry.site = site;
+    return entry;
+  };
+
+  for (const MetricValue& v : values) {
+    std::string base;
+    std::string labels;
+    SplitMetricName(v.name, &base, &labels);
+    std::string site_label;
+    if (!LabelValue(labels, "site", &site_label)) continue;
+    const int site = std::atoi(site_label.c_str());
+    if (base == "skalla_dist_site_round_seconds" &&
+        v.kind == MetricKind::kHistogram) {
+      if (v.hist_count == 0) continue;
+      SiteLoad& entry = load(site);
+      entry.cpu_sec += v.hist_sum;
+      entry.attempts += static_cast<int>(v.hist_count);
+    } else if (base == "skalla_dist_site_bytes_total" &&
+               v.kind == MetricKind::kCounter) {
+      if (v.counter_value == 0) continue;
+      std::string dir;
+      if (!LabelValue(labels, "dir", &dir)) continue;
+      SiteLoad& entry = load(site);
+      if (dir == "in") {
+        entry.bytes_in += v.counter_value;
+      } else {
+        entry.bytes_out += v.counter_value;
+      }
     }
-    bytes_max = std::max(bytes_max, site_bytes);
   }
-  report.cpu_skew = SkewFactor(cpu_max, cpu_sum, report.sites.size());
-  report.bytes_skew = SkewFactor(bytes_max, bytes_sum, report.sites.size());
-  return report;
+  return FinishReport(by_site);
 }
 
 std::string StragglerReport::ToString() const {

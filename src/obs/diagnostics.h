@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/journal.h"
+#include "obs/metrics.h"
 
 namespace skalla {
 namespace obs {
@@ -42,6 +43,16 @@ struct StragglerReport {
 /// (site-scoped events plus kMessage records involving site endpoints).
 StragglerReport ComputeStragglerReport(
     const std::vector<JournalRecord>& journal);
+
+/// Builds the same report from the always-on metrics registry instead of a
+/// post-hoc journal scan: `skalla_dist_site_round_seconds{site=...}` gives
+/// per-site CPU and attempts, `skalla_dist_site_bytes_total{dir=...,
+/// site=...}` gives per-site traffic. Pass SnapshotMetrics() for lifetime
+/// totals or DiffMetrics(before, after) for a scoped window (the PROFILE
+/// verb scopes one query this way). Per-site retry/timeout breakdowns are
+/// journal-only; the registry keeps process-level totals of those.
+StragglerReport ComputeStragglerReportFromMetrics(
+    const std::vector<MetricValue>& values);
 
 }  // namespace obs
 }  // namespace skalla

@@ -3,8 +3,26 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace skalla {
 namespace server {
+
+namespace {
+
+// Registry mirrors of the admission state, updated at the transitions that
+// already hold mu_ (docs/observability.md "Metrics registry").
+obs::Gauge& RunningGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("skalla_server_running");
+  return gauge;
+}
+
+obs::Gauge& QueuedGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("skalla_server_queued");
+  return gauge;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options) {
@@ -17,6 +35,7 @@ Status AdmissionController::Acquire(uint64_t ticket, int priority,
   // Fast path: a free slot and nobody queued ahead.
   if (running_ < options_.max_concurrent && queue_.empty()) {
     ++running_;
+    RunningGauge().Add(1);
     return Status::OK();
   }
   if (queue_.size() >= options_.max_queue) {
@@ -29,6 +48,7 @@ Status AdmissionController::Acquire(uint64_t ticket, int priority,
   waiter.ticket = ticket;
   const QueueKey key{-priority, next_seq_++};
   queue_.emplace(key, &waiter);
+  QueuedGauge().Add(1);
 
   const bool has_deadline = deadline_sec > 0;
   const auto deadline =
@@ -45,6 +65,7 @@ Status AdmissionController::Acquire(uint64_t ticket, int priority,
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
           !ready()) {
         queue_.erase(key);
+        QueuedGauge().Sub(1);
         // Another waiter may now be at the front of a grantable queue.
         cv_.notify_all();
         return Status::DeadlineExceeded(
@@ -55,11 +76,13 @@ Status AdmissionController::Acquire(uint64_t ticket, int priority,
     }
   }
   queue_.erase(key);
+  QueuedGauge().Sub(1);
   if (waiter.cancelled) {
     cv_.notify_all();
     return Status::Cancelled("query cancelled while queued for admission");
   }
   ++running_;
+  RunningGauge().Add(1);
   // The next-best waiter might also fit (max_concurrent > 1).
   cv_.notify_all();
   return Status::OK();
@@ -69,6 +92,7 @@ void AdmissionController::Release() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --running_;
+    RunningGauge().Sub(1);
   }
   cv_.notify_all();
 }
@@ -83,6 +107,14 @@ bool AdmissionController::CancelQueued(uint64_t ticket) {
     }
   }
   return false;
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.running = running_;
+  snap.queued = queue_.size();
+  return snap;
 }
 
 int AdmissionController::running() const {

@@ -56,6 +56,16 @@ class AdmissionController {
   /// running — cancelling running queries is the coordinator flag's job).
   bool CancelQueued(uint64_t ticket);
 
+  /// Running + queued read under one lock acquisition. Server::stats()
+  /// uses this instead of separate running()/queued() calls so the two
+  /// numbers describe the same instant and accounting identities
+  /// (submitted >= outcomes + running + queued) hold in tests.
+  struct Snapshot {
+    int running = 0;
+    size_t queued = 0;
+  };
+  Snapshot snapshot() const;
+
   int running() const;
   size_t queued() const;
 

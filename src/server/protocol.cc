@@ -102,6 +102,20 @@ Result<Command> ParseCommand(std::string_view text) {
     return cmd;
   }
 
+  if (word == "metrics") {
+    cmd.type = CommandType::kMetrics;
+    const std::string arg = ToLower(NextToken(&rest));
+    if (arg == "json") {
+      cmd.metrics_json = true;
+    } else if (!arg.empty()) {
+      return Status::InvalidArgument("METRICS takes JSON or no argument");
+    }
+    if (!NextToken(&rest).empty()) {
+      return Status::InvalidArgument("METRICS takes at most one argument");
+    }
+    return cmd;
+  }
+
   if (word == "cancel") {
     cmd.type = CommandType::kCancel;
     const std::string_view arg = NextToken(&rest);
@@ -157,8 +171,9 @@ Result<Command> ParseCommand(std::string_view text) {
     return cmd;
   }
 
-  if (word == "query") {
-    cmd.type = CommandType::kQuery;
+  if (word == "query" || word == "profile") {
+    cmd.type =
+        word == "query" ? CommandType::kQuery : CommandType::kProfile;
     // Options come before the query text; the first token that is not an
     // option keyword starts the OLAP dialect text.
     while (true) {
@@ -202,7 +217,10 @@ Result<Command> ParseCommand(std::string_view text) {
     }
     cmd.query_text = std::string(StripWhitespace(rest));
     if (cmd.query_text.empty()) {
-      return Status::InvalidArgument("QUERY expects query text");
+      return Status::InvalidArgument(
+          (cmd.type == CommandType::kQuery ? std::string("QUERY")
+                                           : std::string("PROFILE")) +
+          " expects query text");
     }
     return cmd;
   }

@@ -22,9 +22,11 @@ namespace server {
 ///
 ///   QUERY [PRIORITY low|normal|high] [DEADLINE <sec>] [THREADS <n>]
 ///         [NOCACHE] <olap query text>
+///   PROFILE <same options and text as QUERY>
 ///   LOAD tpcr|flow <rows>
 ///   MUTATE <table> APPEND <csv row>
 ///   STATS
+///   METRICS [JSON]
 ///   CANCEL <id> | CANCEL ALL
 ///
 /// Responses: "OK\n<payload>" or "ERR <code>\n<message>", where <code> is a
@@ -57,9 +59,11 @@ Result<std::optional<std::string>> DecodeFrame(std::string* buffer);
 /// The kinds of request the server understands.
 enum class CommandType {
   kQuery,
+  kProfile,  ///< QUERY + an EXPLAIN-ANALYZE-style profile payload
   kLoad,
   kMutate,
   kStats,
+  kMetrics,  ///< metrics-registry exposition (obs/metrics.h)
   kCancel,
 };
 
@@ -76,7 +80,7 @@ enum class QueryPriority : int {
 struct Command {
   CommandType type = CommandType::kStats;
 
-  // QUERY
+  // QUERY / PROFILE
   std::string query_text;  ///< the OLAP dialect text (sql/olap_parser.h)
   QueryPriority priority = QueryPriority::kNormal;
   double deadline_sec = -1.0;  ///< per-attempt deadline; < 0 = server default
@@ -90,6 +94,9 @@ struct Command {
   // MUTATE
   std::string mutate_table;
   std::string mutate_row_csv;  ///< one CSV row in the table's column order
+
+  // METRICS
+  bool metrics_json = false;  ///< JSONL snapshot instead of text exposition
 
   // CANCEL
   uint64_t cancel_id = 0;

@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace skalla {
 namespace server {
+
+namespace {
+
+// Registry mirrors of CacheCounters, bumped at the same lines so the
+// metric.* view of STATS can never drift from the legacy keys.
+obs::Counter& CacheMetric(const char* name) { return obs::GetCounter(name); }
+
+}  // namespace
 
 bool ResultCache::Valid(const VersionMap& entry,
                         const VersionMap& current) const {
@@ -24,6 +34,9 @@ void ResultCache::EvictIfNeeded(Map* map) {
     }
     map->erase(victim);
     ++counters_.evictions;
+    static obs::Counter& evictions =
+        CacheMetric("skalla_cache_evictions_total");
+    evictions.Increment();
   }
 }
 
@@ -36,12 +49,19 @@ std::optional<std::string> ResultCache::Lookup(const std::string& key,
       // Stale under the current versions; drop it now.
       results_.erase(it);
       ++counters_.invalidations;
+      static obs::Counter& invalidations =
+          CacheMetric("skalla_cache_invalidations_total");
+      invalidations.Increment();
     }
     ++counters_.misses;
+    static obs::Counter& misses = CacheMetric("skalla_cache_misses_total");
+    misses.Increment();
     return std::nullopt;
   }
   it->second.last_used = ++use_clock_;
   ++counters_.hits;
+  static obs::Counter& hits = CacheMetric("skalla_cache_hits_total");
+  hits.Increment();
   return it->second.payload;
 }
 
@@ -54,6 +74,8 @@ void ResultCache::Store(const std::string& key, std::string payload,
   entry.last_used = ++use_clock_;
   results_[key] = std::move(entry);
   ++counters_.stores;
+  static obs::Counter& stores = CacheMetric("skalla_cache_stores_total");
+  stores.Increment();
   EvictIfNeeded(&results_);
 }
 
@@ -67,10 +89,16 @@ std::optional<PrefixMatch> ResultCache::LookupPrefix(
     if (!Valid(it->second.versions, current)) {
       prefixes_.erase(it);
       ++counters_.invalidations;
+      static obs::Counter& invalidations =
+          CacheMetric("skalla_cache_invalidations_total");
+      invalidations.Increment();
       continue;
     }
     it->second.last_used = ++use_clock_;
     ++counters_.prefix_hits;
+    static obs::Counter& prefix_hits =
+        CacheMetric("skalla_cache_prefix_hits_total");
+    prefix_hits.Increment();
     PrefixMatch match;
     match.x = it->second.x;
     match.rounds = it->second.rounds;
@@ -96,10 +124,13 @@ void ResultCache::StorePrefix(const std::string& key, size_t rounds,
 
 void ResultCache::InvalidateTable(const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
+  static obs::Counter& invalidations =
+      CacheMetric("skalla_cache_invalidations_total");
   for (auto it = results_.begin(); it != results_.end();) {
     if (it->second.versions.count(table) > 0) {
       it = results_.erase(it);
       ++counters_.invalidations;
+      invalidations.Increment();
     } else {
       ++it;
     }
@@ -108,6 +139,7 @@ void ResultCache::InvalidateTable(const std::string& table) {
     if (it->second.versions.count(table) > 0) {
       it = prefixes_.erase(it);
       ++counters_.invalidations;
+      invalidations.Increment();
     } else {
       ++it;
     }

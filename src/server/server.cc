@@ -1,11 +1,14 @@
 #include "server/server.h"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "flow/flowgen.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "skalla/report.h"
 #include "sql/olap_parser.h"
 #include "storage/csv.h"
 #include "tpc/dbgen.h"
@@ -28,6 +31,37 @@ class SlotGuard {
  private:
   AdmissionController* admission_;
 };
+
+/// Per-lane latency instruments (lane = admission priority: low/normal/
+/// high), registered once on first use. Label values never change once
+/// shipped — docs/observability.md.
+obs::Histogram& QueueWaitHistogram(int priority) {
+  static obs::Histogram* lanes[3] = {
+      &obs::GetHistogram("skalla_server_queue_wait_seconds{lane=\"low\"}",
+                         obs::HistogramLayout::LatencySeconds()),
+      &obs::GetHistogram("skalla_server_queue_wait_seconds{lane=\"normal\"}",
+                         obs::HistogramLayout::LatencySeconds()),
+      &obs::GetHistogram("skalla_server_queue_wait_seconds{lane=\"high\"}",
+                         obs::HistogramLayout::LatencySeconds())};
+  return *lanes[priority >= 0 && priority <= 2 ? priority : 1];
+}
+
+obs::Histogram& QueryLatencyHistogram(int priority) {
+  static obs::Histogram* lanes[3] = {
+      &obs::GetHistogram("skalla_server_query_seconds{lane=\"low\"}",
+                         obs::HistogramLayout::LatencySeconds()),
+      &obs::GetHistogram("skalla_server_query_seconds{lane=\"normal\"}",
+                         obs::HistogramLayout::LatencySeconds()),
+      &obs::GetHistogram("skalla_server_query_seconds{lane=\"high\"}",
+                         obs::HistogramLayout::LatencySeconds())};
+  return *lanes[priority >= 0 && priority <= 2 ? priority : 1];
+}
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
 
 }  // namespace
 
@@ -52,12 +86,16 @@ Result<std::string> Server::Dispatch(const Command& cmd) {
   switch (cmd.type) {
     case CommandType::kQuery:
       return HandleQuery(cmd);
+    case CommandType::kProfile:
+      return HandleProfile(cmd);
     case CommandType::kLoad:
       return HandleLoad(cmd);
     case CommandType::kMutate:
       return HandleMutate(cmd);
     case CommandType::kStats:
       return HandleStats();
+    case CommandType::kMetrics:
+      return HandleMetrics(cmd);
     case CommandType::kCancel:
       return HandleCancel(cmd);
   }
@@ -92,12 +130,48 @@ void Server::BumpVersion(const std::string& table) {
 }
 
 Result<std::string> Server::HandleQuery(const Command& cmd) {
+  return ExecuteQueryCommand(cmd, nullptr);
+}
+
+Result<std::string> Server::HandleProfile(const Command& cmd) {
+  // Per-query metrics scope: snapshot the registry around the execution
+  // and render the diff. Concurrent queries would bleed into the scope's
+  // per-site section, which is why the skew section is labelled as a
+  // process-level window; the round/total numbers come from the query's
+  // own ExecutionMetrics and are exact regardless of concurrency.
+  std::vector<obs::MetricValue> before = obs::SnapshotMetrics();
+  ProfileCapture capture;
+  Result<std::string> payload = ExecuteQueryCommand(cmd, &capture);
+  if (!payload.ok()) return payload.status();
+
+  QueryProfileInfo info;
+  info.result_cache_hit = capture.result_cache_hit;
+  info.resumed_rounds = capture.resumed_rounds;
+  info.registry_delta = obs::DiffMetrics(before, obs::SnapshotMetrics());
+  const QueryResult* result =
+      capture.result.has_value() ? &*capture.result : nullptr;
+  return FormatQueryProfile(result, info);
+}
+
+Result<std::string> Server::HandleMetrics(const Command& cmd) {
+  return cmd.metrics_json ? obs::MetricsJsonl() : obs::ExposeMetrics();
+}
+
+Result<std::string> Server::ExecuteQueryCommand(const Command& cmd,
+                                                ProfileCapture* capture) {
+  const auto started = std::chrono::steady_clock::now();
   queries_submitted_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& submitted_total =
+      obs::GetCounter("skalla_server_queries_submitted_total");
+  submitted_total.Increment();
 
   // Parse before admission: a malformed query never occupies a slot.
   Result<GmdjExpr> expr = ParseOlapQuery(cmd.query_text);
   if (!expr.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& failed_total =
+        obs::GetCounter("skalla_server_queries_failed_total");
+    failed_total.Increment();
     return expr.status();
   }
 
@@ -109,21 +183,34 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
     active_[active->id] = active;
   }
   // Unregister on every exit path.
-  auto unregister = [this, &active](const Status& status) {
+  auto unregister = [this, &active, started](const Status& status) {
     {
       std::lock_guard<std::mutex> lock(active_mu_);
       active_.erase(active->id);
     }
     if (status.ok()) {
       queries_completed_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& completed_total =
+          obs::GetCounter("skalla_server_queries_completed_total");
+      completed_total.Increment();
     } else if (status.code() == StatusCode::kCancelled) {
       queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& cancelled_total =
+          obs::GetCounter("skalla_server_queries_cancelled_total");
+      cancelled_total.Increment();
     } else if (status.code() == StatusCode::kUnavailable ||
                status.code() == StatusCode::kDeadlineExceeded) {
       queries_shed_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& shed_total =
+          obs::GetCounter("skalla_server_queries_shed_total");
+      shed_total.Increment();
     } else {
       queries_failed_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& failed_total =
+          obs::GetCounter("skalla_server_queries_failed_total");
+      failed_total.Increment();
     }
+    QueryLatencyHistogram(active->priority).Observe(ElapsedSeconds(started));
   };
 
   obs::ScopedSpan span("server.query", obs::kTrackCoordinator);
@@ -139,17 +226,24 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
     admitted = Status::Cancelled("query cancelled before admission");
   } else {
     obs::ScopedSpan wait_span("server.admit", obs::kTrackCoordinator);
+    const auto wait_started = std::chrono::steady_clock::now();
     admitted =
         admission_.Acquire(active->id, active->priority, cmd.deadline_sec);
+    QueueWaitHistogram(active->priority)
+        .Observe(ElapsedSeconds(wait_started));
   }
   if (!admitted.ok()) {
     unregister(admitted);
     return admitted;
   }
-  SlotGuard slot(&admission_);
-  active->running.store(true, std::memory_order_relaxed);
 
   Result<std::string> payload = [&]() -> Result<std::string> {
+    // The slot is released when this scope exits — strictly before the
+    // outcome counter bumps in unregister(), so a stats() snapshot never
+    // counts one query as both running and completed (ServerStats doc).
+    SlotGuard slot(&admission_);
+    active->running.store(true, std::memory_order_relaxed);
+
     // Shared lock: mutations (exclusive) cannot interleave with this
     // query, so the version snapshot, cache probes, and execution all see
     // one consistent warehouse state.
@@ -162,7 +256,10 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
 
     if (use_cache) {
       std::optional<std::string> hit = cache_.Lookup(key, versions);
-      if (hit.has_value()) return *std::move(hit);
+      if (hit.has_value()) {
+        if (capture != nullptr) capture->result_cache_hit = true;
+        return *std::move(hit);
+      }
     }
 
     const OptimizerOptions opt =
@@ -188,6 +285,7 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
     if (resume.has_value()) {
       hooks.resume_x = &resume->x;
       hooks.resume_rounds = resume->rounds;
+      if (capture != nullptr) capture->resumed_rounds = resume->rounds;
     }
     // Capture X after each executed round for the prefix cache. The i-th
     // callback finishes round start+i, whose key is prefix_keys[start+i].
@@ -218,6 +316,7 @@ Result<std::string> Server::HandleQuery(const Command& cmd) {
       }
     }
     if (use_cache) cache_.Store(key, csv, versions);
+    if (capture != nullptr) capture->result = *std::move(result);
     return csv;
   }();
 
@@ -319,6 +418,27 @@ Result<std::string> Server::HandleStats() {
           << " " << query->priority << "\n";
     }
   }
+  // Registry metrics, strictly additive behind the existing keys (the
+  // `metric.` prefix cannot collide with a bare stats key — docs/server.md
+  // pins this contract). Counters and gauges are one line each; histograms
+  // expand to count/sum/quantile lines.
+  for (const obs::MetricValue& v : obs::SnapshotMetrics()) {
+    switch (v.kind) {
+      case obs::MetricKind::kCounter:
+        out << "metric." << v.name << " " << v.counter_value << "\n";
+        break;
+      case obs::MetricKind::kGauge:
+        out << "metric." << v.name << " " << v.gauge_value << "\n";
+        break;
+      case obs::MetricKind::kHistogram:
+        out << "metric." << v.name << ".count " << v.hist_count << "\n"
+            << "metric." << v.name << ".sum " << v.hist_sum << "\n"
+            << "metric." << v.name << ".p50 " << v.Quantile(0.50) << "\n"
+            << "metric." << v.name << ".p95 " << v.Quantile(0.95) << "\n"
+            << "metric." << v.name << ".p99 " << v.Quantile(0.99) << "\n";
+        break;
+    }
+  }
   return out.str();
 }
 
@@ -345,18 +465,24 @@ Result<std::string> Server::HandleCancel(const Command& cmd) {
 }
 
 ServerStats Server::stats() const {
+  // Read order matters for snapshot consistency (see the ServerStats doc):
+  // outcome counters first, then the admission state in one snapshot(),
+  // and queries_submitted_ last. A query moves submitted -> (queued ->)
+  // running -> outcome, so reading its terminal states before its entry
+  // state can only undercount the left-hand side of
+  //   completed + failed + cancelled + shed + running + queued <= submitted.
   ServerStats stats;
-  stats.queries_submitted = queries_submitted_.load(std::memory_order_relaxed);
-  stats.queries_completed = queries_completed_.load(std::memory_order_relaxed);
-  stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
-  stats.queries_cancelled =
-      queries_cancelled_.load(std::memory_order_relaxed);
-  stats.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  stats.queries_completed = queries_completed_.load(std::memory_order_seq_cst);
+  stats.queries_failed = queries_failed_.load(std::memory_order_seq_cst);
+  stats.queries_cancelled = queries_cancelled_.load(std::memory_order_seq_cst);
+  stats.queries_shed = queries_shed_.load(std::memory_order_seq_cst);
+  const AdmissionController::Snapshot admission = admission_.snapshot();
+  stats.running = admission.running;
+  stats.queued = admission.queued;
+  stats.queries_submitted = queries_submitted_.load(std::memory_order_seq_cst);
   stats.mutations = mutations_.load(std::memory_order_relaxed);
   stats.loads = loads_.load(std::memory_order_relaxed);
   stats.cache = cache_.stats();
-  stats.running = admission_.running();
-  stats.queued = admission_.queued();
   stats.cache_result_entries = cache_.result_entries();
   stats.cache_prefix_entries = cache_.prefix_entries();
   return stats;

@@ -45,6 +45,11 @@ struct ServerOptions {
 };
 
 /// Monotonic serving counters (see Server::stats and the STATS command).
+/// Snapshot consistency: `running`/`queued` come from one
+/// AdmissionController::snapshot() (a single lock acquisition), the
+/// outcome counters are read before it, and `queries_submitted` is read
+/// last — so completed + failed + cancelled + shed + running + queued
+/// <= submitted holds in every snapshot, even under concurrent serving.
 struct ServerStats {
   uint64_t queries_submitted = 0;
   uint64_t queries_completed = 0;
@@ -111,12 +116,28 @@ class Server {
     int priority = 1;
   };
 
+  /// Execution provenance captured for the PROFILE verb: what the shared
+  /// query path actually did (cache hit, prefix resume, the QueryResult).
+  struct ProfileCapture {
+    bool result_cache_hit = false;
+    size_t resumed_rounds = 0;
+    std::optional<QueryResult> result;
+  };
+
   Result<std::string> Dispatch(const Command& cmd);
   Result<std::string> HandleQuery(const Command& cmd);
+  Result<std::string> HandleProfile(const Command& cmd);
   Result<std::string> HandleLoad(const Command& cmd);
   Result<std::string> HandleMutate(const Command& cmd);
   Result<std::string> HandleStats();
+  Result<std::string> HandleMetrics(const Command& cmd);
   Result<std::string> HandleCancel(const Command& cmd);
+
+  /// The one query path QUERY and PROFILE share: admission, cache probes,
+  /// execution, cache population. `capture` (may be null) receives the
+  /// provenance PROFILE renders.
+  Result<std::string> ExecuteQueryCommand(const Command& cmd,
+                                          ProfileCapture* capture);
 
   /// Version stamps of the relations `expr` reads, under versions_mu_.
   VersionMap SnapshotVersions(const GmdjExpr& expr);

@@ -54,4 +54,89 @@ std::string FormatExecutionReport(const QueryResult& result) {
   return os.str();
 }
 
+std::string FormatQueryProfile(const QueryResult* result,
+                               const QueryProfileInfo& info) {
+  std::ostringstream os;
+  os << "=== profile ===\n";
+  if (info.result_cache_hit) {
+    os << "provenance: result cache hit (no rounds executed)\n";
+    return os.str();
+  }
+  if (result == nullptr) {
+    os << "provenance: no result captured\n";
+    return os.str();
+  }
+  if (info.resumed_rounds > 0) {
+    os << "provenance: resumed past " << info.resumed_rounds
+       << " cached round(s); profiled rounds are the remainder\n";
+  } else {
+    os << "provenance: executed from scratch\n";
+  }
+
+  os << "=== plan ===\n" << result->plan.Explain();
+
+  os << "=== rounds ===\n";
+  os << StrFormat("%-30s %6s %14s %14s %12s %12s %26s %6s\n", "round",
+                  "sites", "out[B/rows]", "in[B/rows]", "coord[s]", "comm[s]",
+                  "site[min/avg/max s]", "slow");
+  for (const RoundMetrics& rm : result->metrics.rounds) {
+    const double avg =
+        rm.sites > 0 ? rm.site_cpu_sum_sec / static_cast<double>(rm.sites)
+                     : 0.0;
+    std::string site_col =
+        StrFormat("%8.4f/%8.4f/%8.4f", rm.site_cpu_min_sec, avg,
+                  rm.site_cpu_max_sec);
+    std::string slow_col =
+        rm.slowest_site >= 0 ? StrFormat("s%d", rm.slowest_site) : "-";
+    os << StrFormat(
+        "%-30s %6d %14s %14s %12.4f %12.4f %26s %6s\n", rm.label.c_str(),
+        rm.sites,
+        StrFormat("%zu/%lld", rm.bytes_to_sites,
+                  static_cast<long long>(rm.groups_to_sites))
+            .c_str(),
+        StrFormat("%zu/%lld", rm.bytes_to_coord,
+                  static_cast<long long>(rm.groups_to_coord))
+            .c_str(),
+        rm.coord_cpu_sec, rm.comm_sec, site_col.c_str(), slow_col.c_str());
+    if (rm.retries > 0 || rm.timeouts > 0 || rm.drops > 0 ||
+        rm.failovers > 0) {
+      os << StrFormat(
+          "  ^ faults: %d retries, %d timeouts, %d drops, %d failovers, "
+          "%zu B retransmitted\n",
+          rm.retries, rm.timeouts, rm.drops, rm.failovers,
+          rm.bytes_retransmitted);
+    }
+  }
+
+  // Machine-parseable `key value` lines; tests pin these to the exact
+  // ExecutionMetrics numbers of the same execution.
+  const ExecutionMetrics& m = result->metrics;
+  os << "=== totals ===\n";
+  os << "rounds " << m.NumRounds() << "\n"
+     << "result_rows " << result->table.num_rows() << "\n"
+     << "bytes_to_sites " << m.BytesToSites() << "\n"
+     << "bytes_to_coord " << m.BytesToCoord() << "\n"
+     << "bytes_total " << m.TotalBytes() << "\n"
+     << "groups_to_sites " << m.GroupsToSites() << "\n"
+     << "groups_to_coord " << m.GroupsToCoord() << "\n"
+     << "bytes_saved_by_delta " << m.BytesSavedByDelta() << "\n"
+     << "detail_rows_scanned " << m.DetailRowsScanned() << "\n"
+     << "detail_rows_matched " << m.DetailRowsMatched() << "\n"
+     << StrFormat("response_seconds %.6f\n", m.ResponseSeconds())
+     << StrFormat("site_cpu_seconds %.6f\n", m.SiteCpuSeconds())
+     << StrFormat("coord_cpu_seconds %.6f\n", m.CoordCpuSeconds())
+     << StrFormat("comm_seconds %.6f\n", m.CommSeconds());
+
+  // Per-site load from the per-query metrics scope (registry diff), not a
+  // post-hoc journal scan — works with tracing off.
+  if (!info.registry_delta.empty()) {
+    obs::StragglerReport skew =
+        obs::ComputeStragglerReportFromMetrics(info.registry_delta);
+    if (!skew.sites.empty()) {
+      os << "=== per-site load (metrics registry) ===\n" << skew.ToString();
+    }
+  }
+  return os.str();
+}
+
 }  // namespace skalla

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/columnar.h"
 
@@ -842,6 +843,9 @@ size_t RowPathPayloadSize(const Table& table, Serializer::Format format) {
 std::string SerializeTableImpl(const Table& table, Serializer::Format format,
                                bool columnar_feed) {
   obs::ScopedSpan span("serialize");
+  static obs::Histogram& encode_seconds = obs::GetHistogram(
+      "skalla_storage_encode_seconds", obs::HistogramLayout::LatencySeconds());
+  obs::ScopedHistogramTimer timer(&encode_seconds);
   std::string out;
   out.reserve(columnar_feed
                   ? Serializer::WireSize(table, format)
@@ -869,6 +873,16 @@ std::string SerializeTableImpl(const Table& table, Serializer::Format format,
     span.set_detail(
         (format == Serializer::Format::kSkl1 ? "SKL1 " : "SKL2 ") +
         std::to_string(nrows) + " rows " + std::to_string(out.size()) + "B");
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& skl1_bytes =
+        obs::GetHistogram("skalla_storage_wire_bytes{format=\"SKL1\"}",
+                          obs::HistogramLayout::Bytes());
+    static obs::Histogram& skl2_bytes =
+        obs::GetHistogram("skalla_storage_wire_bytes{format=\"SKL2\"}",
+                          obs::HistogramLayout::Bytes());
+    (format == Serializer::Format::kSkl1 ? skl1_bytes : skl2_bytes)
+        .Observe(static_cast<double>(out.size()));
   }
   return out;
 }
@@ -932,6 +946,9 @@ size_t Serializer::TablePayloadSize(const Table& table, Format format) {
 std::string Serializer::SerializeDelta(const Table& base,
                                        const Table& table) {
   obs::ScopedSpan span("serialize.delta");
+  static obs::Histogram& encode_seconds = obs::GetHistogram(
+      "skalla_storage_encode_seconds", obs::HistogramLayout::LatencySeconds());
+  obs::ScopedHistogramTimer timer(&encode_seconds);
   const size_t nfields = static_cast<size_t>(table.schema().num_fields());
   const size_t base_cols = static_cast<size_t>(base.schema().num_fields());
   // Match columns by name + declared type (first match wins; field names
@@ -986,6 +1003,12 @@ std::string Serializer::SerializeDelta(const Table& base,
     span.set_detail("SKLD kept " + std::to_string(kept) + "/" +
                     std::to_string(total) + " rows " +
                     std::to_string(out.size()) + "B");
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& skld_bytes =
+        obs::GetHistogram("skalla_storage_wire_bytes{format=\"SKLD\"}",
+                          obs::HistogramLayout::Bytes());
+    skld_bytes.Observe(static_cast<double>(out.size()));
   }
   return out;
 }
