@@ -2,24 +2,33 @@
 // slowest site, so one slow local warehouse gates the whole query. Sweeps
 // the straggler's relative speed and shows the effect on the combined
 // query, with and without the optimizations (fewer rounds → fewer times
-// the straggler is waited for), and with streaming synchronization.
+// the straggler is waited for), with streaming synchronization, and with
+// the skew rebalancer splitting the straggler's scan onto a replica
+// (docs/skew.md). Writes BENCH_ablation_straggler.json.
 //
-//   ./bench_ablation_straggler
+//   ./bench_ablation_straggler [--quick]
+//
+// --quick shrinks the relation and skips the google-benchmark pass.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 
 namespace {
 
 using namespace skalla;
+using bench::JsonReport;
 using bench::MustExecute;
 
-std::unique_ptr<Warehouse> MakeWarehouse(double straggler_scale) {
+bool g_quick = false;
+
+std::unique_ptr<Warehouse> MakeWarehouse(double straggler_scale,
+                                         bool rebalance = false) {
   TpcConfig config;
-  config.num_rows = 60000;
+  config.num_rows = g_quick ? 12000 : 60000;
   config.num_customers = 4000;
   config.num_nations = 24;
   Table tpcr = GenerateTpcr(config);
@@ -28,6 +37,13 @@ std::unique_ptr<Warehouse> MakeWarehouse(double straggler_scale) {
                                          {"CustKey"});
   if (!status.ok()) std::abort();
   warehouse->site(3).set_compute_scale(straggler_scale);
+  if (rebalance) {
+    RebalanceConfig rc;
+    rc.enabled = true;
+    rc.min_rows_to_split = 512;
+    warehouse->set_rebalance_config(rc);
+    if (!warehouse->AddReplica(3).ok()) std::abort();
+  }
   return warehouse;
 }
 
@@ -54,11 +70,12 @@ BENCHMARK(BM_Straggler)
     ->Iterations(1);
 
 void PrintTable() {
+  JsonReport report("ablation_straggler");
   const GmdjExpr query = queries::CombinedQuery("CustKey");
   std::printf("\n=== Straggler ablation: one of 8 sites slowed, combined "
               "query, response [s] ===\n");
-  std::printf("%-12s %10s %12s %14s\n", "slowdown", "naive",
-              "all-reductions", "+streaming");
+  std::printf("%-12s %10s %12s %14s %12s\n", "slowdown", "naive",
+              "all-reductions", "+streaming", "+rebalance");
   for (int slowdown : {1, 4, 16, 64}) {
     auto warehouse = MakeWarehouse(1.0 / slowdown);
     QueryResult naive =
@@ -70,19 +87,57 @@ void PrintTable() {
     warehouse->set_network_config(streaming_net);
     QueryResult streaming =
         MustExecute(*warehouse, query, OptimizerOptions::All());
-    std::printf("%-12s %10.3f %12.3f %14.3f\n",
+    // The rebalanced run uses a fresh warehouse (warm detectors and caches
+    // stay per-configuration) with a replica of the slow site armed.
+    auto rebalanced_wh = MakeWarehouse(1.0 / slowdown, /*rebalance=*/true);
+    MustExecute(*rebalanced_wh, query, OptimizerOptions::All());  // warm-up
+    QueryResult rebalanced =
+        MustExecute(*rebalanced_wh, query, OptimizerOptions::All());
+    std::printf("%-12s %10.3f %12.3f %14.3f %12.3f\n",
                 ("x" + std::to_string(slowdown)).c_str(),
                 naive.metrics.ResponseSeconds(),
                 optimized.metrics.ResponseSeconds(),
-                streaming.metrics.ResponseSeconds());
+                streaming.metrics.ResponseSeconds(),
+                rebalanced.metrics.ResponseSeconds());
+    const double x = static_cast<double>(slowdown);
+    report.Add("naive/x" + std::to_string(slowdown),
+               {{"slowdown", x}, {"optimized", 0}},
+               naive.metrics.ResponseSeconds() * 1e3,
+               static_cast<int64_t>(naive.metrics.TotalBytes()));
+    report.Add("optimized/x" + std::to_string(slowdown),
+               {{"slowdown", x}, {"optimized", 1}},
+               optimized.metrics.ResponseSeconds() * 1e3,
+               static_cast<int64_t>(optimized.metrics.TotalBytes()));
+    report.Add("streaming/x" + std::to_string(slowdown),
+               {{"slowdown", x}, {"optimized", 1}, {"streaming", 1}},
+               streaming.metrics.ResponseSeconds() * 1e3,
+               static_cast<int64_t>(streaming.metrics.TotalBytes()));
+    report.Add(
+        "rebalance/x" + std::to_string(slowdown),
+        {{"slowdown", x},
+         {"optimized", 1},
+         {"splits",
+          static_cast<double>(rebalanced.metrics.RebalanceSplits())}},
+        rebalanced.metrics.ResponseSeconds() * 1e3,
+        static_cast<int64_t>(rebalanced.metrics.TotalBytes()));
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --quick before google-benchmark sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!g_quick) benchmark::RunSpecifiedBenchmarks();
   PrintTable();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "dist/coordinator.h"
 
+#include <algorithm>
 #include <numeric>
 #include <optional>
 
@@ -337,9 +338,88 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
       prepare_span.reset();
     }
 
+    // ---- Skew rebalancing (docs/skew.md): when the detector predicts a
+    //      straggler for this round and its φ-twin replica is available,
+    //      the replica joins the wave as a helper slot evaluating the
+    //      straggler's upper detail fragment. The split is legal for
+    //      single-operator, non-fused rounds only: the two H fragments are
+    //      disjoint scan covers of the same detail relation, so merging
+    //      both through the Theorem 1 fold below is byte-identical to the
+    //      unsplit round (DESIGN.md invariant 12). ----
+    std::vector<int> drive_participants = participants;
+    // Per-slot detail scan windows ([0, -1) = everything) and assigned row
+    // counts (for the detector's per-row feedback normalization).
+    std::vector<std::pair<int64_t, int64_t>> ranges(participants.size(),
+                                                    {0, -1});
+    std::vector<int64_t> assigned_rows(participants.size(), 0);
+    const bool splittable = skew_detector_ != nullptr && !fused_base_round &&
+                            round.ops.size() == 1;
+    if (splittable) {
+      std::vector<int64_t> rows(participants.size(), 0);
+      for (size_t p = 0; p < participants.size(); ++p) {
+        Result<std::shared_ptr<const Table>> detail =
+            roster.active(participants[p])
+                ->catalog()
+                .GetTable(round.ops[0].detail_table);
+        if (detail.ok()) rows[p] = (*detail)->num_rows();
+      }
+      assigned_rows = rows;
+      const RebalanceDecision decision =
+          skew_detector_->PlanRound(participants, rows);
+      const auto hot_at = decision.split()
+                              ? std::find(participants.begin(),
+                                          participants.end(),
+                                          decision.hot_slot) -
+                                    participants.begin()
+                              : static_cast<std::ptrdiff_t>(0);
+      auto replica_it = replicas_.end();
+      if (decision.split() &&
+          hot_at < static_cast<std::ptrdiff_t>(participants.size()) &&
+          !roster.failed_over(decision.hot_slot)) {
+        replica_it = replicas_.find(decision.hot_slot);
+      }
+      if (replica_it != replicas_.end() &&
+          CoversPartition(replica_it->second->partition_info(),
+                          roster.active(decision.hot_slot)
+                              ->partition_info())) {
+        const size_t p_hot = static_cast<size_t>(hot_at);
+        const int helper_sid = roster.AddHelperSlot(
+            replica_it->second, roster.active(decision.hot_slot));
+        drive_participants.push_back(helper_sid);
+        // The helper gets its own full (never delta — it holds no cached
+        // X) copy of the straggler's fragment, flagged so its traffic
+        // lands in the rebalance surcharge counters.
+        std::string helper_payload =
+            Serializer::SerializeTable(site_views[p_hot], wire_format);
+        DownMessage helper_msg{
+            kCoordinatorId, helper_payload.size(),
+            site_views[p_hot].num_rows(), "X fragment (rebalance)", 0,
+            Serializer::WireSize(site_views[p_hot], WireFormat::kSkl1)};
+        helper_msg.rebalance = true;
+        down.push_back(std::move(helper_msg));
+        site_views.push_back(site_views[p_hot]);
+        ranges[p_hot] = {0, decision.split_at};
+        ranges.push_back({decision.split_at, -1});
+        assigned_rows[p_hot] = decision.split_at;
+        assigned_rows.push_back(decision.rows - decision.split_at);
+        rm.rebalance_splits++;
+        if (obs::JournalEnabled()) {
+          obs::JournalRecord jr;
+          jr.event = obs::JournalEvent::kReduction;
+          jr.round = network_.current_round();
+          jr.site = decision.hot_slot;
+          jr.rows_before = decision.rows;
+          jr.rows = decision.split_at;
+          jr.label = "rebalance split";
+          obs::JournalAppend(std::move(jr));
+        }
+      }
+    }
+
     // ---- Phase B: fault-tolerant per-site exchange (ship, evaluate in
     //      parallel when enabled, reply), retried per RetryPolicy. ----
-    const std::vector<int> reply_to(participants.size(), kCoordinatorId);
+    const std::vector<int> reply_to(drive_participants.size(),
+                                    kCoordinatorId);
     auto eval = [&](int p, Site* site, double* cpu) {
       SiteRoundInput input;
       input.x = fused_base_round ? nullptr
@@ -349,20 +429,35 @@ Result<Table> Coordinator::Execute(const DistributedPlan& plan,
       input.key_attrs = &plan.key_attrs;
       input.touched_only = round.flags.independent_group_reduction;
       input.num_threads = local_threads_;
+      input.detail_lo = ranges[static_cast<size_t>(p)].first;
+      input.detail_hi = ranges[static_cast<size_t>(p)].second;
       return site->EvalRound(input, cpu);
     };
     SKALLA_ASSIGN_OR_RETURN(
         std::vector<std::string> replies,
-        DriveRoundWithRetries(&network_, retry, &rm, &roster, participants,
-                              down, reply_to, "H_i", eval, parallel_sites_,
-                              LinkModel::kSharedLink, wire_format));
+        DriveRoundWithRetries(&network_, retry, &rm, &roster,
+                              drive_participants, down, reply_to, "H_i",
+                              eval, parallel_sites_, LinkModel::kSharedLink,
+                              wire_format));
+
+    // Feed the measured per-slot wall times back to the detector (primary
+    // slots only — a helper's timing belongs to the replica's hardware,
+    // not the straggler being modelled).
+    if (splittable) {
+      for (size_t p = 0; p < participants.size(); ++p) {
+        if (p < rm.site_seconds.size()) {
+          skew_detector_->ObserveRound(participants[p], rm.site_seconds[p],
+                                       assigned_rows[p]);
+        }
+      }
+    }
 
     // ---- Phase C (coordinator): synchronize (Theorem 1) in
     //      deterministic site order. ----
     std::optional<obs::ScopedSpan> sync_span;
     sync_span.emplace("round.sync", obs::kTrackCoordinator);
-    for (size_t p = 0; p < participants.size(); ++p) {
-      const int sid = participants[p];
+    for (size_t p = 0; p < drive_participants.size(); ++p) {
+      const int sid = drive_participants[p];
       Stopwatch merge_sw;
       SKALLA_ASSIGN_OR_RETURN(Table h,
                               Serializer::DeserializeTable(replies[p]));

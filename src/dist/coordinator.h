@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "dist/metrics.h"
 #include "dist/plan.h"
+#include "dist/rebalance.h"
 #include "dist/site.h"
 #include "net/sim_network.h"
 
@@ -111,6 +112,19 @@ class Coordinator {
     external_ship_cache_ = cache;
   }
 
+  /// Attaches a skew detector (borrowed, may be null to disable): before
+  /// each eligible GMDJ round the coordinator asks it to plan a
+  /// rebalancing split over the per-slot detail row counts, and after each
+  /// round feeds back the measured per-slot wall timings. When the
+  /// detector proposes a split and the hot slot has a φ-covering replica
+  /// registered (AddReplica), the replica joins the round as a helper slot
+  /// evaluating the straggler's upper detail fragment; the two H
+  /// fragments merge through the same Theorem 1 fold, byte-identical to
+  /// the unsplit round (DESIGN.md invariant 12, docs/skew.md). Only
+  /// single-operator, non-fused rounds are split.
+  void set_skew_detector(SkewDetector* detector) { skew_detector_ = detector; }
+  SkewDetector* skew_detector() const { return skew_detector_; }
+
   /// Looks up a relation schema from the first site that holds a partition
   /// of it (all sites share global relation schemas).
   Result<SchemaPtr> FindSchema(const std::string& table_name) const;
@@ -132,6 +146,7 @@ class Coordinator {
   const Table* resume_x_ = nullptr;
   size_t resume_rounds_ = 0;
   std::vector<std::optional<Table>>* external_ship_cache_ = nullptr;
+  SkewDetector* skew_detector_ = nullptr;
 };
 
 /// Theorem 2's bound on groups transferred by Alg. GMDJDistribEval:

@@ -34,6 +34,14 @@ Site* SiteRoster::Failover(int sid, std::string* why) {
   return it->second;
 }
 
+int SiteRoster::AddHelperSlot(Site* site, Site* failover_to) {
+  const int sid = static_cast<int>(active_.size());
+  active_.push_back(site);
+  failed_over_.push_back(false);
+  if (failover_to != nullptr) replicas_[sid] = failover_to;
+  return sid;
+}
+
 namespace {
 
 enum class FailureKind { kNone, kUnreachable, kTimeout };
@@ -89,6 +97,9 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
     obs::JournalAppend(std::move(jr));
   };
   const size_t n = participants.size();
+  // Per-slot wall timings for the skew detector; sized to this drive's
+  // slots (the tree coordinator drives its rounds through one rm too).
+  if (rm->site_seconds.size() < n) rm->site_seconds.resize(n, 0.0);
   const int attempts_per_budget = std::max(1, retry.max_attempts);
   std::vector<std::string> replies(n);
   std::vector<int> budget(n, attempts_per_budget);
@@ -130,6 +141,12 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
                         attempt, TransferDirection::kToSite);
       rm->bytes_to_sites += send_bytes;
       rm->groups_to_sites += msg.rows;
+      if (msg.rebalance && attempt == 0) {
+        // The split surcharge: attempt-0 traffic of helper slots (retries
+        // of the same slot are already in the retry surcharge).
+        rm->bytes_rebalance += send_bytes;
+        rm->groups_rebalance_to_sites += msg.rows;
+      }
       if (obs::MetricsEnabled()) {
         static obs::Counter& shipped_total =
             obs::GetCounter("skalla_dist_bytes_shipped_total");
@@ -208,6 +225,10 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
           reply_label, attempt, TransferDirection::kToCoordinator);
       rm->bytes_to_coord += payload.size();
       rm->groups_to_coord += reply_table.num_rows();
+      if (down[p].rebalance && attempt == 0) {
+        rm->bytes_rebalance += payload.size();
+        rm->groups_rebalance_to_coord += reply_table.num_rows();
+      }
       if (obs::MetricsEnabled()) {
         static obs::Counter& shipped_total =
             obs::GetCounter("skalla_dist_bytes_shipped_total");
@@ -262,6 +283,7 @@ Result<std::vector<std::string>> DriveRoundWithRetries(
       }
       rm->site_cpu_max_sec = std::max(rm->site_cpu_max_sec, cpus[p]);
       rm->site_cpu_sum_sec += cpus[p];
+      rm->site_seconds[p] = cpus[p];
       if (obs::MetricsEnabled()) SiteRoundHistogram(sid).Observe(cpus[p]);
       journal_site_event(obs::JournalEvent::kAttemptFinish, sid, attempt,
                          cpus[p], "ok");

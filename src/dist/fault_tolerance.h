@@ -38,6 +38,14 @@ class SiteRoster {
   /// φ-covering; returns the replica or null (with an explanation in *why).
   Site* Failover(int sid, std::string* why);
 
+  /// Appends a helper slot served by `site` (skew rebalancing: the φ-twin
+  /// replica evaluating a straggler's upper detail fragment) and returns
+  /// its slot id. `failover_to` — typically the straggler primary, whose φ
+  /// equals the helper's — becomes the new slot's failover target, so a
+  /// helper that is also flaky re-routes its fragment through the normal
+  /// failover machinery instead of failing the round.
+  int AddHelperSlot(Site* site, Site* failover_to);
+
  private:
   std::vector<Site*> active_;
   std::map<int, Site*> replicas_;
@@ -61,6 +69,12 @@ struct DownMessage {
   /// accounting (RoundMetrics::bytes_baseline_skl1). 0 means the message
   /// is a control message counted at face value.
   size_t baseline_bytes = 0;
+
+  /// This slot exists only because of a skew-rebalancing split (the helper
+  /// evaluating a straggler's upper detail fragment). Its first-attempt
+  /// traffic is mirrored into RoundMetrics' rebalance surcharge counters
+  /// so Theorem-2 bound checks can subtract it, exactly as retries are.
+  bool rebalance = false;
 };
 
 /// Local evaluation callback: slot index, the site serving it (primary or

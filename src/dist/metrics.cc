@@ -112,6 +112,30 @@ int64_t ExecutionMetrics::MorselsScalar() const {
   return total;
 }
 
+int ExecutionMetrics::RebalanceSplits() const {
+  int total = 0;
+  for (const RoundMetrics& r : rounds) total += r.rebalance_splits;
+  return total;
+}
+
+int64_t ExecutionMetrics::RebalanceGroupsToSites() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_rebalance_to_sites;
+  return total;
+}
+
+int64_t ExecutionMetrics::RebalanceGroupsToCoord() const {
+  int64_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.groups_rebalance_to_coord;
+  return total;
+}
+
+size_t ExecutionMetrics::RebalanceBytes() const {
+  size_t total = 0;
+  for (const RoundMetrics& r : rounds) total += r.bytes_rebalance;
+  return total;
+}
+
 double ExecutionMetrics::CompressionRatio() const {
   const size_t actual = TotalBytes();
   const size_t baseline = BytesBaselineSkl1();
@@ -160,6 +184,15 @@ std::string ExecutionMetrics::ToString() const {
         "%d failover(s), %s retransmitted\n",
         Retries(), Timeouts(), Drops(), Failovers(),
         HumanBytes(static_cast<double>(BytesRetransmitted())).c_str());
+  }
+  if (RebalanceSplits() > 0) {
+    os << StrFormat(
+        "skew: %d straggler split(s), %s rebalance traffic, %lld groups "
+        "out / %lld in\n",
+        RebalanceSplits(),
+        HumanBytes(static_cast<double>(RebalanceBytes())).c_str(),
+        static_cast<long long>(RebalanceGroupsToSites()),
+        static_cast<long long>(RebalanceGroupsToCoord()));
   }
   if (BytesSavedByDelta() > 0 || CompressionRatio() > 1.0) {
     os << StrFormat(

@@ -62,6 +62,21 @@ struct RoundMetrics {
   int64_t morsels_vectorized = 0;   ///< morsels on the vectorized path
   int64_t morsels_scalar = 0;       ///< morsels on the row-at-a-time path
 
+  // ---- Skew-rebalancing accounting (docs/skew.md). ----
+  /// Straggler scans split into helper fragments this round.
+  int rebalance_splits = 0;
+  /// Extra traffic the split slots cost — the second X copy down and the
+  /// helper's sub-result up. Theorem-2 bound checks compare
+  /// (groups_to_* - groups_retry_to_* - groups_rebalance_to_*) against the
+  /// fault-free, unsplit bound, mirroring the retry surcharge.
+  int64_t groups_rebalance_to_sites = 0;
+  int64_t groups_rebalance_to_coord = 0;
+  size_t bytes_rebalance = 0;
+  /// Per-slot site wall seconds of this round's successful evaluations
+  /// (slot order; 0 for slots that did not participate) — the skew
+  /// detector's per-round feedback signal.
+  std::vector<double> site_seconds;
+
   double ResponseSeconds() const {
     return site_cpu_max_sec + (streaming
                                    ? std::max(coord_cpu_sec, comm_sec)
@@ -98,6 +113,10 @@ struct ExecutionMetrics {
   int64_t DetailRowsMatched() const;
   int64_t MorselsVectorized() const;
   int64_t MorselsScalar() const;
+  int RebalanceSplits() const;
+  int64_t RebalanceGroupsToSites() const;
+  int64_t RebalanceGroupsToCoord() const;
+  size_t RebalanceBytes() const;
   /// SKL1-full-ship baseline over actual bytes (>= 1.0 when the encoding
   /// wins; 1.0 when nothing was saved or nothing was shipped).
   double CompressionRatio() const;

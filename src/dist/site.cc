@@ -104,6 +104,8 @@ Result<Table> Site::EvalRound(const SiteRoundInput& input,
     options.touched_only = input.touched_only && input.base == nullptr;
     options.carry_cols = key_attrs;
     options.num_threads = input.num_threads;
+    options.scan_lo = input.detail_lo;
+    options.scan_hi = input.detail_hi;
     SKALLA_ASSIGN_OR_RETURN(Table h,
                             EvalGmdjOp(visible, *detail, ops[0], options));
     if (cpu_sec != nullptr) *cpu_sec = sw.ElapsedSeconds() / compute_scale_;

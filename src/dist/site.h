@@ -32,6 +32,13 @@ struct SiteRoundInput {
   /// sequential). All sites of a wave share one pool, so this bounds the
   /// per-site fan-out, not the process-wide thread count.
   int num_threads = 0;
+  /// Detail-scan fragment [detail_lo, detail_hi) this executor evaluates
+  /// (skew rebalancing, docs/skew.md): positions of the single operator's
+  /// detail scan ordering; detail_hi = -1 means "to the end". Only legal
+  /// for single-operator, non-fused rounds — chained rounds finalize
+  /// intermediate structures locally and cannot be range-split.
+  int64_t detail_lo = 0;
+  int64_t detail_hi = -1;
 };
 
 /// \brief A local data warehouse adjacent to one collection point.

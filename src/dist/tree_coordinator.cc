@@ -184,18 +184,20 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     }
   };
 
-  // Runs the fault-tolerant leaf exchange of one round: ships each leaf's
+  // Runs the fault-tolerant leaf exchange of one round: ships each slot's
   // down message from its parent, evaluates (in parallel when enabled),
   // and collects the replies at the parents, retrying per RetryPolicy.
-  auto drive_leaves = [&](const std::vector<DownMessage>& down,
+  // `slot_ids` normally names the leaves; a skew-rebalanced round appends
+  // a helper slot replying to the straggler's parent.
+  auto drive_leaves = [&](const std::vector<int>& slot_ids,
+                          const std::vector<int>& reply_to,
+                          const std::vector<DownMessage>& down,
                           const std::string& reply_label,
                           const SiteEvalFn& eval,
                           RoundMetrics* rm) -> Result<std::vector<Table>> {
-    std::vector<int> reply_to(sites_.size());
-    for (size_t s = 0; s < sites_.size(); ++s) reply_to[s] = leaf_parent[s];
     SKALLA_ASSIGN_OR_RETURN(
         std::vector<std::string> replies,
-        DriveRoundWithRetries(&network_, retry, rm, &roster, participants,
+        DriveRoundWithRetries(&network_, retry, rm, &roster, slot_ids,
                               down, reply_to, reply_label, eval,
                               parallel_sites_, LinkModel::kPerParentLinks,
                               wire_format));
@@ -206,6 +208,8 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     }
     return tables;
   };
+  std::vector<int> leaf_reply_to(sites_.size());
+  for (size_t s = 0; s < sites_.size(); ++s) leaf_reply_to[s] = leaf_parent[s];
 
   // Propagates per-leaf tables up the tree, combining at each internal
   // node, and returns the root's table. Leaf->parent hops were already
@@ -300,8 +304,9 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
     auto eval = [&plan](int /*p*/, Site* site, double* cpu) {
       return site->EvalBase(plan.base, cpu);
     };
-    SKALLA_ASSIGN_OR_RETURN(std::vector<Table> leaf_results,
-                            drive_leaves(down, "B_i", eval, &rm));
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<Table> leaf_results,
+        drive_leaves(participants, leaf_reply_to, down, "B_i", eval, &rm));
     SKALLA_ASSIGN_OR_RETURN(
         Table merged,
         propagate_up(std::move(leaf_results), &rm, "B_i", DistinctUnion));
@@ -395,7 +400,62 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
       }
     }
 
-    auto eval = [&](int /*p*/, Site* site, double* cpu) {
+    // ---- Skew rebalancing (docs/skew.md): split a predicted straggler
+    //      leaf's detail scan with its φ-twin replica. The helper replies
+    //      to the straggler's own tree parent; its H fragment is
+    //      pre-combined below so the upward propagation is unchanged. ----
+    std::vector<int> drive_participants = participants;
+    std::vector<int> drive_reply_to = leaf_reply_to;
+    std::vector<std::pair<int64_t, int64_t>> ranges(sites_.size(), {0, -1});
+    std::vector<int64_t> assigned_rows(sites_.size(), 0);
+    int hot_leaf = -1;
+    const bool splittable = skew_detector_ != nullptr && !fused_base_round &&
+                            round.ops.size() == 1;
+    if (splittable) {
+      std::vector<int64_t> rows(sites_.size(), 0);
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        Result<std::shared_ptr<const Table>> detail =
+            roster.active(static_cast<int>(s))
+                ->catalog()
+                .GetTable(round.ops[0].detail_table);
+        if (detail.ok()) rows[s] = (*detail)->num_rows();
+      }
+      assigned_rows = rows;
+      const RebalanceDecision decision =
+          skew_detector_->PlanRound(participants, rows);
+      auto replica_it = replicas_.end();
+      if (decision.split() && !roster.failed_over(decision.hot_slot)) {
+        replica_it = replicas_.find(decision.hot_slot);
+      }
+      if (replica_it != replicas_.end() &&
+          CoversPartition(replica_it->second->partition_info(),
+                          roster.active(decision.hot_slot)
+                              ->partition_info())) {
+        hot_leaf = decision.hot_slot;
+        const int helper_sid = roster.AddHelperSlot(
+            replica_it->second, roster.active(hot_leaf));
+        drive_participants.push_back(helper_sid);
+        drive_reply_to.push_back(leaf_parent[static_cast<size_t>(hot_leaf)]);
+        // The helper holds no broadcast cache, so it always receives the
+        // full standalone payload (the delta's fallback size when the
+        // round broadcast a delta).
+        const DownMessage& hot_msg = down[static_cast<size_t>(hot_leaf)];
+        DownMessage helper_msg{
+            leaf_parent[static_cast<size_t>(hot_leaf)],
+            hot_msg.fallback_bytes > 0 ? hot_msg.fallback_bytes
+                                       : hot_msg.bytes,
+            hot_msg.rows, hot_msg.label + " (rebalance)", 0,
+            hot_msg.baseline_bytes};
+        helper_msg.rebalance = true;
+        down.push_back(std::move(helper_msg));
+        ranges[static_cast<size_t>(hot_leaf)] = {0, decision.split_at};
+        ranges.push_back({decision.split_at, -1});
+        assigned_rows[static_cast<size_t>(hot_leaf)] = decision.split_at;
+        rm.rebalance_splits++;
+      }
+    }
+
+    auto eval = [&](int p, Site* site, double* cpu) {
       SiteRoundInput input;
       input.x = fused_base_round ? nullptr : x_for_leaves;
       input.base = fused_base_round ? &plan.base : nullptr;
@@ -403,10 +463,38 @@ Result<Table> TreeCoordinator::Execute(const DistributedPlan& plan,
       input.key_attrs = &plan.key_attrs;
       input.touched_only = round.flags.independent_group_reduction;
       input.num_threads = local_threads_;
+      input.detail_lo = ranges[static_cast<size_t>(p)].first;
+      input.detail_hi = ranges[static_cast<size_t>(p)].second;
       return site->EvalRound(input, cpu);
     };
-    SKALLA_ASSIGN_OR_RETURN(std::vector<Table> leaf_results,
-                            drive_leaves(down, "H_i", eval, &rm));
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<Table> leaf_results,
+        drive_leaves(drive_participants, drive_reply_to, down, "H_i", eval,
+                     &rm));
+
+    // Feed the measured per-leaf wall times back to the detector (primary
+    // leaves only; a helper's timing reflects the replica's hardware).
+    if (splittable) {
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        if (s < rm.site_seconds.size()) {
+          skew_detector_->ObserveRound(static_cast<int>(s),
+                                       rm.site_seconds[s], assigned_rows[s]);
+        }
+      }
+    }
+
+    // Pre-combine the helper's H fragment into the straggler leaf's table
+    // (Theorem 1 merge; byte-identical to the unsplit leaf's reply) so the
+    // propagation sees exactly one table per leaf.
+    if (hot_leaf >= 0) {
+      std::vector<const Table*> fragments{
+          &leaf_results[static_cast<size_t>(hot_leaf)],
+          &leaf_results.back()};
+      SKALLA_ASSIGN_OR_RETURN(Table combined,
+                              CombineSubResults(fragments, num_key, slots));
+      leaf_results[static_cast<size_t>(hot_leaf)] = std::move(combined);
+      leaf_results.pop_back();
+    }
 
     SKALLA_ASSIGN_OR_RETURN(
         Table h, propagate_up(

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "dist/metrics.h"
 #include "dist/plan.h"
+#include "dist/rebalance.h"
 #include "dist/site.h"
 #include "net/cost_model.h"
 #include "net/sim_network.h"
@@ -85,6 +86,13 @@ class TreeCoordinator {
   /// Coordinator::set_local_threads.
   void set_local_threads(int num_threads) { local_threads_ = num_threads; }
 
+  /// Attaches a skew detector; see Coordinator::set_skew_detector. A split
+  /// straggler's helper replies to the straggler's own tree parent, and
+  /// the two H fragments are pre-combined (CombineSubResults) before the
+  /// upward propagation, so aggregators above see exactly one table per
+  /// leaf — byte-identical to the unsplit round.
+  void set_skew_detector(SkewDetector* detector) { skew_detector_ = detector; }
+
  private:
   std::vector<Site*> sites_;
   std::map<int, Site*> replicas_;
@@ -92,6 +100,7 @@ class TreeCoordinator {
   SimNetwork network_;
   bool parallel_sites_ = false;
   int local_threads_ = 0;
+  SkewDetector* skew_detector_ = nullptr;
 };
 
 }  // namespace skalla

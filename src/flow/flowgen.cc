@@ -41,8 +41,8 @@ Table GenerateFlows(const FlowConfig& config) {
 
   for (int64_t i = 0; i < config.num_rows; ++i) {
     // Zipf-skewed AS popularity: a few systems carry most traffic.
-    const int64_t source_as = rng.Zipf(config.num_as, 0.8);
-    const int64_t dest_as = rng.Zipf(config.num_as, 0.8);
+    const int64_t source_as = rng.Zipf(config.num_as, config.as_zipf_s);
+    const int64_t dest_as = rng.Zipf(config.num_as, config.as_zipf_s);
     const int64_t router = RouterOfSourceAs(source_as, config);
     const int64_t source_ip =
         (source_as << 16) | rng.Uniform(0, 0xffff);
@@ -53,7 +53,7 @@ Table GenerateFlows(const FlowConfig& config) {
     const int64_t source_port = rng.Uniform(1024, 65535);
     const int64_t start = rng.Uniform(0, config.num_hours * 3600 - 1);
     const int64_t duration = rng.Uniform(0, 600);
-    const int64_t packets = 1 + rng.Zipf(10000, 1.1);
+    const int64_t packets = 1 + rng.Zipf(10000, config.packets_zipf_s);
     const int64_t bytes = packets * rng.Uniform(40, 1500);
 
     Row row;

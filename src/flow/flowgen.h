@@ -22,6 +22,13 @@ struct FlowConfig {
   int64_t num_hours = 24;        ///< StartTime spans this many hours
   double web_fraction = 0.4;     ///< fraction of flows on port 80/443
   uint64_t seed = 7;
+  /// Zipf exponents of the skewed draws (0 = uniform). `as_zipf_s` shapes
+  /// source/dest AS popularity — cranking it past the 0.8 default
+  /// concentrates flows on the first AS blocks and thus on one router,
+  /// the straggler workload of docs/skew.md. `packets_zipf_s` shapes the
+  /// per-flow packet-count tail.
+  double as_zipf_s = 0.8;
+  double packets_zipf_s = 1.1;
 };
 
 /// The Flow fact relation schema of Sect. 2.1:

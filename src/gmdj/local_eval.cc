@@ -900,8 +900,17 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
 
     // The morsel grid depends only on the relation sizes and the
     // morsel_rows option — not on the lane count — so the merge below
-    // always folds the same partials in the same order.
-    const int64_t scan_rows = detail.num_rows();
+    // always folds the same partials in the same order. A scan_lo/scan_hi
+    // window (skew rebalancing, docs/skew.md) restricts the grid to its
+    // fragment; byte-identity across fragmentations holds because the
+    // partial fold is associative, not because grids line up.
+    const int64_t total_rows = detail.num_rows();
+    const int64_t scan_lo =
+        std::min(std::max<int64_t>(0, options.scan_lo), total_rows);
+    const int64_t scan_end =
+        options.scan_hi < 0 ? total_rows
+                            : std::min(options.scan_hi, total_rows);
+    const int64_t scan_rows = std::max<int64_t>(0, scan_end - scan_lo);
     int64_t morsel =
         options.morsel_rows > 0 ? options.morsel_rows : kDefaultMorselRows;
     const int64_t states_per_morsel =
@@ -944,7 +953,7 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
     if (lanes <= 1 || num_morsels <= 1) {
       // Sequential: one scan straight into the shared arrays, visiting
       // detail rows in exactly the pre-pool order.
-      flush_stats(scan_range(0, scan_rows, shared_target));
+      flush_stats(scan_range(scan_lo, scan_lo + scan_rows, shared_target));
       continue;
     }
 
@@ -977,7 +986,8 @@ Result<Table> EvalGmdjOp(const Table& base, const Table& detail,
           partial.touched.assign(num_base, 0);
           ScanTarget target{partial.states.data(), partial.touched.data()};
           const MorselStats s = scan_range(
-              m * morsel, std::min(scan_rows, (m + 1) * morsel), target);
+              scan_lo + m * morsel,
+              scan_lo + std::min(scan_rows, (m + 1) * morsel), target);
           flush_stats(s);
           if (morsel_span.armed()) {
             // Straggler diagnostics: selectivity and throughput of this

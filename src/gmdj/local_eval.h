@@ -62,6 +62,17 @@ struct LocalGmdjOptions {
   /// 0 / 1 force it off / on for this evaluation. Either way the result is
   /// byte-identical to the scalar row-at-a-time path.
   int vectorize = -1;
+
+  /// Restricts the detail scan to positions [scan_lo, scan_hi) of the
+  /// block's scan ordering (raw row order on the hash/nested paths, the
+  /// equi-key sorted ordering on sort-merge). scan_hi = -1 means "to the
+  /// end". Used by skew rebalancing (docs/skew.md) to split one site's
+  /// detail relation into disjoint fragments evaluated on different
+  /// executors: because sub-aggregates merge associatively (Theorem 1),
+  /// any disjoint cover of [0, |R|) produces sub-results whose merge is
+  /// byte-identical to the unsplit scan.
+  int64_t scan_lo = 0;
+  int64_t scan_hi = -1;
 };
 
 /// The SKALLA_VECTORIZE knob: "0" / "off" / "false" (case-insensitive)

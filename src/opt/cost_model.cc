@@ -43,10 +43,14 @@ Result<RelationStats> ProfileRelation(const Table& table,
 }
 
 std::string CostBreakdown::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "estimate: %d round(s), |Q|~%.0f, down %s, up %s, comm %.3fs",
       rounds, groups, HumanBytes(bytes_down).c_str(),
       HumanBytes(bytes_up).c_str(), comm_seconds);
+  if (site_seconds > 0) {
+    out += StrFormat(", site compute %.3fs (max-over-sites)", site_seconds);
+  }
+  return out;
 }
 
 namespace {
@@ -65,6 +69,51 @@ constexpr double kAggColBytesSkl2 = 3.0;
 constexpr double kTableHeaderBytes = 64.0;
 
 }  // namespace
+
+void CostEstimator::SetSiteLoads(std::vector<double> row_shares,
+                                 std::vector<double> seconds_per_row) {
+  row_shares_ = std::move(row_shares);
+  sec_per_row_ = std::move(seconds_per_row);
+}
+
+Result<double> CostEstimator::EstimateSiteSeconds(
+    const DistributedPlan& plan, const RebalanceConfig* rebalance) const {
+  if (row_shares_.empty()) return 0.0;
+  auto it = stats_.find(plan.base.source_table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for relation '" +
+                            plan.base.source_table + "'");
+  }
+  // Default per-row compute rate when the caller declared only shares;
+  // only ratios matter for the max/mean shape, the scale sets the unit.
+  constexpr double kDefaultSecPerRow = 1e-8;
+  const double rows =
+      static_cast<double>(std::max<int64_t>(1, it->second.rows));
+  double total = 0, max_load = 0;
+  for (size_t i = 0; i < row_shares_.size(); ++i) {
+    const double rate =
+        i < sec_per_row_.size() ? sec_per_row_[i] : kDefaultSecPerRow;
+    const double load = rows * std::max(0.0, row_shares_[i]) * rate;
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  const double mean = total / static_cast<double>(row_shares_.size());
+  // Each synchronized round waits for the slowest site (the paper's
+  // response-time model); a rebalanced round instead waits for the slower
+  // of the trimmed straggler and the rest of the fleet — the same keep
+  // fraction SkewDetector::PlanRound applies to the live scan split.
+  double per_round = max_load;
+  if (rebalance != nullptr && rebalance->enabled && mean > 0 &&
+      max_load > mean * rebalance->max_over_mean_threshold) {
+    const double keep = std::clamp(std::max(0.5, mean / max_load),
+                                   1.0 - rebalance->max_offload_fraction,
+                                   1.0 - rebalance->min_offload_fraction);
+    per_round = std::max(mean, keep * max_load);
+  }
+  const int rounds =
+      static_cast<int>(plan.rounds.size()) + (plan.fuse_base ? 0 : 1);
+  return per_round * static_cast<double>(std::max(1, rounds));
+}
 
 double CostEstimator::AggColBytes() const {
   return net_.wire_format == WireFormat::kSkl1 ? kAggColBytes
@@ -207,6 +256,8 @@ Result<CostBreakdown> CostEstimator::EstimateFlat(
 
   cost.comm_seconds = messages * net_.latency_sec +
                       cost.TotalBytes() / net_.bandwidth_bytes_per_sec;
+  SKALLA_ASSIGN_OR_RETURN(cost.site_seconds,
+                          EstimateSiteSeconds(plan, &rebalance_));
   return cost;
 }
 
@@ -313,6 +364,8 @@ Result<CostBreakdown> CostEstimator::EstimateTree(const DistributedPlan& plan,
   }
 
   cost.comm_seconds = down_time + up_time;
+  SKALLA_ASSIGN_OR_RETURN(cost.site_seconds,
+                          EstimateSiteSeconds(plan, &rebalance_));
   return cost;
 }
 
@@ -323,7 +376,7 @@ Result<int> CostEstimator::ChooseArchitecture(
   int winner = 0;
   for (int fan_in : fan_in_candidates) {
     SKALLA_ASSIGN_OR_RETURN(CostBreakdown tree, EstimateTree(plan, fan_in));
-    if (tree.comm_seconds < best.comm_seconds) {
+    if (tree.TotalSeconds() < best.TotalSeconds()) {
       best = tree;
       winner = fan_in;
     }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "dist/plan.h"
+#include "dist/rebalance.h"
 #include "net/cost_model.h"
 #include "storage/partition_info.h"
 #include "storage/table.h"
@@ -41,8 +42,15 @@ struct CostBreakdown {
   double bytes_up = 0;      ///< sites → coordinator/root
   int rounds = 0;
   double comm_seconds = 0;  ///< modelled communication time
+  /// Modelled site compute time: per synchronized round the coordinator
+  /// waits for the slowest site, so each round is priced max-over-sites
+  /// (trimmed toward the mean when a rebalance config is set — the skew
+  /// rebalancer splits the straggler's scan onto its replica). Stays 0
+  /// until CostEstimator::SetSiteLoads declares the per-site skew.
+  double site_seconds = 0;
 
   double TotalBytes() const { return bytes_down + bytes_up; }
+  double TotalSeconds() const { return comm_seconds + site_seconds; }
   std::string ToString() const;
 };
 
@@ -68,6 +76,27 @@ class CostEstimator {
   void AddRelation(const std::string& name, RelationStats stats) {
     stats_[name] = std::move(stats);
   }
+
+  /// Declares per-site load skew: `row_shares[i]` is site i's fraction of
+  /// the base relation's detail rows and `seconds_per_row[i]` its compute
+  /// rate (uniform default when empty/short). Once set, Estimate* also
+  /// prices a per-round site compute term — max-over-sites, since every
+  /// synchronized round ends when the slowest site replies.
+  void SetSiteLoads(std::vector<double> row_shares,
+                    std::vector<double> seconds_per_row = {});
+
+  /// Prices the modelled rebalancer into the site compute term: skewed
+  /// rounds are charged the straggler's post-split share (pulled toward the
+  /// mean) instead of its full max-over-sites load.
+  void SetRebalance(RebalanceConfig config) { rebalance_ = std::move(config); }
+
+  /// The modelled per-query site compute time of `plan` under the declared
+  /// loads: rounds × (max-over-sites per-round seconds), where the max is
+  /// trimmed by `rebalance` (when given and enabled) exactly like
+  /// SkewDetector::PlanRound trims the hot site's scan. 0 when no loads
+  /// were declared.
+  Result<double> EstimateSiteSeconds(const DistributedPlan& plan,
+                                     const RebalanceConfig* rebalance) const;
 
   /// Estimated number of groups produced by the plan's base query.
   Result<double> EstimateGroups(const DistributedPlan& plan) const;
@@ -106,6 +135,12 @@ class CostEstimator {
   NetworkConfig net_;
   std::vector<PartitionInfo> site_infos_;
   std::map<std::string, RelationStats> stats_;
+  /// Per-site skew declaration (SetSiteLoads); empty = uniform, no site
+  /// compute term.
+  std::vector<double> row_shares_;
+  std::vector<double> sec_per_row_;
+  /// Modelled rebalancer config (SetRebalance); disabled by default.
+  RebalanceConfig rebalance_;
 };
 
 }  // namespace skalla

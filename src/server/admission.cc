@@ -30,7 +30,8 @@ AdmissionController::AdmissionController(AdmissionOptions options)
 }
 
 Status AdmissionController::Acquire(uint64_t ticket, int priority,
-                                    double deadline_sec) {
+                                    double deadline_sec,
+                                    double estimated_cost) {
   std::unique_lock<std::mutex> lock(mu_);
   // Fast path: a free slot and nobody queued ahead.
   if (running_ < options_.max_concurrent && queue_.empty()) {
@@ -43,10 +44,20 @@ Status AdmissionController::Acquire(uint64_t ticket, int priority,
         "admission queue is full (" + std::to_string(options_.max_queue) +
         " waiting queries)");
   }
+  // Cost-aware shedding: under pressure (queue at least half full) refuse
+  // the expensive query now rather than let it occupy a slot for ages
+  // while cheap queries pile up behind it.
+  if (options_.shed_cost_threshold > 0 &&
+      estimated_cost > options_.shed_cost_threshold &&
+      queue_.size() * 2 >= options_.max_queue) {
+    return Status::Unavailable(
+        "query shed: estimated cost " + std::to_string(estimated_cost) +
+        " exceeds the admission threshold under load");
+  }
 
   Waiter waiter;
   waiter.ticket = ticket;
-  const QueueKey key{-priority, next_seq_++};
+  const QueueKey key{-priority, estimated_cost, next_seq_++};
   queue_.emplace(key, &waiter);
   QueuedGauge().Add(1);
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <tuple>
 
 #include "common/result.h"
 
@@ -19,17 +20,25 @@ struct AdmissionOptions {
   /// Queries allowed to wait; beyond it new queries are refused with a
   /// typed kUnavailable (load shedding, not an error of the query).
   size_t max_queue = 64;
+  /// Cost-aware shedding (0 = off): once the queue is at least half full,
+  /// queries whose estimated cost exceeds this threshold are refused
+  /// immediately — under pressure the gate sheds the expensive work first
+  /// and keeps admitting cheap queries, bounding the latency tail.
+  double shed_cost_threshold = 0;
 };
 
 /// \brief Blocking priority admission gate for concurrent queries.
 ///
 /// Each query calls Acquire() on its own (client) thread before executing
 /// and Release() after; at most `max_concurrent` queries hold a slot at
-/// once. Waiters are granted slots by (priority desc, arrival order asc):
-/// a HIGH query admitted later overtakes queued NORMAL/LOW queries but
-/// never preempts a running one. The skew literature's p99 lesson
-/// (PAPERS.md) is encoded here as load shedding: a bounded queue refuses
-/// work instead of growing an unbounded tail.
+/// once. Waiters are granted slots by (priority desc, estimated cost asc,
+/// arrival order asc): a HIGH query admitted later overtakes queued
+/// NORMAL/LOW queries but never preempts a running one, and within a
+/// priority cheap queries (by the opt/cost_model estimate the server
+/// passes in) run first — shortest-job-first, which minimizes mean wait.
+/// The skew literature's p99 lesson (PAPERS.md) is encoded here as load
+/// shedding: a bounded queue refuses work instead of growing an unbounded
+/// tail, preferring to shed expensive work (shed_cost_threshold).
 ///
 /// Why slots gate *queries* while morsels gate *lanes*: an admitted query
 /// parallelizes its site scans over the shared ThreadPool under its own
@@ -45,8 +54,12 @@ class AdmissionController {
   ///  - kDeadlineExceeded: `deadline_sec` > 0 elapsed while queued;
   ///  - kCancelled: CancelQueued(ticket) was called while queued.
   /// `ticket` identifies this wait for CancelQueued; `priority` is higher
-  /// = sooner. `deadline_sec` <= 0 waits forever.
-  Status Acquire(uint64_t ticket, int priority, double deadline_sec);
+  /// = sooner. `deadline_sec` <= 0 waits forever. `estimated_cost` (any
+  /// consistent unit; the server passes modelled seconds) breaks ties
+  /// within a priority — cheaper first — and feeds cost-aware shedding;
+  /// 0 preserves pure arrival order.
+  Status Acquire(uint64_t ticket, int priority, double deadline_sec,
+                 double estimated_cost = 0.0);
 
   /// Releases a slot obtained by a successful Acquire.
   void Release();
@@ -74,8 +87,9 @@ class AdmissionController {
     uint64_t ticket = 0;
     bool cancelled = false;
   };
-  /// Queue key: (-priority, seq) so the map's begin() is the next grant.
-  using QueueKey = std::pair<int, uint64_t>;
+  /// Queue key: (-priority, estimated cost, seq) so the map's begin() is
+  /// the next grant.
+  using QueueKey = std::tuple<int, double, uint64_t>;
 
   AdmissionOptions options_;
   mutable std::mutex mu_;

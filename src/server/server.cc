@@ -219,6 +219,25 @@ Result<std::string> Server::ExecuteQueryCommand(const Command& cmd,
                     " prio=" + std::to_string(active->priority));
   }
 
+  // Cost-weighted admission: price the query with the calibrated model
+  // before queuing, so within a priority cheap queries overtake expensive
+  // ones and cost-aware shedding has a number to judge. An estimate
+  // failure (e.g. a relation without statistics) degrades to 0 — pure
+  // arrival order, the pre-cost behavior.
+  double estimated_cost = 0.0;
+  {
+    std::shared_lock<std::shared_mutex> read_lock(warehouse_mu_);
+    const OptimizerOptions estimate_opt = options_.optimize
+                                              ? OptimizerOptions::All()
+                                              : OptimizerOptions::None();
+    Result<DistributedPlan> priced = warehouse_->Plan(*expr, estimate_opt);
+    if (priced.ok()) {
+      std::lock_guard<std::mutex> stats_lock(estimate_mu_);
+      Result<CostBreakdown> cost = warehouse_->EstimateCost(*priced);
+      if (cost.ok()) estimated_cost = cost->TotalSeconds();
+    }
+  }
+
   // CANCEL may land before Acquire even queues us; honor it here so the
   // client's cancel is never lost to that race.
   Status admitted;
@@ -227,8 +246,8 @@ Result<std::string> Server::ExecuteQueryCommand(const Command& cmd,
   } else {
     obs::ScopedSpan wait_span("server.admit", obs::kTrackCoordinator);
     const auto wait_started = std::chrono::steady_clock::now();
-    admitted =
-        admission_.Acquire(active->id, active->priority, cmd.deadline_sec);
+    admitted = admission_.Acquire(active->id, active->priority,
+                                  cmd.deadline_sec, estimated_cost);
     QueueWaitHistogram(active->priority)
         .Observe(ElapsedSeconds(wait_started));
   }

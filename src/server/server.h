@@ -166,6 +166,12 @@ class Server {
   std::mutex ship_cache_mu_;
   std::vector<std::optional<Table>> ship_cache_;
 
+  /// Serializes Warehouse::EstimateCost calls made before admission: the
+  /// estimate runs under the shared warehouse lock (no mutation races) but
+  /// populates the relation-stats cache, which concurrent pre-admission
+  /// estimates must not write simultaneously.
+  std::mutex estimate_mu_;
+
   std::mutex active_mu_;
   std::map<uint64_t, std::shared_ptr<ActiveQuery>> active_;
   std::atomic<uint64_t> next_query_id_{1};

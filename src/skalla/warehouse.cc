@@ -6,6 +6,7 @@
 
 #include "engine/operators.h"
 #include "gmdj/central_eval.h"
+#include "storage/freq_sketch.h"
 
 namespace skalla {
 
@@ -74,6 +75,48 @@ Status Warehouse::LoadByRange(const std::string& name, const Table& table,
     SKALLA_RETURN_NOT_OK(ProfileDomains(&data, profile_attrs));
   }
   return LoadPartitioned(name, std::move(data));
+}
+
+Status Warehouse::LoadByRangeWeighted(
+    const std::string& name, const Table& table, const std::string& attr,
+    int64_t attr_min, int64_t attr_max,
+    const std::vector<std::string>& profile_attrs, double replicate_share) {
+  SKALLA_ASSIGN_OR_RETURN(
+      PartitionedData data,
+      PartitionByRangeWeighted(table, attr, num_sites(), attr_min, attr_max));
+  if (!profile_attrs.empty()) {
+    SKALLA_RETURN_NOT_OK(ProfileDomains(&data, profile_attrs));
+  }
+  SKALLA_RETURN_NOT_OK(LoadPartitioned(name, std::move(data)));
+
+  // Heavy-hitter mitigation: a single key holding more than
+  // replicate_share of one site's fair share of rows cannot be balanced by
+  // any contiguous boundary, so its site gets a standing replica — the
+  // helper the skew rebalancer splits onto at query time.
+  if (replicate_share <= 0 || table.num_rows() == 0) return Status::OK();
+  SKALLA_ASSIGN_OR_RETURN(int idx, table.schema().MustIndexOf(attr));
+  FreqSketch sketch;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    sketch.Add(table.Get(r, idx).AsInt64());
+  }
+  const double min_share = replicate_share / static_cast<double>(num_sites());
+  for (const FreqSketch::Entry& hh : sketch.HeavyHitters(min_share)) {
+    for (int i = 0; i < num_sites(); ++i) {
+      const PartitionInfo& info =
+          sites_[static_cast<size_t>(i)]->partition_info();
+      if (!info.HasDomain(attr) ||
+          !info.Domain(attr).MayContain(Value(hh.key))) {
+        continue;
+      }
+      Result<Site*> added = AddReplica(i);
+      if (!added.ok() &&
+          added.status().code() != StatusCode::kAlreadyExists) {
+        return added.status();
+      }
+      break;  // φ ranges are disjoint: exactly one site holds the key
+    }
+  }
+  return Status::OK();
 }
 
 Status Warehouse::LoadByHash(const std::string& name, const Table& table,
@@ -145,6 +188,7 @@ Result<QueryResult> Warehouse::ExecutePlan(const DistributedPlan& plan,
   coordinator.set_round_observer(hooks.round_observer);
   coordinator.set_resume(hooks.resume_x, hooks.resume_rounds);
   coordinator.set_ship_cache(hooks.ship_cache);
+  coordinator.set_skew_detector(&skew_detector_);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());
@@ -164,6 +208,7 @@ Result<QueryResult> Warehouse::ExecutePlanTree(const DistributedPlan& plan,
   TreeCoordinator coordinator(std::move(site_ptrs), fan_in, net_);
   coordinator.set_parallel_sites(parallel_sites_);
   coordinator.set_local_threads(local_threads_);
+  coordinator.set_skew_detector(&skew_detector_);
   coordinator.network().set_fault_injector(injector_);
   for (const auto& [sid, replica] : replicas_) {
     coordinator.AddReplica(sid, replica.get());
@@ -183,19 +228,8 @@ Result<QueryResult> Warehouse::ExecuteAuto(const GmdjExpr& expr,
   // Profile statistics for the base relation's key and θ-referenced
   // attributes (cached across queries).
   CostEstimator estimator(num_sites(), net_, SiteInfos());
-  auto cached = stats_cache_.find(plan.base.source_table);
-  if (cached == stats_cache_.end()) {
-    SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> full,
-                            central_.GetTable(plan.base.source_table));
-    // Profile every column of the base relation once; the estimator only
-    // reads what the plan needs.
-    SKALLA_ASSIGN_OR_RETURN(
-        RelationStats stats,
-        ProfileRelation(*full, full->schema().FieldNames()));
-    cached = stats_cache_.emplace(plan.base.source_table, std::move(stats))
-                 .first;
-  }
-  estimator.AddRelation(plan.base.source_table, cached->second);
+  SKALLA_ASSIGN_OR_RETURN(const RelationStats* stats, BaseStats(plan));
+  estimator.AddRelation(plan.base.source_table, *stats);
 
   int fan_in = 0;
   // Tree execution currently supports full-participation plans only.
@@ -209,6 +243,30 @@ Result<QueryResult> Warehouse::ExecuteAuto(const GmdjExpr& expr,
   }
   if (chosen_fan_in != nullptr) *chosen_fan_in = fan_in;
   return fan_in == 0 ? ExecutePlan(plan) : ExecutePlanTree(plan, fan_in);
+}
+
+Result<const RelationStats*> Warehouse::BaseStats(
+    const DistributedPlan& plan) {
+  auto cached = stats_cache_.find(plan.base.source_table);
+  if (cached == stats_cache_.end()) {
+    SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const Table> full,
+                            central_.GetTable(plan.base.source_table));
+    // Profile every column of the base relation once; the estimator only
+    // reads what a plan needs.
+    SKALLA_ASSIGN_OR_RETURN(
+        RelationStats stats,
+        ProfileRelation(*full, full->schema().FieldNames()));
+    cached = stats_cache_.emplace(plan.base.source_table, std::move(stats))
+                 .first;
+  }
+  return &cached->second;
+}
+
+Result<CostBreakdown> Warehouse::EstimateCost(const DistributedPlan& plan) {
+  SKALLA_ASSIGN_OR_RETURN(const RelationStats* stats, BaseStats(plan));
+  CostEstimator estimator(num_sites(), net_, SiteInfos());
+  estimator.AddRelation(plan.base.source_table, *stats);
+  return estimator.EstimateFlat(plan);
 }
 
 Result<Table> Warehouse::ExecuteCentralized(const GmdjExpr& expr) const {

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "dist/coordinator.h"
+#include "dist/rebalance.h"
 #include "dist/tree_coordinator.h"
 #include "dist/metrics.h"
 #include "dist/plan.h"
@@ -102,6 +103,21 @@ class Warehouse {
                      const std::string& attr, int64_t attr_min,
                      int64_t attr_max,
                      const std::vector<std::string>& profile_attrs = {});
+
+  /// Skew-aware variant of LoadByRange: boundaries are placed by actual
+  /// per-key row counts (PartitionByRangeWeighted), so Zipf-skewed keys
+  /// still produce near-equal fragment sizes while every φ_i stays a
+  /// contiguous range. Afterwards a FreqSketch over `attr` finds heavy
+  /// hitters — single keys holding more than `replicate_share` of one
+  /// site's fair share of rows, which no contiguous boundary can split —
+  /// and auto-registers a replica
+  /// of each such key's site so the skew rebalancer has a helper ready
+  /// (docs/skew.md).
+  Status LoadByRangeWeighted(const std::string& name, const Table& table,
+                             const std::string& attr, int64_t attr_min,
+                             int64_t attr_max,
+                             const std::vector<std::string>& profile_attrs = {},
+                             double replicate_share = 0.5);
 
   /// Hash-partitions `table` on `attr` and loads it (no distribution
   /// knowledge recorded).
@@ -196,7 +212,27 @@ class Warehouse {
   void set_local_threads(int num_threads) { local_threads_ = num_threads; }
   int local_threads() const { return local_threads_; }
 
+  /// Skew-aware adaptive execution (docs/skew.md): the warehouse owns one
+  /// persistent SkewDetector wired into every coordinator it builds, so
+  /// straggler rates learned by one query seed the next. The detector
+  /// always observes; splits only happen while `config.enabled` is true
+  /// and the straggler has a replica (AddReplica / LoadByRangeWeighted).
+  void set_rebalance_config(const RebalanceConfig& config) {
+    skew_detector_.mutable_config() = config;
+  }
+  const RebalanceConfig& rebalance_config() const {
+    return skew_detector_.config();
+  }
+  SkewDetector& skew_detector() { return skew_detector_; }
+
+  /// Prices `plan` with the calibrated cost model over cached relation
+  /// statistics (profiling the base relation on first use, as ExecuteAuto
+  /// does). The serving layer weighs admission order by this estimate.
+  Result<CostBreakdown> EstimateCost(const DistributedPlan& plan);
+
  private:
+  /// The profiled statistics of `plan`'s base relation (cached).
+  Result<const RelationStats*> BaseStats(const DistributedPlan& plan);
   std::vector<std::unique_ptr<Site>> sites_;
   /// Failover replicas keyed by primary site id (owned here, registered
   /// with each coordinator at execution time).
@@ -208,6 +244,9 @@ class Warehouse {
   int local_threads_ = 0;
   /// Relation statistics cache for ExecuteAuto (profiled on first use).
   std::map<std::string, RelationStats> stats_cache_;
+  /// Persistent straggler detector shared by every coordinator this
+  /// warehouse builds (internally synchronized; see dist/rebalance.h).
+  SkewDetector skew_detector_;
 };
 
 }  // namespace skalla

@@ -1,0 +1,73 @@
+#include "storage/freq_sketch.h"
+
+#include <algorithm>
+
+namespace skalla {
+
+void FreqSketch::Add(int64_t key, int64_t weight) {
+  if (weight <= 0) return;
+  total_ += weight;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, Entry{key, weight, 0});
+    return;
+  }
+  // Evict the minimum-count entry (smallest key on ties, for determinism
+  // across hash-map iteration orders); the newcomer inherits its count as
+  // the error floor — the space-saving invariant.
+  auto min_it = counts_.begin();
+  for (auto jt = counts_.begin(); jt != counts_.end(); ++jt) {
+    if (jt->second.count < min_it->second.count ||
+        (jt->second.count == min_it->second.count &&
+         jt->first < min_it->first)) {
+      min_it = jt;
+    }
+  }
+  const int64_t floor = min_it->second.count;
+  counts_.erase(min_it);
+  counts_.emplace(key, Entry{key, floor + weight, floor});
+}
+
+namespace {
+
+std::vector<FreqSketch::Entry> SortedEntries(
+    const std::unordered_map<int64_t, FreqSketch::Entry>& counts) {
+  std::vector<FreqSketch::Entry> out;
+  out.reserve(counts.size());
+  for (const auto& [key, entry] : counts) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const FreqSketch::Entry& a, const FreqSketch::Entry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<FreqSketch::Entry> FreqSketch::TopK(size_t k) const {
+  std::vector<Entry> out = SortedEntries(counts_);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<FreqSketch::Entry> FreqSketch::HeavyHitters(
+    double min_share) const {
+  std::vector<Entry> out;
+  const double cutoff = min_share * static_cast<double>(total_);
+  for (const Entry& e : SortedEntries(counts_)) {
+    if (static_cast<double>(e.count - e.error) > cutoff) out.push_back(e);
+  }
+  return out;
+}
+
+int64_t FreqSketch::Estimate(int64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.count;
+}
+
+}  // namespace skalla

@@ -1,0 +1,58 @@
+#ifndef SKALLA_STORAGE_FREQ_SKETCH_H_
+#define SKALLA_STORAGE_FREQ_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace skalla {
+
+/// \brief Space-saving heavy-hitter sketch over int64 keys.
+///
+/// Metwally et al.'s Space-Saving algorithm: at most `capacity` monitored
+/// keys; a new key evicts the minimum-count entry, inheriting its count as
+/// both estimate floor and error bound. Guarantees: every key with true
+/// frequency > total / capacity is monitored, and for every monitored key
+/// `count - error <= true frequency <= count`. Skalla uses it at load time
+/// over partition-key columns — Zipf-skewed generators concentrate rows on
+/// a few keys, and any key holding more than one site's fair share of rows
+/// makes contiguous range partitioning inherently unbalanceable, so those
+/// keys' sites get replicas for the skew rebalancer (docs/skew.md).
+class FreqSketch {
+ public:
+  explicit FreqSketch(size_t capacity = 256)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  struct Entry {
+    int64_t key = 0;
+    int64_t count = 0;  ///< estimate (upper bound on true frequency)
+    int64_t error = 0;  ///< count - error is a guaranteed lower bound
+  };
+
+  void Add(int64_t key, int64_t weight = 1);
+
+  int64_t total() const { return total_; }
+  size_t capacity() const { return capacity_; }
+  size_t monitored() const { return counts_.size(); }
+
+  /// The top-k monitored keys, count-descending (key-ascending tiebreak,
+  /// so the output is deterministic).
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// Monitored keys whose *guaranteed* frequency (count - error) exceeds
+  /// `min_share` of the total weight; count-descending.
+  std::vector<Entry> HeavyHitters(double min_share) const;
+
+  /// The estimated frequency of `key` (0 when unmonitored).
+  int64_t Estimate(int64_t key) const;
+
+ private:
+  size_t capacity_;
+  int64_t total_ = 0;
+  std::unordered_map<int64_t, Entry> counts_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_FREQ_SKETCH_H_

@@ -74,7 +74,9 @@ Table GenerateTpcr(const TpcConfig& config) {
       // Start a new order with 1..7 line items.
       ++order_key;
       lines_left = rng.Uniform(1, 7);
-      cust_key = rng.Uniform(0, config.num_customers - 1);
+      cust_key = config.cust_zipf_s > 0
+                     ? rng.Zipf(config.num_customers, config.cust_zipf_s)
+                     : rng.Uniform(0, config.num_customers - 1);
       order_date = rng.Uniform(0, 2404);  // days in [1992-01-01, 1998-08-02]
       priority = kPriorities[rng.Uniform(0, 4)];
     }

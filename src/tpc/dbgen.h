@@ -29,6 +29,12 @@ struct TpcConfig {
   int64_t num_parts = 20000;
   int64_t num_suppliers = 1000;
   uint64_t seed = 42;
+  /// Zipf exponent of the customer-key draw: 0 (default) keeps the
+  /// classic uniform dbgen shape; s > 0 concentrates orders on low
+  /// customer keys (s ≈ 1 is the canonical web-workload skew, 10x row
+  /// imbalance across a NationKey partitioning arrives well before
+  /// s = 1.5) — the skew workloads of docs/skew.md.
+  double cust_zipf_s = 0.0;
 };
 
 /// The schema of the denormalized TPCR fact relation.

@@ -67,6 +67,86 @@ Result<PartitionedData> PartitionByRange(const Table& table,
   return out;
 }
 
+Result<PartitionedData> PartitionByRangeWeighted(const Table& table,
+                                                 const std::string& attr,
+                                                 int num_sites,
+                                                 int64_t attr_min,
+                                                 int64_t attr_max) {
+  if (num_sites <= 0) {
+    return Status::InvalidArgument("num_sites must be positive");
+  }
+  if (attr_max < attr_min) {
+    return Status::InvalidArgument("attr_max < attr_min");
+  }
+  SKALLA_ASSIGN_OR_RETURN(int idx, AttrIndex(table, attr));
+
+  // Exact per-key histogram over the (dense, generator-sized) domain.
+  const size_t span = static_cast<size_t>(attr_max - attr_min + 1);
+  std::vector<int64_t> key_rows(span, 0);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.Get(r, idx);
+    if (!v.is_int64()) {
+      return Status::TypeError("range partitioning requires int64 attribute '" +
+                               attr + "'");
+    }
+    const int64_t k = v.AsInt64();
+    if (k < attr_min || k > attr_max) {
+      return Status::InvalidArgument(
+          "attribute value outside [attr_min, attr_max]");
+    }
+    key_rows[static_cast<size_t>(k - attr_min)]++;
+  }
+
+  // Greedy boundary placement: advance through keys in order, closing a
+  // site's range once it reached the fair share of rows — keeping every
+  // remaining site at least one key of the domain.
+  const double fair =
+      static_cast<double>(table.num_rows()) / static_cast<double>(num_sites);
+  std::vector<int64_t> boundary_lo(static_cast<size_t>(num_sites), attr_min);
+  std::vector<int64_t> boundary_hi(static_cast<size_t>(num_sites), attr_max);
+  int site = 0;
+  int64_t site_rows = 0;
+  boundary_lo[0] = attr_min;
+  for (size_t k = 0; k < span; ++k) {
+    site_rows += key_rows[k];
+    const size_t keys_left = span - 1 - k;
+    const size_t sites_left = static_cast<size_t>(num_sites - 1 - site);
+    if (site < num_sites - 1 &&
+        (static_cast<double>(site_rows) >= fair || keys_left <= sites_left)) {
+      boundary_hi[static_cast<size_t>(site)] =
+          attr_min + static_cast<int64_t>(k);
+      ++site;
+      boundary_lo[static_cast<size_t>(site)] =
+          attr_min + static_cast<int64_t>(k) + 1;
+      site_rows = 0;
+    }
+  }
+  boundary_hi[static_cast<size_t>(num_sites - 1)] = attr_max;
+
+  std::vector<int> assignment(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const int64_t k = table.Get(r, idx).AsInt64();
+    // Binary search over the (few) contiguous boundaries.
+    int lo = 0, hi = num_sites - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (k > boundary_hi[static_cast<size_t>(mid)]) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    assignment[static_cast<size_t>(r)] = lo;
+  }
+  PartitionedData out = MakeFragments(table, num_sites, assignment);
+  for (int s = 0; s < num_sites; ++s) {
+    out.infos[static_cast<size_t>(s)].SetDomain(
+        attr, AttrDomain::Range(Value(boundary_lo[static_cast<size_t>(s)]),
+                                Value(boundary_hi[static_cast<size_t>(s)])));
+  }
+  return out;
+}
+
 Result<PartitionedData> PartitionByHash(const Table& table,
                                         const std::string& attr,
                                         int num_sites) {

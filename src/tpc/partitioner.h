@@ -27,6 +27,22 @@ Result<PartitionedData> PartitionByRange(const Table& table,
                                          int num_sites, int64_t attr_min,
                                          int64_t attr_max);
 
+/// Range partitioning with frequency-weighted boundaries: walks the key
+/// domain [attr_min, attr_max] in order, counting actual rows per key
+/// value, and cuts a new contiguous range whenever the current site holds
+/// at least rows/num_sites rows. Each φ_i stays a contiguous Range domain
+/// (so `attr` remains a partition attribute per Definition 2 and every
+/// φ-based rewrite stays sound), but the *row counts* per site equalize
+/// even under Zipf key skew — the φ-predicate rebalancing half of
+/// docs/skew.md. A single key holding more than a fair share cannot be
+/// split further by any contiguous scheme; its site is the rebalancer's
+/// natural replica target (see FreqSketch::HeavyHitters).
+Result<PartitionedData> PartitionByRangeWeighted(const Table& table,
+                                                 const std::string& attr,
+                                                 int num_sites,
+                                                 int64_t attr_min,
+                                                 int64_t attr_max);
+
 /// Splits by hash of `attr` (no useful distribution knowledge results; the
 /// PartitionInfos are empty). Models a warehouse whose placement the
 /// optimizer knows nothing about.

@@ -70,7 +70,10 @@ StarSchema GenerateTpcrStar(const TpcConfig& config) {
   int64_t order_key = 0;
   while (rows_left > 0) {
     ++order_key;
-    const int64_t cust_key = rng.Uniform(0, config.num_customers - 1);
+    const int64_t cust_key =
+        config.cust_zipf_s > 0
+            ? rng.Zipf(config.num_customers, config.cust_zipf_s)
+            : rng.Uniform(0, config.num_customers - 1);
     const int64_t order_date = rng.Uniform(0, 2404);
     const int64_t clerk_key = rng.Uniform(0, config.num_clerks - 1);
     star.orders.AddRow(

@@ -156,9 +156,22 @@ TEST(StragglerTest, SlowSiteGatesTheRound) {
   ASSERT_OK_AND_ASSIGN(QueryResult slow,
                        skewed.Execute(query, OptimizerOptions::None()));
   ExpectSameRows(slow.table, fast.table);
-  // Sites run in parallel: the straggler inflates the per-round max.
-  EXPECT_GT(slow.metrics.SiteCpuSeconds(),
-            3.0 * fast.metrics.SiteCpuSeconds());
+  // Sites run in parallel, so each round charges its slowest site. Site
+  // times are scaled *wall clock*: comparing two separate executions is
+  // meaningless on a loaded CI box, so compare the straggler against its
+  // peers measured within the same rounds instead.
+  std::vector<double> per_site(4, 0.0);
+  for (const RoundMetrics& rm : slow.metrics.rounds) {
+    for (size_t p = 0; p < rm.site_seconds.size() && p < 4; ++p) {
+      per_site[p] += rm.site_seconds[p];
+    }
+  }
+  double peer_max = 0;
+  for (int s = 0; s < 4; ++s) {
+    if (s != 2) peer_max = std::max(peer_max, per_site[s]);
+  }
+  ASSERT_GT(peer_max, 0.0);
+  EXPECT_GT(per_site[2], 3.0 * peer_max);
   // Traffic is unaffected.
   EXPECT_EQ(slow.metrics.TotalBytes(), fast.metrics.TotalBytes());
 }
